@@ -1,0 +1,138 @@
+// Command mbpmarket serves a model-based-pricing broker over HTTP,
+// demonstrating the paper's "real time interaction" claim: the optimal
+// model is trained once at startup; each purchase only samples noise.
+//
+// Endpoints (see internal/httpapi):
+//
+//	GET  /menu                      — offered models
+//	GET  /curve?model=<name>        — the price–error curve (Fig. 1C step 2)
+//	POST /buy                       — body: {"model": "...", and one of
+//	                                  "delta", "errorBudget", "priceBudget"}
+//	GET  /ledger                    — all completed transactions
+//
+// Example:
+//
+//	mbpmarket -dataset CASP -addr 127.0.0.1:8080 &
+//	curl 'localhost:8080/curve?model=linear-regression'
+//	curl -d '{"model":"linear-regression","priceBudget":40}' localhost:8080/buy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"github.com/datamarket/mbp/internal/core"
+	"github.com/datamarket/mbp/internal/httpapi"
+	"github.com/datamarket/mbp/internal/market"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		dsName  = flag.String("dataset", "CASP", "Table 3 dataset to sell")
+		dsList  = flag.String("datasets", "", "comma-separated datasets: serve a multi-seller exchange under /listings and /l/{name}/...")
+		scale   = flag.Float64("scale", 0.005, "dataset scale")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		samples = flag.Int("samples", 200, "Monte-Carlo draws per grid point")
+		save    = flag.String("save", "", "after training, dump the offers to this file")
+		load    = flag.String("load", "", "warm-start: restore offers from a -save dump instead of retraining")
+	)
+	flag.Parse()
+
+	if *dsList != "" {
+		serveExchange(*addr, strings.Split(*dsList, ","), *scale, *seed, *samples)
+		return
+	}
+
+	mp, err := build(*dsName, *scale, *seed, *samples, *load)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbpmarket:", err)
+		os.Exit(1)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbpmarket:", err)
+			os.Exit(1)
+		}
+		if err := mp.Broker.SaveOffers(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mbpmarket: saving offers:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		log.Printf("offers saved to %s", *save)
+	}
+
+	log.Printf("broker listening on %s (model %v, dataset %s)", *addr, mp.Model, *dsName)
+	log.Fatal(http.ListenAndServe(*addr, httpapi.New(mp.Broker).Mux()))
+}
+
+// serveExchange trains one broker per dataset and serves them all as a
+// multi-seller marketplace.
+func serveExchange(addr string, names []string, scale float64, seed uint64, samples int) {
+	ex := market.NewExchange()
+	for i, raw := range names {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		log.Printf("training %s (%d/%d)...", name, i+1, len(names))
+		mp, err := core.New(core.Config{
+			Dataset:   name,
+			Scale:     scale,
+			Seed:      seed + uint64(i),
+			MCSamples: samples,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbpmarket:", err)
+			os.Exit(1)
+		}
+		if err := ex.List(name, mp.Broker); err != nil {
+			fmt.Fprintln(os.Stderr, "mbpmarket:", err)
+			os.Exit(1)
+		}
+	}
+	if len(ex.Listings()) == 0 {
+		fmt.Fprintln(os.Stderr, "mbpmarket: no datasets to list")
+		os.Exit(2)
+	}
+	log.Printf("exchange listening on %s with listings %v", addr, ex.Listings())
+	log.Fatal(http.ListenAndServe(addr, httpapi.NewExchange(ex).Mux()))
+}
+
+// build either trains a fresh marketplace or warm-starts one from a
+// saved offer dump (skipping the one-time training cost entirely).
+func build(dsName string, scale float64, seed uint64, samples int, load string) (*core.Marketplace, error) {
+	if load == "" {
+		log.Printf("training optimal model on %s (one-time broker cost)...", dsName)
+		return core.New(core.Config{
+			Dataset:   dsName,
+			Scale:     scale,
+			Seed:      seed,
+			MCSamples: samples,
+		})
+	}
+	log.Printf("warm-starting from %s (no training)...", load)
+	mp, err := core.NewUntrained(core.Config{Dataset: dsName, Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(load)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := mp.Broker.LoadOffers(f); err != nil {
+		return nil, err
+	}
+	models := mp.Broker.Models()
+	if len(models) == 0 {
+		return nil, fmt.Errorf("no offers in %s", load)
+	}
+	mp.Model = models[0]
+	return mp, nil
+}

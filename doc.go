@@ -1,0 +1,18 @@
+// Package mbp is a from-scratch Go reproduction of "Towards Model-based
+// Pricing for Machine Learning in a Data Marketplace" (Chen, Koutris,
+// Kumar — SIGMOD 2019): a data marketplace that sells noisy ML model
+// instances instead of raw data, with provably arbitrage-free pricing.
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// system inventory); runnable entry points are:
+//
+//   - cmd/mbpbench   — regenerate every table and figure of the paper
+//   - cmd/mbpmarket  — an HTTP broker serving the real-time market
+//   - cmd/mbpcli     — train, price and buy models on a CSV dataset
+//   - examples/      — quickstart, the paper's Examples 1–3, and an
+//     arbitrage attacker
+//
+// The benchmarks in bench_test.go map one-to-one onto the paper's
+// evaluation artifacts (Table 3, Figures 6–10) plus the ablations
+// listed in DESIGN.md.
+package mbp

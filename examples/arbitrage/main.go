@@ -1,0 +1,96 @@
+// Arbitrage: a buyer who tries to cheat the market.
+//
+// The attacker purchases several cheap, noisy model instances and
+// averages them with inverse-variance weights — the optimal unbiased
+// combination — hoping to synthesize a high-accuracy model for less
+// than its list price (Definition 3 of the paper).
+//
+// Against a broken pricing curve (convex in 1/NCP, i.e. superadditive)
+// the attack succeeds and Monte-Carlo simulation confirms the combined
+// model really is as accurate as the expensive version. Against the
+// certified curve produced by the MBP revenue optimizer the search
+// provably finds nothing (Theorems 5–6).
+//
+// Run with:
+//
+//	go run ./examples/arbitrage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/datamarket/mbp/internal/arbitrage"
+	"github.com/datamarket/mbp/internal/core"
+	"github.com/datamarket/mbp/internal/pricing"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+func main() {
+	// A marketplace whose published curve is arbitrage-free by
+	// construction (the DP's output is certified at publication).
+	mp, err := core.New(core.Config{Dataset: "CASP", Scale: 0.01, Seed: 4, MCSamples: 150})
+	if err != nil {
+		log.Fatal(err)
+	}
+	goodCurve, err := mp.Broker.Curve(mp.Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimal, err := mp.Broker.Optimal(mp.Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== 1. Attacking the MBP-optimized curve ===")
+	fmt.Printf("certification: %v\n", errString(goodCurve.Certify()))
+	attacks := 0
+	for _, p := range goodCurve.Points() {
+		if atk := arbitrage.FindAttack(goodCurve, p.X, 6); atk != nil {
+			attacks++
+			fmt.Printf("  UNEXPECTED attack at x=%v: %+v\n", p.X, atk)
+		}
+	}
+	fmt.Printf("attack search over %d targets: %d attacks found\n\n", len(goodCurve.Points()), attacks)
+
+	// A naive curve that prices versions proportionally to the buyers'
+	// convex valuations — Figure 5(a)'s mistake.
+	fmt.Println("=== 2. Attacking a naive convex-value curve ===")
+	badPts := []pricing.Point{}
+	for _, x := range []float64{10, 20, 40, 80} {
+		badPts = append(badPts, pricing.Point{X: x, Price: 0.02 * x * x}) // convex: price ∝ x²
+	}
+	bad, err := pricing.NewCurve(badPts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("certification: %v\n", errString(bad.Certify()))
+	atk := arbitrage.FindAttack(bad, 80, 6)
+	if atk == nil {
+		log.Fatal("expected an attack on the convex curve")
+	}
+	fmt.Printf("attack found: buy %v for %.2f instead of paying %.2f (saves %.2f)\n",
+		atk.Purchases, atk.Cost, atk.TargetPrice, atk.Savings())
+
+	// Prove the attack works: simulate purchases with real Gaussian
+	// noise and compare model-space errors.
+	rep, err := arbitrage.Simulate(atk, optimal, 20000, rng.New(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Monte-Carlo over %d rounds:\n", rep.Samples)
+	fmt.Printf("  direct purchase  E[‖ĥ−h*‖²] = %.5f (theory %.5f)\n", rep.DirectError, 1/atk.TargetX)
+	fmt.Printf("  combined attack  E[‖ĥ−h*‖²] = %.5f (theory %.5f)\n", rep.CombinedError, 1/atk.SyntheticX())
+	if rep.CombinedError <= rep.DirectError*1.05 {
+		fmt.Println("  → the cheat delivers at-least-equal accuracy for less money: real arbitrage.")
+	}
+	fmt.Println("\nMoral: publish only curves that are monotone and subadditive in 1/NCP —")
+	fmt.Println("exactly the certificate the MBP market enforces before listing a model.")
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "PASS (arbitrage-free)"
+	}
+	return "FAIL: " + err.Error()
+}

@@ -1,0 +1,3 @@
+module github.com/datamarket/mbp
+
+go 1.22

@@ -1,0 +1,255 @@
+// Package arbitrage implements the adversarial buyer of Definition 3:
+// an agent who tries to combine several cheap noisy model instances
+// into one instance that is more accurate than what their total price
+// would buy directly.
+//
+// For the Gaussian mechanism, the optimal unbiased combination of
+// independent instances with NCPs δ₁…δₖ is the inverse-variance
+// weighted average, whose effective NCP is 1/(Σ 1/δᵢ) — inverse
+// variances add. This is exactly why the paper states pricing functions
+// over x = 1/δ: a purchase multiset {x₁…xₖ} synthesizes accuracy
+// x = Σ xᵢ, and arbitrage exists iff some multiset is cheaper than the
+// direct price (subadditivity violation) or a strictly better single
+// version is cheaper (monotonicity violation).
+//
+// The package offers an exact attack search for piecewise-linear curves
+// and a Monte-Carlo simulator that validates found attacks empirically
+// (the combined instance really does achieve the claimed error).
+package arbitrage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/datamarket/mbp/internal/linalg"
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/noise"
+	"github.com/datamarket/mbp/internal/pricing"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+// Combine returns the inverse-variance weighted average of instances
+// purchased at the given NCPs, together with the effective NCP of the
+// result. All instances must share the model and dimension; all NCPs
+// must be positive.
+func Combine(instances []*ml.Instance, deltas []float64) (*ml.Instance, float64, error) {
+	if len(instances) == 0 || len(instances) != len(deltas) {
+		return nil, 0, fmt.Errorf("arbitrage: %d instances with %d NCPs", len(instances), len(deltas))
+	}
+	d := len(instances[0].W)
+	var invSum float64
+	for i, in := range instances {
+		if len(in.W) != d {
+			return nil, 0, fmt.Errorf("arbitrage: instance %d has dimension %d, want %d", i, len(in.W), d)
+		}
+		if in.Model != instances[0].Model {
+			return nil, 0, fmt.Errorf("arbitrage: mixed models %v and %v", in.Model, instances[0].Model)
+		}
+		if deltas[i] <= 0 {
+			return nil, 0, fmt.Errorf("arbitrage: non-positive NCP %v", deltas[i])
+		}
+		invSum += 1 / deltas[i]
+	}
+	w := make([]float64, d)
+	for i, in := range instances {
+		linalg.Axpy(1/(deltas[i]*invSum), in.W, w)
+	}
+	out := instances[0].Clone()
+	out.W = w
+	out.Optimal = false
+	return out, 1 / invSum, nil
+}
+
+// Attack is a successful arbitrage strategy against a pricing curve.
+type Attack struct {
+	// TargetX is the inverse NCP the buyer wanted.
+	TargetX float64
+	// TargetPrice is the direct price of TargetX.
+	TargetPrice float64
+	// Purchases are the inverse NCPs actually bought. Their sum is at
+	// least TargetX, so the combined instance is at least as accurate.
+	Purchases []float64
+	// Cost is the total price of the purchases, strictly below
+	// TargetPrice.
+	Cost float64
+}
+
+// SyntheticX returns the combined inverse NCP Σ xᵢ of the attack.
+func (a *Attack) SyntheticX() float64 {
+	var s float64
+	for _, x := range a.Purchases {
+		s += x
+	}
+	return s
+}
+
+// Savings returns TargetPrice − Cost.
+func (a *Attack) Savings() float64 { return a.TargetPrice - a.Cost }
+
+// FindAttack searches for an arbitrage attack against curve c at target
+// inverse NCP targetX. The search is exact for single purchases
+// (monotonicity violations) and purchase pairs (subadditivity
+// violations at subdivision vertices, mirroring Theorem 5's pairwise
+// characterization), and additionally explores greedy multisets up to
+// maxK purchases. It returns nil when no attack is found — which, for
+// curves passing pricing.Certify, is guaranteed.
+func FindAttack(c *pricing.Curve, targetX float64, maxK int) *Attack {
+	if targetX <= 0 {
+		return nil
+	}
+	if maxK < 1 {
+		maxK = 1
+	}
+	target := c.Price(targetX)
+	if target <= 0 {
+		return nil // nothing cheaper than free
+	}
+	const margin = 1e-9
+
+	// Candidate purchase points: curve breakpoints, the target, and the
+	// complements target−breakpoint (the subdivision vertices of the
+	// violation function).
+	var cands []float64
+	add := func(x float64) {
+		if x > 0 {
+			cands = append(cands, x)
+		}
+	}
+	add(targetX)
+	for _, p := range c.Points() {
+		add(p.X)
+		add(targetX - p.X)
+		for _, q := range c.Points() {
+			add(q.X - p.X)
+		}
+	}
+	sort.Float64s(cands)
+
+	best := (*Attack)(nil)
+	consider := func(purchases []float64) {
+		var x, cost float64
+		for _, p := range purchases {
+			x += p
+			cost += c.Price(p)
+		}
+		if x >= targetX-margin && cost < target-margin*(1+target) {
+			if best == nil || cost < best.Cost {
+				best = &Attack{
+					TargetX:     targetX,
+					TargetPrice: target,
+					Purchases:   append([]float64(nil), purchases...),
+					Cost:        cost,
+				}
+			}
+		}
+	}
+
+	// Single purchases: any x ≥ targetX priced below the target.
+	for _, x := range cands {
+		if x >= targetX {
+			consider([]float64{x})
+		}
+	}
+	// Pairs at subdivision vertices.
+	for _, x := range cands {
+		if x >= targetX {
+			break
+		}
+		consider([]float64{x, targetX - x})
+		for _, y := range cands {
+			if y < x {
+				continue
+			}
+			if x+y >= targetX-margin {
+				consider([]float64{x, y})
+			}
+		}
+	}
+	// Greedy k-multisets of the single cheapest-per-accuracy point.
+	if maxK >= 3 {
+		bestRate, bestX := math.Inf(1), 0.0
+		for _, x := range cands {
+			if x <= 0 || x > targetX {
+				continue
+			}
+			if r := c.Price(x) / x; r < bestRate {
+				bestRate, bestX = r, x
+			}
+		}
+		if bestX > 0 {
+			for k := 3; k <= maxK; k++ {
+				if float64(k)*bestX >= targetX-margin {
+					multi := make([]float64, k)
+					for i := range multi {
+						multi[i] = bestX
+					}
+					consider(multi)
+					break
+				}
+			}
+		}
+	}
+	return best
+}
+
+// ErrNoOptimal is returned by Simulate when the optimal instance is
+// missing.
+var ErrNoOptimal = errors.New("arbitrage: nil optimal instance")
+
+// SimulationReport compares an attack's combined instance against the
+// direct purchase, measured by Monte-Carlo ϵ_s (model-space squared
+// error against the true optimal model).
+type SimulationReport struct {
+	// DirectError is the mean ϵ_s of the directly-bought instance
+	// (theoretical value: 1/TargetX).
+	DirectError float64
+	// CombinedError is the mean ϵ_s of the attack's combined instance
+	// (theoretical value: 1/Σxᵢ ≤ 1/TargetX).
+	CombinedError float64
+	// Samples is the number of Monte-Carlo rounds.
+	Samples int
+}
+
+// Simulate executes the attack samples times with fresh Gaussian noise:
+// each round purchases the attack's instances, combines them with
+// inverse-variance weights, and records the squared distance to the
+// optimal model. It demonstrates that a found arbitrage is real — the
+// buyer truly gets at-least-target accuracy for less money.
+func Simulate(a *Attack, optimal *ml.Instance, samples int, r *rng.RNG) (SimulationReport, error) {
+	if optimal == nil {
+		return SimulationReport{}, ErrNoOptimal
+	}
+	if a == nil {
+		return SimulationReport{}, errors.New("arbitrage: nil attack")
+	}
+	if samples <= 0 {
+		return SimulationReport{}, fmt.Errorf("arbitrage: non-positive sample count %d", samples)
+	}
+	mech := noise.Gaussian{}
+	var directSum, combSum float64
+	deltas := make([]float64, len(a.Purchases))
+	for i, x := range a.Purchases {
+		deltas[i] = 1 / x
+	}
+	for s := 0; s < samples; s++ {
+		direct := mech.Perturb(optimal, 1/a.TargetX, r)
+		directSum += noise.SquaredError(direct, optimal)
+
+		bought := make([]*ml.Instance, len(a.Purchases))
+		for i := range bought {
+			bought[i] = mech.Perturb(optimal, deltas[i], r)
+		}
+		combined, _, err := Combine(bought, deltas)
+		if err != nil {
+			return SimulationReport{}, err
+		}
+		combSum += noise.SquaredError(combined, optimal)
+	}
+	return SimulationReport{
+		DirectError:   directSum / float64(samples),
+		CombinedError: combSum / float64(samples),
+		Samples:       samples,
+	}, nil
+}

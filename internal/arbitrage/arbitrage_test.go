@@ -1,0 +1,266 @@
+package arbitrage
+
+import (
+	"math"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/noise"
+	"github.com/datamarket/mbp/internal/pricing"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+func optInstance(d int) *ml.Instance {
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = 1 + float64(i)
+	}
+	return &ml.Instance{Model: ml.LinearRegression, W: w, Optimal: true}
+}
+
+func mustCurve(t testing.TB, pts []pricing.Point) *pricing.Curve {
+	t.Helper()
+	c, err := pricing.NewCurve(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCombineInverseVarianceWeights(t *testing.T) {
+	// Equal deltas: plain average; effective NCP halves.
+	a := &ml.Instance{Model: ml.LinearRegression, W: []float64{2, 4}}
+	b := &ml.Instance{Model: ml.LinearRegression, W: []float64{4, 8}}
+	comb, eff, err := Combine([]*ml.Instance{a, b}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comb.W[0] != 3 || comb.W[1] != 6 {
+		t.Fatalf("combined = %v", comb.W)
+	}
+	if eff != 0.5 {
+		t.Fatalf("effective NCP %v, want 0.5", eff)
+	}
+	// Unequal deltas: the less noisy instance dominates.
+	comb, eff, err = Combine([]*ml.Instance{a, b}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := (1.0*2 + (1.0/3)*4) / (1 + 1.0/3)
+	if math.Abs(comb.W[0]-want0) > 1e-12 {
+		t.Fatalf("weighted combine %v, want %v", comb.W[0], want0)
+	}
+	if math.Abs(eff-0.75) > 1e-12 {
+		t.Fatalf("effective NCP %v, want 0.75", eff)
+	}
+}
+
+func TestCombineErrors(t *testing.T) {
+	a := &ml.Instance{Model: ml.LinearRegression, W: []float64{1}}
+	b := &ml.Instance{Model: ml.LinearRegression, W: []float64{1, 2}}
+	c := &ml.Instance{Model: ml.LinearSVM, W: []float64{1}}
+	if _, _, err := Combine(nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, _, err := Combine([]*ml.Instance{a}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := Combine([]*ml.Instance{a, b}, []float64{1, 1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, _, err := Combine([]*ml.Instance{a, c}, []float64{1, 1}); err == nil {
+		t.Fatal("mixed models accepted")
+	}
+	if _, _, err := Combine([]*ml.Instance{a}, []float64{0}); err == nil {
+		t.Fatal("zero NCP accepted")
+	}
+}
+
+// TestCombineReducesVariance verifies the Cramér–Rao intuition: the
+// combination of k instances has (empirically) the predicted 1/Σ(1/δ)
+// squared error.
+func TestCombineReducesVariance(t *testing.T) {
+	const d, samples = 10, 20000
+	optimal := optInstance(d)
+	r := rng.New(3)
+	mech := noise.Gaussian{}
+	deltas := []float64{2, 3, 6} // combined: 1/(1/2+1/3+1/6) = 1
+	var sum float64
+	for s := 0; s < samples; s++ {
+		ins := make([]*ml.Instance, len(deltas))
+		for i, dl := range deltas {
+			ins[i] = mech.Perturb(optimal, dl, r)
+		}
+		comb, eff, err := Combine(ins, deltas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(eff-1) > 1e-12 {
+			t.Fatalf("effective NCP %v, want 1", eff)
+		}
+		sum += noise.SquaredError(comb, optimal)
+	}
+	mean := sum / samples
+	if math.Abs(mean-1) > 0.05 {
+		t.Fatalf("combined E[ϵ_s] = %v, want 1", mean)
+	}
+}
+
+func TestFindAttackOnSuperadditiveCurve(t *testing.T) {
+	// Figure 5(a)'s failure: pricing at a convex value curve. Buying
+	// two x=1 instances (10 each) beats one x=2 instance (40).
+	c := mustCurve(t, []pricing.Point{{X: 1, Price: 10}, {X: 2, Price: 40}})
+	atk := FindAttack(c, 2, 4)
+	if atk == nil {
+		t.Fatal("no attack found on a superadditive curve")
+	}
+	if atk.Cost >= atk.TargetPrice {
+		t.Fatalf("attack not profitable: %+v", atk)
+	}
+	if atk.SyntheticX() < 2-1e-9 {
+		t.Fatalf("attack under-delivers accuracy: %+v", atk)
+	}
+	if atk.Savings() <= 0 {
+		t.Fatalf("savings %v", atk.Savings())
+	}
+}
+
+func TestFindAttackOnNonMonotoneCurve(t *testing.T) {
+	// More accuracy for less money: 1-arbitrage.
+	c := mustCurve(t, []pricing.Point{{X: 1, Price: 10}, {X: 2, Price: 5}})
+	atk := FindAttack(c, 1, 1)
+	if atk == nil {
+		t.Fatal("no attack on a non-monotone curve")
+	}
+	if len(atk.Purchases) != 1 || atk.Purchases[0] < 1 {
+		t.Fatalf("expected a single higher-accuracy purchase: %+v", atk)
+	}
+}
+
+func TestNoAttackOnCertifiedCurves(t *testing.T) {
+	good := [][]pricing.Point{
+		{{X: 1, Price: 10}, {X: 2, Price: 15}, {X: 4, Price: 20}},
+		{{X: 1, Price: 5}, {X: 2, Price: 10}, {X: 3, Price: 15}},
+		{{X: 1, Price: 7}, {X: 5, Price: 7}},
+	}
+	for i, pts := range good {
+		c := mustCurve(t, pts)
+		if err := c.Certify(); err != nil {
+			t.Fatalf("case %d not certified: %v", i, err)
+		}
+		for _, target := range []float64{0.5, 1, 1.7, 2, 3.5, 4, 10} {
+			if atk := FindAttack(c, target, 5); atk != nil {
+				t.Errorf("case %d: attack found on certified curve at x=%v: %+v", i, target, atk)
+			}
+		}
+	}
+}
+
+// TestCertifyMatchesAttackSearch is the central cross-validation: the
+// Theorem 5/6 certificate and the attack search must agree on random
+// piecewise-linear curves.
+func TestCertifyMatchesAttackSearch(t *testing.T) {
+	r := rng.New(11)
+	agreeChecked := 0
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(5)
+		pts := make([]pricing.Point, n)
+		x := 0.0
+		for i := range pts {
+			x += 0.3 + r.Float64()*2
+			pts[i] = pricing.Point{X: x, Price: r.Float64() * 30}
+		}
+		c, err := pricing.NewCurve(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		certErr := c.Certify()
+		var found *Attack
+		for _, p := range c.Points() {
+			if atk := FindAttack(c, p.X, 6); atk != nil {
+				found = atk
+				break
+			}
+			// Also probe midpoints and beyond-range targets.
+			if atk := FindAttack(c, p.X*1.5, 6); atk != nil {
+				found = atk
+				break
+			}
+		}
+		if certErr == nil && found != nil {
+			t.Fatalf("trial %d: certified curve attacked: %+v (points %+v)", trial, found, pts)
+		}
+		if certErr != nil && found != nil {
+			agreeChecked++
+		}
+	}
+	if agreeChecked == 0 {
+		t.Fatal("no broken curves generated — test vacuous")
+	}
+}
+
+func TestFindAttackEdgeCases(t *testing.T) {
+	c := mustCurve(t, []pricing.Point{{X: 1, Price: 10}})
+	if FindAttack(c, 0, 3) != nil {
+		t.Fatal("attack on x=0")
+	}
+	if FindAttack(c, -1, 3) != nil {
+		t.Fatal("attack on negative x")
+	}
+	// Zero-price curve: nothing to save.
+	z := mustCurve(t, []pricing.Point{{X: 1, Price: 0}})
+	if FindAttack(z, 1, 3) != nil {
+		t.Fatal("attack on a free curve")
+	}
+}
+
+func TestSimulateConfirmsAttack(t *testing.T) {
+	c := mustCurve(t, []pricing.Point{{X: 1, Price: 10}, {X: 2, Price: 40}})
+	atk := FindAttack(c, 2, 4)
+	if atk == nil {
+		t.Fatal("no attack")
+	}
+	rep, err := Simulate(atk, optInstance(8), 20000, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Combined error must not exceed the direct error (within MC noise):
+	// the buyer got at-least-equal accuracy for less money.
+	if rep.CombinedError > rep.DirectError*1.05 {
+		t.Fatalf("combined %v worse than direct %v", rep.CombinedError, rep.DirectError)
+	}
+	// And both match theory: direct = 1/2, combined = 1/Σx.
+	if math.Abs(rep.DirectError-0.5) > 0.05 {
+		t.Fatalf("direct error %v, want 0.5", rep.DirectError)
+	}
+	want := 1 / atk.SyntheticX()
+	if math.Abs(rep.CombinedError-want) > 0.05 {
+		t.Fatalf("combined error %v, want %v", rep.CombinedError, want)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	atk := &Attack{TargetX: 1, TargetPrice: 10, Purchases: []float64{1}, Cost: 5}
+	if _, err := Simulate(atk, nil, 10, rng.New(1)); err == nil {
+		t.Fatal("nil optimal accepted")
+	}
+	if _, err := Simulate(nil, optInstance(2), 10, rng.New(1)); err == nil {
+		t.Fatal("nil attack accepted")
+	}
+	if _, err := Simulate(atk, optInstance(2), 0, rng.New(1)); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}
+
+func BenchmarkFindAttack(b *testing.B) {
+	pts := make([]pricing.Point, 20)
+	for i := range pts {
+		x := float64(i + 1)
+		pts[i] = pricing.Point{X: x, Price: math.Sqrt(x) * 10}
+	}
+	c := mustCurve(b, pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FindAttack(c, 10, 4)
+	}
+}

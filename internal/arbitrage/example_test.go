@@ -1,0 +1,30 @@
+package arbitrage_test
+
+import (
+	"fmt"
+
+	"github.com/datamarket/mbp/internal/arbitrage"
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/pricing"
+)
+
+// ExampleCombine shows that inverse variances add: two δ=1 instances
+// combine into an effective δ=0.5 instance.
+func ExampleCombine() {
+	a := &ml.Instance{Model: ml.LinearRegression, W: []float64{2, 4}}
+	b := &ml.Instance{Model: ml.LinearRegression, W: []float64{4, 8}}
+	combined, effective, _ := arbitrage.Combine([]*ml.Instance{a, b}, []float64{1, 1})
+	fmt.Println(combined.W, effective)
+	// Output:
+	// [3 6] 0.5
+}
+
+// ExampleFindAttack demonstrates Definition 3 on a superadditive curve:
+// two cheap halves beat the expensive whole.
+func ExampleFindAttack() {
+	c, _ := pricing.NewCurve([]pricing.Point{{X: 1, Price: 10}, {X: 2, Price: 40}})
+	atk := arbitrage.FindAttack(c, 2, 4)
+	fmt.Printf("buy %v for %v instead of %v\n", atk.Purchases, atk.Cost, atk.TargetPrice)
+	// Output:
+	// buy [1 1] for 20 instead of 40
+}

@@ -1,0 +1,115 @@
+package arbitrage
+
+import (
+	"math"
+	"sort"
+
+	"github.com/datamarket/mbp/internal/pricing"
+)
+
+// MinCostPurchase computes the cheapest purchase multiset from the
+// candidate accuracy levels cands (each purchasable any number of
+// times, at most maxItems in total) whose combined inverse NCP reaches
+// at least targetX — the buyer's exact optimization problem underlying
+// Definition 3. It returns ok = false when no multiset within maxItems
+// reaches the target.
+//
+// The search is depth-first over candidates in decreasing accuracy
+// order with two prunings: the incumbent's cost, and an optimistic
+// completion bound using the best price-per-accuracy rate. For
+// arbitrage-free curves the result never undercuts the direct price
+// (Theorem 5); the test suite asserts exactly that.
+func MinCostPurchase(c *pricing.Curve, cands []float64, targetX float64, maxItems int) (purchases []float64, cost float64, ok bool) {
+	if targetX <= 0 || maxItems < 1 {
+		return nil, 0, false
+	}
+	xs := make([]float64, 0, len(cands))
+	for _, x := range cands {
+		if x > 0 {
+			xs = append(xs, x)
+		}
+	}
+	if len(xs) == 0 {
+		return nil, 0, false
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(xs)))
+	prices := make([]float64, len(xs))
+	bestRate := math.Inf(1)
+	for i, x := range xs {
+		prices[i] = c.Price(x)
+		if r := prices[i] / x; r < bestRate {
+			bestRate = r
+		}
+	}
+
+	bestCost := math.Inf(1)
+	var best []float64
+	cur := make([]float64, 0, maxItems)
+
+	var dfs func(start int, achieved, spent float64)
+	dfs = func(start int, achieved, spent float64) {
+		if achieved >= targetX {
+			if spent < bestCost {
+				bestCost = spent
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		if len(cur) >= maxItems {
+			return
+		}
+		// Optimistic completion: the remaining accuracy at the best rate.
+		if spent+(targetX-achieved)*bestRate >= bestCost {
+			return
+		}
+		for i := start; i < len(xs); i++ {
+			cur = append(cur, xs[i])
+			dfs(i, achieved+xs[i], spent+prices[i])
+			cur = cur[:len(cur)-1]
+		}
+	}
+	dfs(0, 0, 0)
+
+	if math.IsInf(bestCost, 1) {
+		return nil, 0, false
+	}
+	return best, bestCost, true
+}
+
+// BestAttack combines MinCostPurchase over the curve's own breakpoints
+// (plus the target itself) and reports an Attack when the cheapest
+// multiset undercuts the direct price.
+func BestAttack(c *pricing.Curve, targetX float64, maxItems int) *Attack {
+	if targetX <= 0 {
+		return nil
+	}
+	cands := []float64{targetX}
+	pts := c.Points()
+	for _, p := range pts {
+		cands = append(cands, p.X)
+		if d := targetX - p.X; d > 0 {
+			cands = append(cands, d)
+		}
+		// Differences between breakpoints are the remaining subdivision
+		// vertices of the violation function (cf. FindAttack).
+		for _, q := range pts {
+			if d := q.X - p.X; d > 0 {
+				cands = append(cands, d)
+			}
+		}
+	}
+	purchases, cost, ok := MinCostPurchase(c, cands, targetX, maxItems)
+	if !ok {
+		return nil
+	}
+	target := c.Price(targetX)
+	if cost >= target-1e-9*(1+target) {
+		return nil
+	}
+	return &Attack{
+		TargetX:     targetX,
+		TargetPrice: target,
+		Purchases:   purchases,
+		Cost:        cost,
+	}
+}

@@ -1,0 +1,147 @@
+package arbitrage
+
+import (
+	"math"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/pricing"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+func TestMinCostPurchaseKnown(t *testing.T) {
+	// Superadditive curve: two x=1 at 10 beat one x=2 at 40.
+	c := mustCurve(t, []pricing.Point{{X: 1, Price: 10}, {X: 2, Price: 40}})
+	purchases, cost, ok := MinCostPurchase(c, []float64{1, 2}, 2, 4)
+	if !ok {
+		t.Fatal("no solution found")
+	}
+	if math.Abs(cost-20) > 1e-9 || len(purchases) != 2 {
+		t.Fatalf("cost %v with %v, want 20 via [1 1]", cost, purchases)
+	}
+}
+
+func TestMinCostPurchaseRespectsMaxItems(t *testing.T) {
+	c := mustCurve(t, []pricing.Point{{X: 1, Price: 1}})
+	if _, _, ok := MinCostPurchase(c, []float64{1}, 5, 4); ok {
+		t.Fatal("reached 5 with 4 items of size 1")
+	}
+	purchases, cost, ok := MinCostPurchase(c, []float64{1}, 5, 5)
+	if !ok || len(purchases) != 5 || math.Abs(cost-5) > 1e-9 {
+		t.Fatalf("purchases %v cost %v", purchases, cost)
+	}
+}
+
+func TestMinCostPurchaseEdgeCases(t *testing.T) {
+	c := mustCurve(t, []pricing.Point{{X: 1, Price: 1}})
+	if _, _, ok := MinCostPurchase(c, []float64{1}, 0, 3); ok {
+		t.Fatal("zero target accepted")
+	}
+	if _, _, ok := MinCostPurchase(c, []float64{1}, 1, 0); ok {
+		t.Fatal("zero items accepted")
+	}
+	if _, _, ok := MinCostPurchase(c, nil, 1, 3); ok {
+		t.Fatal("no candidates accepted")
+	}
+	if _, _, ok := MinCostPurchase(c, []float64{-1, 0}, 1, 3); ok {
+		t.Fatal("non-positive candidates accepted")
+	}
+}
+
+// TestMinCostNeverUndercutsCertifiedCurves is Theorem 5 from the
+// buyer's side: on arbitrage-free curves the exact cheapest multiset
+// never beats the direct price.
+func TestMinCostNeverUndercutsCertifiedCurves(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 60; trial++ {
+		// Generate a feasible (ratio-decreasing, monotone) curve.
+		n := 1 + r.Intn(6)
+		pts := make([]pricing.Point, n)
+		x, ratio, price := 0.0, 5+r.Float64()*10, 0.0
+		for i := range pts {
+			x += 0.3 + r.Float64()*2
+			ratio *= 0.6 + r.Float64()*0.4
+			p := ratio * x
+			if p < price {
+				p = price
+			}
+			price = p
+			pts[i] = pricing.Point{X: x, Price: p}
+		}
+		c, err := pricing.NewCurve(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Certify() != nil {
+			continue // construction occasionally violates; skip
+		}
+		for _, target := range []float64{pts[0].X, x * 0.7, x, x * 1.3} {
+			if atk := BestAttack(c, target, 6); atk != nil {
+				t.Fatalf("trial %d: exact search undercut a certified curve at x=%v: %+v (points %+v)",
+					trial, target, atk, pts)
+			}
+		}
+	}
+}
+
+// TestBestAttackAtLeastAsStrongAsFindAttack: the exact search must find
+// an attack whenever the heuristic does, and never a worse one.
+func TestBestAttackAtLeastAsStrongAsFindAttack(t *testing.T) {
+	r := rng.New(7)
+	found := 0
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + r.Intn(4)
+		pts := make([]pricing.Point, n)
+		x := 0.0
+		for i := range pts {
+			x += 0.4 + r.Float64()
+			pts[i] = pricing.Point{X: x, Price: r.Float64() * 25}
+		}
+		c, err := pricing.NewCurve(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range c.Points() {
+			heuristic := FindAttack(c, p.X, 5)
+			exact := BestAttack(c, p.X, 5)
+			if heuristic != nil {
+				found++
+				if exact == nil {
+					t.Fatalf("trial %d: heuristic found %+v but exact search found nothing", trial, heuristic)
+				}
+				if exact.Cost > heuristic.Cost+1e-9 {
+					t.Fatalf("trial %d: exact cost %v worse than heuristic %v", trial, exact.Cost, heuristic.Cost)
+				}
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no attacks generated — test vacuous")
+	}
+}
+
+func TestBestAttackProfitAccounting(t *testing.T) {
+	c := mustCurve(t, []pricing.Point{{X: 1, Price: 10}, {X: 2, Price: 40}})
+	atk := BestAttack(c, 2, 4)
+	if atk == nil {
+		t.Fatal("no attack")
+	}
+	if atk.SyntheticX() < 2 || atk.Savings() <= 0 {
+		t.Fatalf("attack %+v", atk)
+	}
+	if math.Abs(atk.Cost-20) > 1e-9 {
+		t.Fatalf("cost %v, want the exact minimum 20", atk.Cost)
+	}
+}
+
+func BenchmarkBestAttack(b *testing.B) {
+	pts := make([]pricing.Point, 15)
+	for i := range pts {
+		x := float64(i + 1)
+		pts[i] = pricing.Point{X: x, Price: math.Sqrt(x) * 8}
+	}
+	c := mustCurve(b, pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BestAttack(c, 12, 5)
+	}
+}

@@ -1,0 +1,91 @@
+package curves
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the market instance as CSV with columns
+// a (inverse NCP), v (valuation), b (demand mass) and a header row, so
+// real market research can replace the parametric families.
+func (m *Market) WriteCSV(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"a", "v", "b"}); err != nil {
+		return err
+	}
+	for i := range m.A {
+		rec := []string{
+			strconv.FormatFloat(m.A[i], 'g', -1, 64),
+			strconv.FormatFloat(m.V[i], 'g', -1, 64),
+			strconv.FormatFloat(m.B[i], 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a market-research instance written by WriteCSV (or
+// hand-authored with the same a,v,b columns). Rows are sorted-order
+// checked and the demand column is renormalized to sum to 1, tolerating
+// research expressed in raw respondent counts.
+func ReadCSV(r io.Reader) (*Market, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("curves: reading header: %w", err)
+	}
+	if len(header) != 3 || header[0] != "a" || header[1] != "v" || header[2] != "b" {
+		return nil, fmt.Errorf("curves: header %v, want [a v b]", header)
+	}
+	m := &Market{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("curves: line %d: %w", line, err)
+		}
+		vals := make([]float64, 3)
+		for i, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("curves: line %d column %d: %w", line, i, err)
+			}
+			vals[i] = v
+		}
+		m.A = append(m.A, vals[0])
+		m.V = append(m.V, vals[1])
+		m.B = append(m.B, vals[2])
+	}
+	if len(m.A) == 0 {
+		return nil, errors.New("curves: no data rows")
+	}
+	// Renormalize demand.
+	var sum float64
+	for _, b := range m.B {
+		if b < 0 {
+			return nil, fmt.Errorf("curves: negative demand %v", b)
+		}
+		sum += b
+	}
+	if sum <= 0 {
+		return nil, errors.New("curves: demand sums to zero")
+	}
+	for i := range m.B {
+		m.B[i] /= sum
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

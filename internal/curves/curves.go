@@ -1,0 +1,259 @@
+// Package curves provides the parametric buyer value and demand curve
+// families used by the revenue experiments (Figures 7–10).
+//
+// Market research (Figure 1, step A; Figure 2a) yields two curves over
+// the inverse noise control parameter x = 1/NCP: the value curve v(x) —
+// how much a buyer would pay for a model version of that accuracy — and
+// the demand curve b(x) — what fraction of buyers want that version.
+// The revenue optimizer consumes only the sampled triples (aⱼ, vⱼ, bⱼ);
+// this package generates the sampled grids with the qualitative shapes
+// the paper's panels vary (convex/concave/sigmoid value, unimodal and
+// bimodal demand).
+package curves
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shape enumerates the curve families.
+type Shape int
+
+const (
+	// Linear grows proportionally to x.
+	Linear Shape = iota
+	// Convex stays low and rises steeply near the accurate end
+	// (Figure 7a's value curve).
+	Convex
+	// Concave rises steeply early and plateaus (Figure 7b).
+	Concave
+	// Sigmoid is flat, then rises around the midpoint, then saturates.
+	Sigmoid
+	// UnimodalMid is a bump centered mid-grid: most mass at medium
+	// accuracy (Figure 8a's demand).
+	UnimodalMid
+	// BimodalExtremes has bumps at both ends: buyers want either very
+	// cheap or very accurate models (Figure 8b's demand).
+	BimodalExtremes
+	// Uniform is constant.
+	Uniform
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case Linear:
+		return "linear"
+	case Convex:
+		return "convex"
+	case Concave:
+		return "concave"
+	case Sigmoid:
+		return "sigmoid"
+	case UnimodalMid:
+		return "unimodal-mid"
+	case BimodalExtremes:
+		return "bimodal-extremes"
+	case Uniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// shapeValue evaluates the unit-shape at t ∈ [0, 1], returning a value
+// in [0, 1].
+func shapeValue(s Shape, t float64) (float64, error) {
+	switch s {
+	case Linear:
+		return t, nil
+	case Convex:
+		return t * t * t, nil
+	case Concave:
+		return math.Sqrt(t), nil
+	case Sigmoid:
+		raw := 1 / (1 + math.Exp(-10*(t-0.5)))
+		lo := 1 / (1 + math.Exp(5.0))
+		hi := 1 / (1 + math.Exp(-5.0))
+		return (raw - lo) / (hi - lo), nil
+	case UnimodalMid:
+		return math.Exp(-math.Pow((t-0.5)/0.18, 2) / 2), nil
+	case BimodalExtremes:
+		l := math.Exp(-math.Pow((t-0.12)/0.1, 2) / 2)
+		r := math.Exp(-math.Pow((t-0.88)/0.1, 2) / 2)
+		return l + r, nil
+	case Uniform:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("curves: unknown shape %v", s)
+	}
+}
+
+// Grid returns n evenly spaced inverse-NCP points a₁ < … < aₙ spanning
+// (0, xMax], matching the 1/NCP ∈ [1, 100] axes of Figures 7–10 when
+// called with n = 100, xMax = 100.
+func Grid(n int, xMax float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("curves: non-positive grid size %d", n)
+	}
+	if xMax <= 0 {
+		return nil, fmt.Errorf("curves: non-positive xMax %v", xMax)
+	}
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = xMax * float64(i+1) / float64(n)
+	}
+	return a, nil
+}
+
+// Value samples a value curve of the given shape on the grid, scaled to
+// peak at maxValue. Value curves must be non-decreasing in x (buyers
+// never value a strictly noisier model more), so only monotone shapes
+// are accepted: Linear, Convex, Concave, Sigmoid, Uniform.
+func Value(s Shape, a []float64, maxValue float64) ([]float64, error) {
+	switch s {
+	case Linear, Convex, Concave, Sigmoid, Uniform:
+	default:
+		return nil, fmt.Errorf("curves: shape %v is not monotone, cannot be a value curve", s)
+	}
+	if maxValue <= 0 {
+		return nil, fmt.Errorf("curves: non-positive maxValue %v", maxValue)
+	}
+	if len(a) == 0 {
+		return nil, fmt.Errorf("curves: empty grid")
+	}
+	xMax := a[len(a)-1]
+	v := make([]float64, len(a))
+	for i, x := range a {
+		u, err := shapeValue(s, x/xMax)
+		if err != nil {
+			return nil, err
+		}
+		v[i] = maxValue * u
+	}
+	return v, nil
+}
+
+// Demand samples a demand curve of the given shape on the grid and
+// normalizes it to a probability distribution (Σ bⱼ = 1).
+func Demand(s Shape, a []float64) ([]float64, error) {
+	if len(a) == 0 {
+		return nil, fmt.Errorf("curves: empty grid")
+	}
+	xMax := a[len(a)-1]
+	b := make([]float64, len(a))
+	var sum float64
+	for i, x := range a {
+		u, err := shapeValue(s, x/xMax)
+		if err != nil {
+			return nil, err
+		}
+		b[i] = u
+		sum += u
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("curves: demand shape %v sums to zero", s)
+	}
+	for i := range b {
+		b[i] /= sum
+	}
+	return b, nil
+}
+
+// Market is a sampled market-research instance: the triples
+// (aⱼ, vⱼ, bⱼ) that drive revenue optimization (Section 5).
+type Market struct {
+	// A is the inverse-NCP grid, strictly increasing.
+	A []float64
+	// V are the buyer valuations at each grid point, non-decreasing.
+	V []float64
+	// B is the buyer distribution over grid points, summing to 1.
+	B []float64
+	// ValueShape and DemandShape record the generating families.
+	ValueShape, DemandShape Shape
+}
+
+// Build samples a full market instance.
+func Build(valueShape, demandShape Shape, n int, xMax, maxValue float64) (*Market, error) {
+	a, err := Grid(n, xMax)
+	if err != nil {
+		return nil, err
+	}
+	v, err := Value(valueShape, a, maxValue)
+	if err != nil {
+		return nil, err
+	}
+	b, err := Demand(demandShape, a)
+	if err != nil {
+		return nil, err
+	}
+	return &Market{A: a, V: v, B: b, ValueShape: valueShape, DemandShape: demandShape}, nil
+}
+
+// Subsample returns a market instance restricted to m evenly spaced
+// points of the original grid, used by the runtime experiments
+// (Figures 9–10 vary the number of price points from 2 to 10).
+func (m *Market) Subsample(count int) (*Market, error) {
+	n := len(m.A)
+	if count < 1 || count > n {
+		return nil, fmt.Errorf("curves: cannot subsample %d of %d points", count, n)
+	}
+	out := &Market{
+		A:           make([]float64, count),
+		V:           make([]float64, count),
+		B:           make([]float64, count),
+		ValueShape:  m.ValueShape,
+		DemandShape: m.DemandShape,
+	}
+	var bsum float64
+	for i := 0; i < count; i++ {
+		// Evenly spaced indices including the last point.
+		idx := (i + 1) * n / count
+		if idx > 0 {
+			idx--
+		}
+		out.A[i] = m.A[idx]
+		out.V[i] = m.V[idx]
+		out.B[i] = m.B[idx]
+		bsum += m.B[idx]
+	}
+	if bsum > 0 {
+		for i := range out.B {
+			out.B[i] /= bsum
+		}
+	}
+	return out, nil
+}
+
+// Validate checks the structural invariants the revenue optimizer
+// assumes: strictly increasing A, non-decreasing non-negative V, and B
+// a distribution.
+func (m *Market) Validate() error {
+	n := len(m.A)
+	if n == 0 || len(m.V) != n || len(m.B) != n {
+		return fmt.Errorf("curves: inconsistent market sizes %d/%d/%d", len(m.A), len(m.V), len(m.B))
+	}
+	var bsum float64
+	for i := 0; i < n; i++ {
+		if m.A[i] <= 0 {
+			return fmt.Errorf("curves: non-positive grid point a[%d]=%v", i, m.A[i])
+		}
+		if i > 0 && m.A[i] <= m.A[i-1] {
+			return fmt.Errorf("curves: grid not strictly increasing at %d", i)
+		}
+		if m.V[i] < 0 {
+			return fmt.Errorf("curves: negative valuation v[%d]=%v", i, m.V[i])
+		}
+		if i > 0 && m.V[i] < m.V[i-1] {
+			return fmt.Errorf("curves: valuations not monotone at %d", i)
+		}
+		if m.B[i] < 0 {
+			return fmt.Errorf("curves: negative demand b[%d]=%v", i, m.B[i])
+		}
+		bsum += m.B[i]
+	}
+	if math.Abs(bsum-1) > 1e-9 {
+		return fmt.Errorf("curves: demand sums to %v, want 1", bsum)
+	}
+	return nil
+}

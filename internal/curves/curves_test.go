@@ -1,0 +1,263 @@
+package curves
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGrid(t *testing.T) {
+	a, err := Grid(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 100 || a[0] != 1 || a[99] != 100 {
+		t.Fatalf("grid = [%v ... %v] len %d", a[0], a[99], len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatal("grid not strictly increasing")
+		}
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	if _, err := Grid(0, 10); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Grid(5, 0); err == nil {
+		t.Fatal("xMax=0 accepted")
+	}
+}
+
+func TestValueShapesMonotoneAndScaled(t *testing.T) {
+	a, _ := Grid(50, 100)
+	for _, s := range []Shape{Linear, Convex, Concave, Sigmoid, Uniform} {
+		v, err := Value(s, a, 100)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		for i := 1; i < len(v); i++ {
+			if v[i] < v[i-1]-1e-12 {
+				t.Fatalf("%v: value curve decreases at %d", s, i)
+			}
+		}
+		if v[len(v)-1] > 100+1e-9 {
+			t.Fatalf("%v: exceeds maxValue: %v", s, v[len(v)-1])
+		}
+		if math.Abs(v[len(v)-1]-100) > 1e-9 {
+			t.Fatalf("%v: does not reach maxValue: %v", s, v[len(v)-1])
+		}
+	}
+}
+
+func TestValueRejectsNonMonotoneShapes(t *testing.T) {
+	a, _ := Grid(10, 10)
+	for _, s := range []Shape{UnimodalMid, BimodalExtremes} {
+		if _, err := Value(s, a, 100); err == nil {
+			t.Fatalf("%v accepted as value curve", s)
+		}
+	}
+}
+
+func TestValueArgErrors(t *testing.T) {
+	a, _ := Grid(10, 10)
+	if _, err := Value(Linear, a, 0); err == nil {
+		t.Fatal("maxValue=0 accepted")
+	}
+	if _, err := Value(Linear, nil, 10); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	if _, err := Value(Shape(99), a, 10); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+}
+
+func TestConvexVsConcaveOrdering(t *testing.T) {
+	a, _ := Grid(100, 100)
+	convex, _ := Value(Convex, a, 100)
+	concave, _ := Value(Concave, a, 100)
+	// At mid-grid, convex is below linear is below concave.
+	mid := 49
+	if !(convex[mid] < a[mid] && a[mid] < concave[mid]) {
+		t.Fatalf("ordering broken: convex %v, linear %v, concave %v", convex[mid], a[mid], concave[mid])
+	}
+}
+
+func TestDemandNormalization(t *testing.T) {
+	a, _ := Grid(73, 100)
+	for _, s := range []Shape{Linear, Convex, Concave, Sigmoid, UnimodalMid, BimodalExtremes, Uniform} {
+		b, err := Demand(s, a)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		var sum float64
+		for _, x := range b {
+			if x < 0 {
+				t.Fatalf("%v: negative demand", s)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("%v: sums to %v", s, sum)
+		}
+	}
+}
+
+func TestUnimodalPeaksAtCenter(t *testing.T) {
+	a, _ := Grid(101, 100)
+	b, _ := Demand(UnimodalMid, a)
+	maxIdx := 0
+	for i, v := range b {
+		if v > b[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if maxIdx < 40 || maxIdx > 60 {
+		t.Fatalf("unimodal peak at index %d", maxIdx)
+	}
+}
+
+func TestBimodalHasTwoPeaks(t *testing.T) {
+	a, _ := Grid(101, 100)
+	b, _ := Demand(BimodalExtremes, a)
+	mid := b[50]
+	lo, hi := b[11], b[88]
+	if lo <= mid || hi <= mid {
+		t.Fatalf("bimodal not bimodal: lo=%v mid=%v hi=%v", lo, mid, hi)
+	}
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	m, err := Build(Concave, UnimodalMid, 100, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ValueShape != Concave || m.DemandShape != UnimodalMid {
+		t.Fatal("shapes not recorded")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func() *Market {
+		m, _ := Build(Linear, Uniform, 10, 10, 100)
+		return m
+	}
+	m := mk()
+	m.A[3] = m.A[2]
+	if m.Validate() == nil {
+		t.Fatal("non-increasing grid passed")
+	}
+	m = mk()
+	m.V[3] = m.V[2] - 1
+	if m.Validate() == nil {
+		t.Fatal("non-monotone valuations passed")
+	}
+	m = mk()
+	m.B[0] += 0.5
+	if m.Validate() == nil {
+		t.Fatal("non-normalized demand passed")
+	}
+	m = mk()
+	m.B = m.B[:5]
+	if m.Validate() == nil {
+		t.Fatal("inconsistent sizes passed")
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	m, _ := Build(Linear, Uniform, 100, 100, 100)
+	s, err := m.Subsample(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.A) != 10 {
+		t.Fatalf("subsample size %d", len(s.A))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Last point preserved.
+	if s.A[9] != m.A[99] {
+		t.Fatalf("last grid point %v, want %v", s.A[9], m.A[99])
+	}
+	if _, err := m.Subsample(0); err == nil {
+		t.Fatal("count 0 accepted")
+	}
+	if _, err := m.Subsample(101); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	for s, want := range map[Shape]string{
+		Linear: "linear", Convex: "convex", Concave: "concave",
+		Sigmoid: "sigmoid", UnimodalMid: "unimodal-mid",
+		BimodalExtremes: "bimodal-extremes", Uniform: "uniform",
+	} {
+		if s.String() != want {
+			t.Errorf("%d: %q", int(s), s.String())
+		}
+	}
+	if !strings.Contains(Shape(42).String(), "42") {
+		t.Error("unknown shape string")
+	}
+}
+
+func TestMarketCSVRoundTrip(t *testing.T) {
+	m, err := Build(Concave, UnimodalMid, 15, 60, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.A {
+		if got.A[i] != m.A[i] || got.V[i] != m.V[i] || math.Abs(got.B[i]-m.B[i]) > 1e-12 {
+			t.Fatalf("row %d differs: (%v,%v,%v) vs (%v,%v,%v)",
+				i, got.A[i], got.V[i], got.B[i], m.A[i], m.V[i], m.B[i])
+		}
+	}
+}
+
+func TestReadCSVRenormalizesCounts(t *testing.T) {
+	// Demand given as respondent counts, not probabilities.
+	in := "a,v,b\n1,10,30\n2,20,70\n"
+	m, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.B[0]-0.3) > 1e-12 || math.Abs(m.B[1]-0.7) > 1e-12 {
+		t.Fatalf("demand %v", m.B)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "x,y,z\n1,2,3\n",
+		"no rows":        "a,v,b\n",
+		"bad number":     "a,v,b\nfoo,1,1\n",
+		"negative b":     "a,v,b\n1,1,-1\n",
+		"zero demand":    "a,v,b\n1,1,0\n",
+		"unsorted a":     "a,v,b\n2,1,1\n1,2,1\n",
+		"non-monotone v": "a,v,b\n1,5,1\n2,3,1\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/datamarket/mbp/internal/linalg"
+)
+
+// ClipReport summarizes what clipping changed.
+type ClipReport struct {
+	// RowsClipped counts feature vectors rescaled to the norm bound.
+	RowsClipped int
+	// TargetsClipped counts regression targets clamped to ±B.
+	TargetsClipped int
+}
+
+// ClipFeatures rescales every row with ‖x‖₂ > r onto the radius-r ball,
+// in place. Bounded rows are what the differential-privacy sensitivity
+// bounds of internal/privacy assume (‖x‖ ≤ R), so a seller clips at
+// ingestion before the broker lists the dataset. It returns how many
+// rows were affected. r must be positive.
+func (d *Dataset) ClipFeatures(r float64) (ClipReport, error) {
+	if r <= 0 || math.IsNaN(r) {
+		return ClipReport{}, fmt.Errorf("dataset: invalid clip radius %v", r)
+	}
+	var rep ClipReport
+	for i := 0; i < d.N(); i++ {
+		row := d.X.Row(i)
+		if nrm := linalg.Norm2(row); nrm > r {
+			linalg.Scale(r/nrm, row)
+			rep.RowsClipped++
+		}
+	}
+	return rep, nil
+}
+
+// ClipTargets clamps regression targets to [−b, b] in place, the |y| ≤ B
+// bound RidgeSensitivity assumes. It refuses classification datasets,
+// whose ±1 labels must not be altered. b must be positive.
+func (d *Dataset) ClipTargets(b float64) (ClipReport, error) {
+	if b <= 0 || math.IsNaN(b) {
+		return ClipReport{}, fmt.Errorf("dataset: invalid target bound %v", b)
+	}
+	if d.Task == Classification {
+		return ClipReport{}, fmt.Errorf("dataset: refusing to clip classification labels")
+	}
+	var rep ClipReport
+	for i, y := range d.Y {
+		switch {
+		case y > b:
+			d.Y[i] = b
+			rep.TargetsClipped++
+		case y < -b:
+			d.Y[i] = -b
+			rep.TargetsClipped++
+		}
+	}
+	return rep, nil
+}
+
+// MaxFeatureNorm returns max_i ‖xᵢ‖₂ — the R actually realized by the
+// data, which callers feed to privacy.SensitivityParams.
+func (d *Dataset) MaxFeatureNorm() float64 {
+	var m float64
+	for i := 0; i < d.N(); i++ {
+		if nrm := linalg.Norm2(d.X.Row(i)); nrm > m {
+			m = nrm
+		}
+	}
+	return m
+}
+
+// MaxAbsTarget returns max_i |yᵢ|.
+func (d *Dataset) MaxAbsTarget() float64 {
+	var m float64
+	for _, y := range d.Y {
+		if a := math.Abs(y); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/linalg"
+)
+
+func TestClipFeatures(t *testing.T) {
+	x := linalg.FromRows([][]float64{{3, 4}, {0.3, 0.4}})
+	d, err := New("c", Regression, x, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.ClipFeatures(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsClipped != 1 {
+		t.Fatalf("clipped %d rows, want 1", rep.RowsClipped)
+	}
+	// First row rescaled to norm 1, direction preserved.
+	if math.Abs(linalg.Norm2(d.X.Row(0))-1) > 1e-12 {
+		t.Fatalf("norm %v", linalg.Norm2(d.X.Row(0)))
+	}
+	if math.Abs(d.X.At(0, 0)/d.X.At(0, 1)-0.75) > 1e-12 {
+		t.Fatal("direction changed")
+	}
+	// Second row untouched.
+	if d.X.At(1, 0) != 0.3 {
+		t.Fatal("in-bound row modified")
+	}
+	if d.MaxFeatureNorm() > 1+1e-12 {
+		t.Fatalf("max norm %v after clipping", d.MaxFeatureNorm())
+	}
+}
+
+func TestClipFeaturesErrors(t *testing.T) {
+	d, _ := New("c", Regression, linalg.FromRows([][]float64{{1}}), []float64{1})
+	for _, r := range []float64{0, -1, math.NaN()} {
+		if _, err := d.ClipFeatures(r); err == nil {
+			t.Fatalf("radius %v accepted", r)
+		}
+	}
+}
+
+func TestClipTargets(t *testing.T) {
+	d, _ := New("c", Regression, linalg.FromRows([][]float64{{1}, {1}, {1}}), []float64{5, -7, 0.5})
+	rep, err := d.ClipTargets(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TargetsClipped != 2 {
+		t.Fatalf("clipped %d targets", rep.TargetsClipped)
+	}
+	if d.Y[0] != 2 || d.Y[1] != -2 || d.Y[2] != 0.5 {
+		t.Fatalf("targets %v", d.Y)
+	}
+	if d.MaxAbsTarget() != 2 {
+		t.Fatalf("max |y| = %v", d.MaxAbsTarget())
+	}
+}
+
+func TestClipTargetsRefusesClassification(t *testing.T) {
+	d, _ := New("c", Classification, linalg.FromRows([][]float64{{1}}), []float64{1})
+	if _, err := d.ClipTargets(0.5); err == nil {
+		t.Fatal("classification labels clipped")
+	}
+}
+
+func TestClipTargetsErrors(t *testing.T) {
+	d, _ := New("c", Regression, linalg.FromRows([][]float64{{1}}), []float64{1})
+	if _, err := d.ClipTargets(0); err == nil {
+		t.Fatal("zero bound accepted")
+	}
+}

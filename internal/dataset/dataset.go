@@ -1,0 +1,300 @@
+// Package dataset provides the relational dataset abstraction of the MBP
+// market: a labeled table D of n examples z = (x, y) with d features,
+// sold as a train/test pair (Dtrain, Dtest) per Section 3.1 of the paper.
+//
+// The seller supplies a Dataset; Split produces the (Dtrain, Dtest) pair
+// whose sizes n₁/n₂ appear in Table 3; the broker trains h*λ on the
+// train split and quotes expected errors ϵ on either split according to
+// the buyer's preference.
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"github.com/datamarket/mbp/internal/linalg"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+// Task distinguishes the two supervised settings the paper covers.
+type Task int
+
+const (
+	// Regression predicts a real-valued target.
+	Regression Task = iota
+	// Classification predicts a binary label in {−1, +1}.
+	Classification
+)
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	switch t {
+	case Regression:
+		return "regression"
+	case Classification:
+		return "classification"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// Dataset is a dense labeled table: X is n×d, Y has length n.
+// Classification labels are ±1.
+type Dataset struct {
+	// Name identifies the dataset in reports ("Simulated1", ...).
+	Name string
+	// Task is the supervised task this dataset is labeled for.
+	Task Task
+	// X is the n×d design matrix.
+	X *linalg.Matrix
+	// Y holds the n targets.
+	Y []float64
+	// FeatureNames optionally names the d columns; may be nil.
+	FeatureNames []string
+}
+
+// New validates shapes and wraps them into a Dataset.
+func New(name string, task Task, x *linalg.Matrix, y []float64) (*Dataset, error) {
+	if x == nil {
+		return nil, errors.New("dataset: nil design matrix")
+	}
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("dataset: %d rows but %d targets", x.Rows, len(y))
+	}
+	if task == Classification {
+		for i, v := range y {
+			if v != 1 && v != -1 {
+				return nil, fmt.Errorf("dataset: classification label y[%d] = %v, want ±1", i, v)
+			}
+		}
+	}
+	return &Dataset{Name: name, Task: task, X: x, Y: y}, nil
+}
+
+// N returns the number of examples.
+func (d *Dataset) N() int { return d.X.Rows }
+
+// D returns the number of features.
+func (d *Dataset) D() int { return d.X.Cols }
+
+// Row returns example i as (feature view, target).
+func (d *Dataset) Row(i int) ([]float64, float64) { return d.X.Row(i), d.Y[i] }
+
+// Clone deep-copies the dataset.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{Name: d.Name, Task: d.Task, X: d.X.Clone(), Y: linalg.Clone(d.Y)}
+	if d.FeatureNames != nil {
+		out.FeatureNames = append([]string(nil), d.FeatureNames...)
+	}
+	return out
+}
+
+// Subset returns a new dataset containing the given rows (copied).
+func (d *Dataset) Subset(rows []int) *Dataset {
+	x := linalg.NewMatrix(len(rows), d.D())
+	y := make([]float64, len(rows))
+	for i, r := range rows {
+		copy(x.Row(i), d.X.Row(r))
+		y[i] = d.Y[r]
+	}
+	return &Dataset{Name: d.Name, Task: d.Task, X: x, Y: y, FeatureNames: d.FeatureNames}
+}
+
+// Split is the train/test pair (Dtrain, Dtest) the seller offers.
+type Split struct {
+	Train *Dataset
+	Test  *Dataset
+}
+
+// SplitFraction partitions d into train/test with the given train
+// fraction after a deterministic shuffle driven by r. The paper's
+// datasets use a 75/25 split (Table 3). Both parts contain at least one
+// example; trainFrac must lie in (0, 1).
+func (d *Dataset) SplitFraction(trainFrac float64, r *rng.RNG) (Split, error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return Split{}, fmt.Errorf("dataset: train fraction %v outside (0,1)", trainFrac)
+	}
+	if d.N() < 2 {
+		return Split{}, fmt.Errorf("dataset: cannot split %d examples", d.N())
+	}
+	perm := r.Perm(d.N())
+	nTrain := int(math.Round(trainFrac * float64(d.N())))
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	if nTrain >= d.N() {
+		nTrain = d.N() - 1
+	}
+	return Split{
+		Train: d.Subset(perm[:nTrain]),
+		Test:  d.Subset(perm[nTrain:]),
+	}, nil
+}
+
+// Stats summarizes a dataset for Table 3-style reporting.
+type Stats struct {
+	Name     string
+	Task     Task
+	N        int
+	D        int
+	YMean    float64
+	YStd     float64
+	PosFrac  float64 // fraction of +1 labels (classification only)
+	XAbsMean float64 // mean |x| over all entries
+}
+
+// Summarize computes summary statistics.
+func (d *Dataset) Summarize() Stats {
+	s := Stats{Name: d.Name, Task: d.Task, N: d.N(), D: d.D()}
+	s.YMean = linalg.Mean(d.Y)
+	var sq float64
+	pos := 0
+	for _, v := range d.Y {
+		dv := v - s.YMean
+		sq += dv * dv
+		if v > 0 {
+			pos++
+		}
+	}
+	s.YStd = math.Sqrt(sq / float64(len(d.Y)))
+	s.PosFrac = float64(pos) / float64(len(d.Y))
+	var absSum float64
+	for _, v := range d.X.Data {
+		absSum += math.Abs(v)
+	}
+	s.XAbsMean = absSum / float64(len(d.X.Data))
+	return s
+}
+
+// Standardizer holds per-feature means and scales fitted on a training
+// split, so the identical affine map can be applied to the test split.
+type Standardizer struct {
+	Mean  []float64
+	Scale []float64
+}
+
+// FitStandardizer computes per-column mean and standard deviation on d.
+// Columns with zero variance get scale 1 so they pass through centered.
+func FitStandardizer(d *Dataset) *Standardizer {
+	n, p := d.N(), d.D()
+	mean := make([]float64, p)
+	for i := 0; i < n; i++ {
+		linalg.Axpy(1, d.X.Row(i), mean)
+	}
+	linalg.Scale(1/float64(n), mean)
+	scale := make([]float64, p)
+	for i := 0; i < n; i++ {
+		row := d.X.Row(i)
+		for j := 0; j < p; j++ {
+			dv := row[j] - mean[j]
+			scale[j] += dv * dv
+		}
+	}
+	for j := 0; j < p; j++ {
+		scale[j] = math.Sqrt(scale[j] / float64(n))
+		if scale[j] == 0 {
+			scale[j] = 1
+		}
+	}
+	return &Standardizer{Mean: mean, Scale: scale}
+}
+
+// Apply standardizes d in place: x ← (x − mean)/scale.
+func (s *Standardizer) Apply(d *Dataset) error {
+	if d.D() != len(s.Mean) {
+		return fmt.Errorf("dataset: standardizer fitted on %d features, dataset has %d", len(s.Mean), d.D())
+	}
+	for i := 0; i < d.N(); i++ {
+		row := d.X.Row(i)
+		for j := range row {
+			row[j] = (row[j] - s.Mean[j]) / s.Scale[j]
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the dataset as CSV with a header row; the last column
+// is the target.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, d.D()+1)
+	for j := 0; j < d.D(); j++ {
+		if d.FeatureNames != nil && j < len(d.FeatureNames) {
+			header[j] = d.FeatureNames[j]
+		} else {
+			header[j] = fmt.Sprintf("x%d", j)
+		}
+	}
+	header[d.D()] = "y"
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	rec := make([]string, d.D()+1)
+	for i := 0; i < d.N(); i++ {
+		row := d.X.Row(i)
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[d.D()] = strconv.FormatFloat(d.Y[i], 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or any CSV whose last
+// column is the numeric target). A header row is required.
+func ReadCSV(r io.Reader, name string, task Task) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("dataset: need at least one feature and a target, got %d columns", len(header))
+	}
+	p := len(header) - 1
+	var rows [][]float64
+	var ys []float64
+	for lineNo := 2; ; lineNo++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+		}
+		if len(rec) != p+1 {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", lineNo, len(rec), p+1)
+		}
+		row := make([]float64, p)
+		for j := 0; j < p; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %d: %w", lineNo, j, err)
+			}
+			row[j] = v
+		}
+		y, err := strconv.ParseFloat(rec[p], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d target: %w", lineNo, err)
+		}
+		rows = append(rows, row)
+		ys = append(ys, y)
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("dataset: no data rows")
+	}
+	d, err := New(name, task, linalg.FromRows(rows), ys)
+	if err != nil {
+		return nil, err
+	}
+	d.FeatureNames = header[:p]
+	return d, nil
+}

@@ -1,0 +1,245 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/linalg"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+func mkReg(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := New("reg", Regression,
+		linalg.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}),
+		[]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", Regression, nil, nil); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	x := linalg.FromRows([][]float64{{1}, {2}})
+	if _, err := New("x", Regression, x, []float64{1}); err == nil {
+		t.Fatal("row/target mismatch accepted")
+	}
+	if _, err := New("x", Classification, x, []float64{1, 0.5}); err == nil {
+		t.Fatal("non-±1 classification label accepted")
+	}
+	if _, err := New("x", Classification, x, []float64{1, -1}); err != nil {
+		t.Fatalf("valid classification rejected: %v", err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	d := mkReg(t)
+	if d.N() != 4 || d.D() != 2 {
+		t.Fatalf("N=%d D=%d", d.N(), d.D())
+	}
+	x, y := d.Row(2)
+	if x[0] != 5 || x[1] != 6 || y != 3 {
+		t.Fatalf("Row(2) = %v, %v", x, y)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := mkReg(t)
+	c := d.Clone()
+	c.X.Set(0, 0, 99)
+	c.Y[0] = 99
+	if d.X.At(0, 0) == 99 || d.Y[0] == 99 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := mkReg(t)
+	s := d.Subset([]int{3, 1})
+	if s.N() != 2 || s.Y[0] != 4 || s.Y[1] != 2 {
+		t.Fatalf("Subset wrong: %+v", s.Y)
+	}
+	if s.X.At(0, 0) != 7 {
+		t.Fatalf("Subset X wrong: %v", s.X.At(0, 0))
+	}
+}
+
+func TestSplitFraction(t *testing.T) {
+	r := rng.New(1)
+	n := 1000
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		rows[i] = []float64{float64(i)}
+		y[i] = float64(i)
+	}
+	d, _ := New("big", Regression, linalg.FromRows(rows), y)
+	sp, err := d.SplitFraction(0.75, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Train.N() != 750 || sp.Test.N() != 250 {
+		t.Fatalf("split sizes %d/%d", sp.Train.N(), sp.Test.N())
+	}
+	// Every original row appears exactly once across the two parts.
+	seen := make(map[float64]bool)
+	for _, v := range append(append([]float64{}, sp.Train.Y...), sp.Test.Y...) {
+		if seen[v] {
+			t.Fatalf("row %v duplicated", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("rows lost: %d", len(seen))
+	}
+}
+
+func TestSplitFractionErrors(t *testing.T) {
+	d := mkReg(t)
+	r := rng.New(1)
+	for _, frac := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := d.SplitFraction(frac, r); err == nil {
+			t.Fatalf("fraction %v accepted", frac)
+		}
+	}
+	one, _ := New("one", Regression, linalg.FromRows([][]float64{{1}}), []float64{1})
+	if _, err := one.SplitFraction(0.5, r); err == nil {
+		t.Fatal("split of 1 example accepted")
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	d := mkReg(t)
+	s1, _ := d.SplitFraction(0.5, rng.New(7))
+	s2, _ := d.SplitFraction(0.5, rng.New(7))
+	for i := range s1.Train.Y {
+		if s1.Train.Y[i] != s2.Train.Y[i] {
+			t.Fatal("split not deterministic under equal seeds")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	x := linalg.FromRows([][]float64{{1}, {-1}, {1}, {-1}})
+	d, _ := New("cls", Classification, x, []float64{1, -1, 1, 1})
+	s := d.Summarize()
+	if s.N != 4 || s.D != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.PosFrac != 0.75 {
+		t.Fatalf("PosFrac = %v", s.PosFrac)
+	}
+	if s.XAbsMean != 1 {
+		t.Fatalf("XAbsMean = %v", s.XAbsMean)
+	}
+	if math.Abs(s.YMean-0.5) > 1e-12 {
+		t.Fatalf("YMean = %v", s.YMean)
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	d := mkReg(t)
+	st := FitStandardizer(d)
+	if err := st.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	// Each column now has mean ~0 and std ~1.
+	for j := 0; j < d.D(); j++ {
+		var sum, sq float64
+		for i := 0; i < d.N(); i++ {
+			sum += d.X.At(i, j)
+		}
+		mean := sum / float64(d.N())
+		for i := 0; i < d.N(); i++ {
+			dv := d.X.At(i, j) - mean
+			sq += dv * dv
+		}
+		std := math.Sqrt(sq / float64(d.N()))
+		if math.Abs(mean) > 1e-12 || math.Abs(std-1) > 1e-12 {
+			t.Fatalf("col %d mean %v std %v", j, mean, std)
+		}
+	}
+}
+
+func TestStandardizerConstantColumn(t *testing.T) {
+	x := linalg.FromRows([][]float64{{5, 1}, {5, 2}})
+	d, _ := New("const", Regression, x, []float64{0, 0})
+	st := FitStandardizer(d)
+	if st.Scale[0] != 1 {
+		t.Fatalf("constant column scale = %v, want 1", st.Scale[0])
+	}
+	if err := st.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.X.At(0, 0) != 0 || d.X.At(1, 0) != 0 {
+		t.Fatal("constant column not centered to zero")
+	}
+}
+
+func TestStandardizerDimensionError(t *testing.T) {
+	d := mkReg(t)
+	st := FitStandardizer(d)
+	other, _ := New("o", Regression, linalg.FromRows([][]float64{{1}}), []float64{1})
+	if err := st.Apply(other); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := mkReg(t)
+	d.FeatureNames = []string{"age", "height"}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "reg2", Regression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != d.N() || got.D() != d.D() {
+		t.Fatalf("shape %dx%d", got.N(), got.D())
+	}
+	for i := 0; i < d.N(); i++ {
+		if got.Y[i] != d.Y[i] {
+			t.Fatalf("y[%d] = %v", i, got.Y[i])
+		}
+		for j := 0; j < d.D(); j++ {
+			if got.X.At(i, j) != d.X.At(i, j) {
+				t.Fatalf("x[%d,%d] = %v", i, j, got.X.At(i, j))
+			}
+		}
+	}
+	if got.FeatureNames[0] != "age" {
+		t.Fatalf("feature names lost: %v", got.FeatureNames)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"header only":   "x0,y\n",
+		"single column": "y\n1\n",
+		"bad feature":   "x0,y\nfoo,1\n",
+		"bad target":    "x0,y\n1,foo\n",
+		"ragged":        "x0,x1,y\n1,2,3\n1,2\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data), "t", Regression); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	if Regression.String() != "regression" || Classification.String() != "classification" {
+		t.Fatal("task strings wrong")
+	}
+	if !strings.Contains(Task(9).String(), "9") {
+		t.Fatal("unknown task string")
+	}
+}

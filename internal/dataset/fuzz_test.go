@@ -1,0 +1,40 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV exercises the CSV ingestion path with arbitrary input:
+// it must never panic, and anything it accepts must round-trip through
+// WriteCSV → ReadCSV unchanged in shape.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("x0,y\n1,2\n")
+	f.Add("x0,x1,y\n1,2,3\n4,5,6\n")
+	f.Add("a,b\nnot,numeric\n")
+	f.Add("")
+	f.Add("y\n1\n")
+	f.Add("x0,y\n1e308,2\n-0,0\n")
+	f.Add("x0,y\n\"1\",2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadCSV(strings.NewReader(input), "fuzz", Regression)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if ds.N() == 0 || ds.D() == 0 {
+			t.Fatalf("accepted a degenerate dataset %dx%d", ds.N(), ds.D())
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV of accepted dataset: %v", err)
+		}
+		back, err := ReadCSV(&buf, "fuzz2", Regression)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.N() != ds.N() || back.D() != ds.D() {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d", back.N(), back.D(), ds.N(), ds.D())
+		}
+	})
+}

@@ -1,0 +1,218 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6): Table 3's dataset statistics, Figure 6's
+// error-transformation curves, Figures 7–8's revenue and affordability
+// comparisons, and Figures 9–10's runtime study of the revenue
+// optimizers.
+//
+// Each experiment prints aligned plain-text tables (the numeric series
+// behind the paper's plots) and optionally writes one CSV per panel so
+// the plots can be regenerated with any plotting tool. Reproduction
+// targets shapes and orderings, not MATLAB's absolute numbers — see
+// DESIGN.md and EXPERIMENTS.md.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Out receives the human-readable report (default os.Stdout).
+	Out io.Writer
+	// CSVDir, when non-empty, receives one CSV file per panel.
+	CSVDir string
+	// SVGDir, when non-empty, receives one rendered SVG chart per
+	// panel — the figures themselves, not just their numbers.
+	SVGDir string
+	// Scale is the dataset scale for data-bound experiments
+	// (default 0.002).
+	Scale float64
+	// Samples is the Monte-Carlo budget per NCP grid point for Figure 6
+	// (default 400; the paper uses 2000).
+	Samples int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// MaxPricePoints caps the n sweep of Figures 9–10 (default 10,
+	// matching the paper; lower it for quick runs).
+	MaxPricePoints int
+	// Buyers is the simulated buyer population for market summaries.
+	Buyers int
+	// Workers fans the Figure 6 Monte-Carlo out over goroutines
+	// (default 1 = serial). Results are deterministic for a fixed
+	// worker count but differ across counts (different RNG streams).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Out == nil {
+		c.Out = os.Stdout
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.002
+	}
+	if c.Samples == 0 {
+		c.Samples = 400
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxPricePoints == 0 {
+		c.MaxPricePoints = 10
+	}
+	if c.Buyers == 0 {
+		c.Buyers = 1000
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// Experiment is a runnable evaluation artifact.
+type Experiment struct {
+	// Name is the CLI identifier ("table3", "fig6", ...).
+	Name string
+	// Title describes the paper artifact.
+	Title string
+	// Run executes the experiment.
+	Run func(Config) error
+}
+
+// All returns the experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{Name: "table3", Title: "Table 3: dataset statistics", Run: Table3},
+		{Name: "fig5", Title: "Figure 5: running revenue-optimization example", Run: Fig5},
+		{Name: "fig6", Title: "Figure 6: error transformation curves", Run: Fig6},
+		{Name: "fig7", Title: "Figure 7: revenue & affordability, varying value curve", Run: Fig7},
+		{Name: "fig8", Title: "Figure 8: revenue & affordability, varying demand curve", Run: Fig8},
+		{Name: "fig9", Title: "Figure 9: runtime vs #price points, varying value curve", Run: Fig9},
+		{Name: "fig10", Title: "Figure 10: runtime vs #price points, varying demand curve", Run: Fig10},
+		{Name: "buyers", Title: "Extension: buyer strategy and budget sweep", Run: ExtBuyers},
+		{Name: "privacy", Title: "Extension: differential-privacy price list", Run: ExtPrivacy},
+		{Name: "interp", Title: "Extension: price interpolation objectives", Run: ExtInterp},
+		{Name: "mechanisms", Title: "Extension: noise mechanism comparison", Run: ExtMechanisms},
+	}
+}
+
+// ByName finds an experiment.
+func ByName(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	var names []string
+	for _, e := range All() {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(names, ", "))
+}
+
+// table renders an aligned plain-text table.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, vals ...float64) {
+	cells := make([]string, len(vals))
+	for i, v := range vals {
+		cells[i] = fmt.Sprintf(format, v)
+	}
+	t.add(cells...)
+}
+
+func (t *table) write(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCSV dumps a panel's series when cfg.CSVDir is set.
+func writeCSV(cfg Config, name string, header []string, rows [][]string) error {
+	if cfg.CSVDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(cfg.CSVDir, 0o755); err != nil {
+		return fmt.Errorf("experiments: creating CSV dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(cfg.CSVDir, name+".csv"))
+	if err != nil {
+		return fmt.Errorf("experiments: creating CSV: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// writeSVG writes a rendered chart when cfg.SVGDir is set.
+func writeSVG(cfg Config, name, svg string) error {
+	if cfg.SVGDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(cfg.SVGDir, 0o755); err != nil {
+		return fmt.Errorf("experiments: creating SVG dir: %w", err)
+	}
+	return os.WriteFile(filepath.Join(cfg.SVGDir, name+".svg"), []byte(svg), 0o644)
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+func section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n\n", title)
+}

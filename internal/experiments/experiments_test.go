@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps experiment tests fast: tiny datasets, few samples.
+func quickCfg(t *testing.T, buf *bytes.Buffer) Config {
+	t.Helper()
+	return Config{
+		Out:            buf,
+		Scale:          0.0005,
+		Samples:        40,
+		Seed:           7,
+		MaxPricePoints: 5,
+		Buyers:         50,
+		CSVDir:         t.TempDir(),
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, e := range All() {
+		got, err := ByName(e.Name)
+		if err != nil || got.Name != e.Name {
+			t.Fatalf("ByName(%q): %v, %v", e.Name, got, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	names := []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "buyers", "privacy", "interp", "mechanisms"}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("%d experiments", len(all))
+	}
+	for i, e := range all {
+		if e.Name != names[i] {
+			t.Fatalf("experiment %d is %q, want %q", i, e.Name, names[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", e.Name)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(t, &buf)
+	if err := Table3(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Simulated1", "YearMSD", "CASP", "Simulated2", "CovType", "SUSY", "7500000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(cfg.CSVDir, "table3.csv")); err != nil {
+		t.Errorf("CSV not written: %v", err)
+	}
+}
+
+func TestFig6(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(t, &buf)
+	if err := Fig6(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "square") || !strings.Contains(out, "logistic") || !strings.Contains(out, "0/1") {
+		t.Errorf("missing loss rows:\n%s", out)
+	}
+	if !strings.Contains(out, "error-inverse transform") {
+		t.Error("missing transform demonstration")
+	}
+	if _, err := os.Stat(filepath.Join(cfg.CSVDir, "fig6.csv")); err != nil {
+		t.Errorf("CSV not written: %v", err)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(t, &buf)
+	if err := Fig7(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MBP", "Lin", "MaxC", "MedC", "OptC", "convex", "concave", "MBP gains"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(t, &buf)
+	if err := Fig8(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "unimodal-mid") || !strings.Contains(out, "bimodal-extremes") {
+		t.Errorf("missing demand panels:\n%s", out)
+	}
+}
+
+func TestFig9(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(t, &buf)
+	if err := Fig9(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MILP", "runtime", "revenue", "affordability", "faster"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFig10(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(t, &buf)
+	if err := Fig10(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "panel 10-") {
+		t.Error("missing fig10 panels")
+	}
+}
+
+func TestSampleIndices(t *testing.T) {
+	idx := sampleIndices(100, 6)
+	if len(idx) != 6 || idx[0] != 0 || idx[5] != 99 {
+		t.Fatalf("indices %v", idx)
+	}
+	idx = sampleIndices(3, 6)
+	if len(idx) != 3 {
+		t.Fatalf("small-n indices %v", idx)
+	}
+}
+
+func TestGain(t *testing.T) {
+	if g := gain(10, 5); g != "2.0x" {
+		t.Fatalf("gain = %q", g)
+	}
+	if g := gain(10, 0); g != "inf" {
+		t.Fatalf("gain = %q", g)
+	}
+	if g := gain(0, 0); g != "1.0x" {
+		t.Fatalf("gain = %q", g)
+	}
+}
+
+func TestCsvSlug(t *testing.T) {
+	if s := csvSlug("runtime (seconds, log-scale in the paper)"); strings.ContainsAny(s, "(),-") {
+		t.Fatalf("slug %q", s)
+	}
+}
+
+func TestTableWriter(t *testing.T) {
+	var buf bytes.Buffer
+	tb := &table{header: []string{"a", "bbbb"}}
+	tb.add("xxxx", "y")
+	tb.addf("%.1f", 1.25, 3.5)
+	if err := tb.write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines: %v", lines)
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("missing separator: %q", lines[1])
+	}
+}
+
+func TestFtoa(t *testing.T) {
+	if ftoa(1.5) != "1.5" {
+		t.Fatalf("ftoa = %q", ftoa(1.5))
+	}
+}
+
+func TestFig5(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(t, &buf)
+	if err := Fig5(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"valuations", "exact optimum", "MBP (DP)", "attack", "NO", "yes", "200", "193.8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtBuyers(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(t, &buf)
+	cfg.Scale = 0.005
+	if err := ExtBuyers(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"budget-first", "error-first", "surplus", "0.5", "1.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("buyers output missing %q", want)
+		}
+	}
+}
+
+func TestExtPrivacy(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(t, &buf)
+	cfg.Scale = 0.002
+	if err := ExtPrivacy(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"epsilon", "sensitivity", "privacy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("privacy output missing %q", want)
+		}
+	}
+}
+
+func TestExtInterp(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(t, &buf)
+	if err := ExtInterp(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T2/Dykstra", "T1/LP", "cross-check", "wishlist"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("interp output missing %q", want)
+		}
+	}
+	// Every solver output must be certified arbitrage-free.
+	if strings.Contains(out, "NO") {
+		t.Errorf("a solver produced an uncertified curve:\n%s", out)
+	}
+}
+
+func TestFig6Parallel(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(t, &buf)
+	cfg.Workers = 4
+	if err := Fig6(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Simulated1") {
+		t.Error("parallel fig6 produced no panels")
+	}
+}
+
+func TestExtMechanisms(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(t, &buf)
+	cfg.Samples = 200
+	if err := ExtMechanisms(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"gaussian", "laplace", "uniform-additive", "p95"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mechanisms output missing %q", want)
+		}
+	}
+}
+
+func TestSVGEmission(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(t, &buf)
+	cfg.SVGDir = t.TempDir()
+	if err := Fig6(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig7(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig9(cfg); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(cfg.SVGDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svgs := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".svg") {
+			svgs++
+			raw, err := os.ReadFile(filepath.Join(cfg.SVGDir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(string(raw), "<svg") {
+				t.Errorf("%s is not an SVG", e.Name())
+			}
+		}
+	}
+	// fig6: 3 charts; fig7: 2 panels × 3 charts; fig9: 2 panels × 3 charts.
+	if svgs != 3+6+6 {
+		t.Fatalf("%d SVGs written, want 15", svgs)
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/datamarket/mbp/internal/loss"
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/noise"
+	"github.com/datamarket/mbp/internal/rng"
+	"github.com/datamarket/mbp/internal/stats"
+	"github.com/datamarket/mbp/internal/synth"
+)
+
+// ExtMechanisms compares the three bundled unbiased mechanisms at equal
+// noise budgets on a trained model. Under the model-space square error
+// ϵ_s all three are interchangeable by construction (E[ϵ_s] = δ —
+// Lemma 3's calibration), but under the dataset square loss the
+// mechanisms remain indistinguishable too, because the expected excess
+// error depends only on the noise covariance (δ/d)·I, not its shape.
+// The experiment verifies both claims empirically and reports where
+// distribution shape would matter: higher moments (tail risk for the
+// buyer), shown via the 95th percentile of realized errors.
+func ExtMechanisms(cfg Config) error {
+	cfg = cfg.withDefaults()
+	section(cfg.Out, "Extension: noise mechanism comparison at equal variance")
+
+	sp, err := synth.Generate("CASP", cfg.Scale, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	optimal, err := ml.Train(ml.LinearRegression, sp.Train, ml.Options{Mu: 1e-6})
+	if err != nil {
+		return err
+	}
+
+	deltas := []float64{0.1, 1, 10}
+	header := []string{"mechanism", "δ", "E[ϵ_s] (≈δ)", "E[sq-loss]", "p95 sq-loss"}
+	t := &table{header: header}
+	var csvRows [][]string
+	r := rng.New(cfg.Seed)
+	for _, mech := range noise.All() {
+		for _, delta := range deltas {
+			wr := r.Split()
+			var sumModel float64
+			errsData := make([]float64, cfg.Samples)
+			for i := 0; i < cfg.Samples; i++ {
+				in := mech.Perturb(optimal, delta, wr)
+				sumModel += noise.SquaredError(in, optimal)
+				errsData[i] = in.Eval(loss.Square{}, sp.Test)
+			}
+			meanModel := sumModel / float64(cfg.Samples)
+			meanData := stats.Summarize(errsData).Mean
+			p95 := stats.Quantile(errsData, 0.95)
+			row := []string{
+				mech.Name(), fmt.Sprintf("%g", delta),
+				fmt.Sprintf("%.4g", meanModel),
+				fmt.Sprintf("%.5g", meanData),
+				fmt.Sprintf("%.5g", p95),
+			}
+			t.add(row...)
+			csvRows = append(csvRows, row)
+		}
+	}
+	if err := t.write(cfg.Out); err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.Out, "\nAll mechanisms share E[ϵ_s] ≈ δ and the same expected data loss;")
+	fmt.Fprintln(cfg.Out, "only the tail (p95) differentiates them — a buyer-risk consideration")
+	fmt.Fprintln(cfg.Out, "the mean-based pricing framework deliberately abstracts away.")
+	return writeCSV(cfg, "ext_mechanisms", header, csvRows)
+}

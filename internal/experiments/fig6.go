@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/datamarket/mbp/internal/loss"
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/noise"
+	"github.com/datamarket/mbp/internal/plot"
+	"github.com/datamarket/mbp/internal/pricing"
+	"github.com/datamarket/mbp/internal/rng"
+	"github.com/datamarket/mbp/internal/synth"
+)
+
+// fig6InvNCP is the 1/NCP grid of Figure 6's x-axes (1 to 100).
+var fig6InvNCP = []float64{1, 2, 5, 10, 20, 35, 50, 75, 100}
+
+// fig6Panel is one subplot: a dataset × error-function pair.
+type fig6Panel struct {
+	dataset string
+	model   ml.Model
+	mu      float64
+	errName string
+	errFn   loss.Loss
+}
+
+// Fig6 reproduces the error-transformation study: for each of the nine
+// panels (square loss on the three regression datasets; logistic and
+// 0/1 loss on the three classification datasets) it tabulates the
+// Monte-Carlo expected test error of the Gaussian mechanism as a
+// function of 1/NCP and verifies the monotone decrease the paper
+// observes — the property that makes the error transform ϕ feasible.
+func Fig6(cfg Config) error {
+	cfg = cfg.withDefaults()
+	section(cfg.Out, "Figure 6: expected test error vs 1/NCP (Gaussian mechanism)")
+
+	panels := []fig6Panel{
+		{"Simulated1", ml.LinearRegression, 1e-6, "square", loss.Square{}},
+		{"YearMSD", ml.LinearRegression, 1e-6, "square", loss.Square{}},
+		{"CASP", ml.LinearRegression, 1e-6, "square", loss.Square{}},
+		{"Simulated2", ml.LogisticRegression, 1e-3, "logistic", loss.Logistic{}},
+		{"CovType", ml.LogisticRegression, 1e-3, "logistic", loss.Logistic{}},
+		{"SUSY", ml.LogisticRegression, 1e-3, "logistic", loss.Logistic{}},
+		{"Simulated2", ml.LogisticRegression, 1e-3, "0/1", loss.ZeroOne{}},
+		{"CovType", ml.LogisticRegression, 1e-3, "0/1", loss.ZeroOne{}},
+		{"SUSY", ml.LogisticRegression, 1e-3, "0/1", loss.ZeroOne{}},
+	}
+
+	// Optimal models are shared between the logistic and 0/1 panels of
+	// the same dataset: train once per (dataset, model).
+	optCache := map[string]*ml.Instance{}
+
+	header := []string{"panel", "dataset", "error"}
+	for _, x := range fig6InvNCP {
+		header = append(header, fmt.Sprintf("x=%g", x))
+	}
+	t := &table{header: header}
+	var csvRows [][]string
+
+	r := rng.New(cfg.Seed)
+	nonMonotone := 0
+	// SVG series grouped by error function (one chart per Figure 6 row).
+	svgSeries := map[string][]plot.Series{}
+	for i, p := range panels {
+		sp, err := synth.Generate(p.dataset, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		key := fmt.Sprintf("%s/%v", p.dataset, p.model)
+		optimal, ok := optCache[key]
+		if !ok {
+			optimal, err = ml.Train(p.model, sp.Train, ml.Options{Mu: p.mu})
+			if err != nil {
+				return fmt.Errorf("fig6 %s: %w", p.dataset, err)
+			}
+			optCache[key] = optimal
+		}
+
+		row := []string{fmt.Sprintf("%d", i+1), p.dataset, p.errName}
+		prev := -1.0
+		increasingViolation := false
+		serie := plot.Series{Name: p.dataset, X: append([]float64(nil), fig6InvNCP...)}
+		for _, x := range fig6InvNCP {
+			delta := 1 / x
+			var est noise.ErrorEstimate
+			if cfg.Workers > 1 {
+				test := sp.Test
+				errFn := p.errFn
+				est = noise.ExpectedErrorParallel(noise.Gaussian{}, optimal, delta, cfg.Samples, cfg.Workers, r.Split(),
+					func(in *ml.Instance) float64 { return in.Eval(errFn, test) })
+			} else {
+				est = noise.ExpectedLossError(noise.Gaussian{}, optimal, p.errFn, sp.Test, delta, cfg.Samples, r.Split())
+			}
+			row = append(row, fmt.Sprintf("%.4g", est.Mean))
+			serie.Y = append(serie.Y, est.Mean)
+			if prev >= 0 && est.Mean > prev*1.02+1e-9 {
+				increasingViolation = true
+			}
+			prev = est.Mean
+		}
+		if increasingViolation {
+			nonMonotone++
+			row[0] += "!"
+		}
+		t.add(row...)
+		csvRows = append(csvRows, row)
+		svgSeries[p.errName] = append(svgSeries[p.errName], serie)
+	}
+	for errName, series := range svgSeries {
+		svg, err := plot.Line(series, plot.Options{
+			Title:  fmt.Sprintf("Figure 6 — expected %s error vs 1/NCP", errName),
+			XLabel: "1/NCP",
+			YLabel: "expected error",
+		})
+		if err != nil {
+			return err
+		}
+		if err := writeSVG(cfg, "fig6_"+csvSlug(errName), svg); err != nil {
+			return err
+		}
+	}
+
+	if err := t.write(cfg.Out); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "\nExpected error decreases as 1/NCP grows in every panel")
+	if nonMonotone > 0 {
+		fmt.Fprintf(cfg.Out, " EXCEPT %d panel(s) marked '!' (Monte-Carlo noise; raise -samples)", nonMonotone)
+	}
+	fmt.Fprintln(cfg.Out, ".")
+	fmt.Fprintf(cfg.Out, "(columns are the paper's x-axis 1/NCP; %d Monte-Carlo draws per point, paper used 2000)\n", cfg.Samples)
+
+	// Also demonstrate the resulting transform for one panel: the
+	// empirical ϕ the broker would publish.
+	sp, err := synth.Generate("CASP", cfg.Scale, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	optimal := optCache["CASP/linear-regression"]
+	deltas := make([]float64, len(fig6InvNCP))
+	for i, x := range fig6InvNCP {
+		deltas[len(deltas)-1-i] = 1 / x
+	}
+	tr, err := pricing.NewEmpirical(noise.Gaussian{}, optimal, loss.Square{}, sp.Test, deltas, cfg.Samples, r.Split())
+	if err != nil {
+		return err
+	}
+	ds, es := tr.Grid()
+	fmt.Fprintf(cfg.Out, "\nEmpirical error-inverse transform ϕ for CASP/square (δ → E[ϵ]):\n")
+	for i := range ds {
+		fmt.Fprintf(cfg.Out, "  δ=%-8.4g E[ϵ]=%.5g\n", ds[i], es[i])
+	}
+
+	return writeCSV(cfg, "fig6", header, csvRows)
+}

@@ -1,0 +1,62 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+
+	"github.com/datamarket/mbp/internal/market"
+)
+
+// ExchangeServer serves a multi-seller marketplace: every listing's
+// broker is reachable under /l/{listing}/..., with the same endpoint
+// semantics as the single-broker Server.
+type ExchangeServer struct {
+	ex *market.Exchange
+}
+
+// NewExchange wraps an exchange. It panics on nil — a wiring error.
+func NewExchange(ex *market.Exchange) *ExchangeServer {
+	if ex == nil {
+		panic("httpapi: nil exchange")
+	}
+	return &ExchangeServer{ex: ex}
+}
+
+// ListingsResponse names the marketplace's listings.
+type ListingsResponse struct {
+	Listings []string `json:"listings"`
+}
+
+// Mux returns the route table.
+func (s *ExchangeServer) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /listings", s.listings)
+	mux.HandleFunc("GET /l/{listing}/menu", s.perBroker((*Server).menu))
+	mux.HandleFunc("GET /l/{listing}/curve", s.perBroker((*Server).curve))
+	mux.HandleFunc("POST /l/{listing}/buy", s.perBroker((*Server).buy))
+	mux.HandleFunc("GET /l/{listing}/ledger", s.perBroker((*Server).ledger))
+	return mux
+}
+
+func (s *ExchangeServer) listings(w http.ResponseWriter, r *http.Request) {
+	srv := &Server{logf: func(string, ...any) {}}
+	srv.writeJSON(w, http.StatusOK, ListingsResponse{Listings: s.ex.Listings()})
+}
+
+// perBroker resolves the listing path parameter and delegates to the
+// single-broker handler.
+func (s *ExchangeServer) perBroker(h func(*Server, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		b, err := s.ex.Broker(r.PathValue("listing"))
+		if err != nil {
+			srv := &Server{logf: func(string, ...any) {}}
+			status := http.StatusNotFound
+			if !errors.Is(err, market.ErrUnknownListing) {
+				status = http.StatusInternalServerError
+			}
+			srv.writeErr(w, status, err)
+			return
+		}
+		h(New(b), w, r)
+	}
+}

@@ -1,0 +1,76 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/core"
+	"github.com/datamarket/mbp/internal/market"
+)
+
+func newExchangeServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ex := market.NewExchange()
+	for i, name := range []string{"casp-a", "casp-b"} {
+		mp, err := core.New(core.Config{Dataset: "CASP", Scale: 0.005, Seed: uint64(i + 1), MCSamples: 40, GridPoints: 8, XMax: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ex.List(name, mp.Broker); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(NewExchange(ex).Mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestExchangeListings(t *testing.T) {
+	ts := newExchangeServer(t)
+	var resp ListingsResponse
+	getJSON(t, ts.URL+"/listings", http.StatusOK, &resp)
+	if len(resp.Listings) != 2 || resp.Listings[0] != "casp-a" || resp.Listings[1] != "casp-b" {
+		t.Fatalf("listings %+v", resp)
+	}
+}
+
+func TestExchangePerListingEndpoints(t *testing.T) {
+	ts := newExchangeServer(t)
+	var menu MenuResponse
+	getJSON(t, ts.URL+"/l/casp-a/menu", http.StatusOK, &menu)
+	if len(menu.Models) != 1 {
+		t.Fatalf("menu %+v", menu)
+	}
+	var curve CurveResponse
+	getJSON(t, ts.URL+"/l/casp-b/curve?model=linear-regression", http.StatusOK, &curve)
+	if len(curve.Curve) != 8 {
+		t.Fatalf("curve rows %d", len(curve.Curve))
+	}
+	var buy BuyResponse
+	postJSON(t, ts.URL+"/l/casp-a/buy", BuyRequest{Model: "linear-regression", Delta: f(curve.Curve[0].Delta)}, http.StatusOK, &buy)
+	if buy.Price < 0 {
+		t.Fatalf("buy %+v", buy)
+	}
+	// The purchase landed in casp-a's ledger only.
+	var ledA, ledB LedgerResponse
+	getJSON(t, ts.URL+"/l/casp-a/ledger", http.StatusOK, &ledA)
+	getJSON(t, ts.URL+"/l/casp-b/ledger", http.StatusOK, &ledB)
+	if len(ledA.Transactions) != 1 || len(ledB.Transactions) != 0 {
+		t.Fatalf("ledgers %d/%d", len(ledA.Transactions), len(ledB.Transactions))
+	}
+}
+
+func TestExchangeUnknownListing(t *testing.T) {
+	ts := newExchangeServer(t)
+	getJSON(t, ts.URL+"/l/nope/menu", http.StatusNotFound, nil)
+}
+
+func TestNewExchangePanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewExchange(nil)
+}

@@ -1,0 +1,259 @@
+// Package httpapi exposes a model-based-pricing broker over HTTP/JSON —
+// the "real-time interaction" the paper claims for the noise-injection
+// design: training happened once at startup, so each purchase costs one
+// noise sample.
+//
+// Endpoints:
+//
+//	GET  /menu                         — offered models
+//	GET  /epsilons?model=<m>           — buyer-selectable error functions
+//	GET  /curve?model=<m>[&epsilon=<e>]— the price–error curve (Fig. 1C step 2)
+//	GET  /quote?model=<m>&delta=<δ>    — price preview without a sale
+//	POST /buy                          — {"model": ..., one of "delta" |
+//	                                     "errorBudget" | "priceBudget",
+//	                                     optional "epsilon"}
+//	GET  /ledger                       — transactions and revenue split
+//
+// cmd/mbpmarket wraps this package in a binary; tests drive it through
+// net/http/httptest.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"github.com/datamarket/mbp/internal/market"
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/pricing"
+)
+
+// Server adapts a broker to HTTP.
+type Server struct {
+	broker *market.Broker
+	// Logf receives diagnostic messages; nil uses log.Printf.
+	logf func(string, ...any)
+}
+
+// New wraps the broker. It panics on a nil broker — a wiring error.
+func New(b *market.Broker) *Server {
+	if b == nil {
+		panic("httpapi: nil broker")
+	}
+	return &Server{broker: b, logf: log.Printf}
+}
+
+// Mux returns the route table.
+func (s *Server) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /menu", s.menu)
+	mux.HandleFunc("GET /epsilons", s.epsilons)
+	mux.HandleFunc("GET /curve", s.curve)
+	mux.HandleFunc("GET /quote", s.quote)
+	mux.HandleFunc("POST /buy", s.buy)
+	mux.HandleFunc("GET /ledger", s.ledger)
+	return mux
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("httpapi: encoding response: %v", err)
+	}
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// MenuResponse lists the offered models.
+type MenuResponse struct {
+	Models []string `json:"models"`
+}
+
+func (s *Server) menu(w http.ResponseWriter, r *http.Request) {
+	models := s.broker.Models()
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.String()
+	}
+	s.writeJSON(w, http.StatusOK, MenuResponse{Models: names})
+}
+
+// ModelByName resolves a model's string form.
+func ModelByName(name string) (ml.Model, error) {
+	for _, m := range []ml.Model{ml.LinearRegression, ml.LogisticRegression, ml.LinearSVM} {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("httpapi: unknown model %q", name)
+}
+
+// CurveResponse is the published price–error curve.
+type CurveResponse struct {
+	Model string               `json:"model"`
+	Curve []pricing.PriceError `json:"curve"`
+}
+
+func (s *Server) curve(w http.ResponseWriter, r *http.Request) {
+	m, err := ModelByName(r.URL.Query().Get("model"))
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// An optional epsilon query parameter selects the error scale.
+	menu, err := s.broker.PriceErrorCurveFor(m, r.URL.Query().Get("epsilon"))
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, CurveResponse{Model: m.String(), Curve: menu})
+}
+
+// EpsilonsResponse lists the error functions offered for a model,
+// default first.
+type EpsilonsResponse struct {
+	Model    string   `json:"model"`
+	Epsilons []string `json:"epsilons"`
+}
+
+func (s *Server) epsilons(w http.ResponseWriter, r *http.Request) {
+	m, err := ModelByName(r.URL.Query().Get("model"))
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	names, err := s.broker.Epsilons(m)
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, EpsilonsResponse{Model: m.String(), Epsilons: names})
+}
+
+// QuoteResponse previews one version without buying it.
+type QuoteResponse struct {
+	Model         string  `json:"model"`
+	Delta         float64 `json:"delta"`
+	Price         float64 `json:"price"`
+	ExpectedError float64 `json:"expectedError"`
+}
+
+func (s *Server) quote(w http.ResponseWriter, r *http.Request) {
+	m, err := ModelByName(r.URL.Query().Get("model"))
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	delta, err := strconv.ParseFloat(r.URL.Query().Get("delta"), 64)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad delta: %w", err))
+		return
+	}
+	price, expErr, err := s.broker.Quote(m, delta)
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, QuoteResponse{Model: m.String(), Delta: delta, Price: price, ExpectedError: expErr})
+}
+
+// BuyRequest selects exactly one of the three purchase options of
+// Section 3.2.
+type BuyRequest struct {
+	Model       string   `json:"model"`
+	Delta       *float64 `json:"delta,omitempty"`
+	ErrorBudget *float64 `json:"errorBudget,omitempty"`
+	PriceBudget *float64 `json:"priceBudget,omitempty"`
+	// Epsilon optionally names the error scale an errorBudget refers
+	// to; empty means the offer's default.
+	Epsilon string `json:"epsilon,omitempty"`
+}
+
+// BuyResponse is the delivered model instance.
+type BuyResponse struct {
+	Model         string    `json:"model"`
+	Delta         float64   `json:"delta"`
+	ExpectedError float64   `json:"expectedError"`
+	Price         float64   `json:"price"`
+	Weights       []float64 `json:"weights"`
+}
+
+func (s *Server) buy(w http.ResponseWriter, r *http.Request) {
+	var req BuyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	m, err := ModelByName(req.Model)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	set := 0
+	for _, p := range []*float64{req.Delta, req.ErrorBudget, req.PriceBudget} {
+		if p != nil {
+			set++
+		}
+	}
+	if set != 1 {
+		s.writeErr(w, http.StatusBadRequest, errors.New("set exactly one of delta, errorBudget, priceBudget"))
+		return
+	}
+	var p *market.Purchase
+	switch {
+	case req.Delta != nil:
+		p, err = s.broker.BuyAtPoint(m, *req.Delta)
+	case req.ErrorBudget != nil:
+		p, err = s.broker.BuyWithErrorBudgetFor(m, req.Epsilon, *req.ErrorBudget)
+	default:
+		p, err = s.broker.BuyWithPriceBudget(m, *req.PriceBudget)
+	}
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, BuyResponse{
+		Model:         p.Model.String(),
+		Delta:         p.Delta,
+		ExpectedError: p.ExpectedError,
+		Price:         p.Price,
+		Weights:       p.Instance.W,
+	})
+}
+
+// LedgerResponse reports completed transactions and the revenue split.
+type LedgerResponse struct {
+	Transactions []market.Transaction `json:"transactions"`
+	SellerShare  float64              `json:"sellerShare"`
+	BrokerShare  float64              `json:"brokerShare"`
+}
+
+func (s *Server) ledger(w http.ResponseWriter, r *http.Request) {
+	seller, broker := s.broker.RevenueSplit()
+	s.writeJSON(w, http.StatusOK, LedgerResponse{
+		Transactions: s.broker.Ledger(),
+		SellerShare:  seller,
+		BrokerShare:  broker,
+	})
+}
+
+// statusFor maps broker errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, market.ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, market.ErrUnknownEpsilon):
+		return http.StatusBadRequest
+	case errors.Is(err, market.ErrBudgetTooSmall),
+		errors.Is(err, market.ErrErrorBudgetTooTight):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}

@@ -1,0 +1,253 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/core"
+	"github.com/datamarket/mbp/internal/loss"
+	"github.com/datamarket/mbp/internal/market"
+	"github.com/datamarket/mbp/internal/ml"
+)
+
+// newTestServer builds a marketplace once per test binary (training is
+// the expensive part) and serves it via httptest.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mp, err := core.New(core.Config{Dataset: "CASP", Scale: 0.005, Seed: 3, MCSamples: 50, GridPoints: 10, XMax: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(mp.Broker).Mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func postJSON(t *testing.T, url string, body any, wantStatus int, out any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMenu(t *testing.T) {
+	ts := newTestServer(t)
+	var menu MenuResponse
+	getJSON(t, ts.URL+"/menu", http.StatusOK, &menu)
+	if len(menu.Models) != 1 || menu.Models[0] != "linear-regression" {
+		t.Fatalf("menu = %+v", menu)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	ts := newTestServer(t)
+	var curve CurveResponse
+	getJSON(t, ts.URL+"/curve?model=linear-regression", http.StatusOK, &curve)
+	if len(curve.Curve) != 10 {
+		t.Fatalf("curve rows %d", len(curve.Curve))
+	}
+	for i := 1; i < len(curve.Curve); i++ {
+		if curve.Curve[i].Price < curve.Curve[i-1].Price-1e-9 {
+			t.Fatal("curve prices not monotone")
+		}
+	}
+	getJSON(t, ts.URL+"/curve?model=nope", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/curve?model=linear-svm", http.StatusNotFound, nil)
+}
+
+func TestBuyAllOptions(t *testing.T) {
+	ts := newTestServer(t)
+	var curve CurveResponse
+	getJSON(t, ts.URL+"/curve?model=linear-regression", http.StatusOK, &curve)
+	cheap := curve.Curve[0]
+	best := curve.Curve[len(curve.Curve)-1]
+
+	var buy BuyResponse
+	postJSON(t, ts.URL+"/buy", BuyRequest{Model: "linear-regression", Delta: f(cheap.Delta)}, http.StatusOK, &buy)
+	if buy.Delta != cheap.Delta || len(buy.Weights) == 0 {
+		t.Fatalf("buy = %+v", buy)
+	}
+
+	postJSON(t, ts.URL+"/buy", BuyRequest{Model: "linear-regression", ErrorBudget: f(cheap.ExpectedError)}, http.StatusOK, &buy)
+	if buy.ExpectedError > cheap.ExpectedError+1e-9 {
+		t.Fatalf("error budget violated: %+v", buy)
+	}
+
+	postJSON(t, ts.URL+"/buy", BuyRequest{Model: "linear-regression", PriceBudget: f(best.Price)}, http.StatusOK, &buy)
+	if buy.Price > best.Price+1e-9 {
+		t.Fatalf("price budget violated: %+v", buy)
+	}
+}
+
+func TestBuyValidation(t *testing.T) {
+	ts := newTestServer(t)
+	// No option set.
+	postJSON(t, ts.URL+"/buy", BuyRequest{Model: "linear-regression"}, http.StatusBadRequest, nil)
+	// Two options set.
+	postJSON(t, ts.URL+"/buy", BuyRequest{Model: "linear-regression", Delta: f(1), PriceBudget: f(1)}, http.StatusBadRequest, nil)
+	// Unknown model.
+	postJSON(t, ts.URL+"/buy", BuyRequest{Model: "nope", Delta: f(1)}, http.StatusBadRequest, nil)
+	// Unoffered model.
+	postJSON(t, ts.URL+"/buy", BuyRequest{Model: "linear-svm", Delta: f(1)}, http.StatusNotFound, nil)
+	// Budget too small.
+	postJSON(t, ts.URL+"/buy", BuyRequest{Model: "linear-regression", PriceBudget: f(1e-12)}, http.StatusUnprocessableEntity, nil)
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/buy", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(ts.URL + "/buy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /buy: status %d", resp.StatusCode)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	ts := newTestServer(t)
+	var curve CurveResponse
+	getJSON(t, ts.URL+"/curve?model=linear-regression", http.StatusOK, &curve)
+	for i := 0; i < 3; i++ {
+		postJSON(t, ts.URL+"/buy", BuyRequest{Model: "linear-regression", Delta: f(curve.Curve[0].Delta)}, http.StatusOK, nil)
+	}
+	var led LedgerResponse
+	getJSON(t, ts.URL+"/ledger", http.StatusOK, &led)
+	if len(led.Transactions) != 3 {
+		t.Fatalf("ledger rows %d", len(led.Transactions))
+	}
+	var total float64
+	for _, tx := range led.Transactions {
+		total += tx.Price
+	}
+	if diff := total - led.SellerShare - led.BrokerShare; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("split does not add up: %v vs %v+%v", total, led.SellerShare, led.BrokerShare)
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	for _, m := range []ml.Model{ml.LinearRegression, ml.LogisticRegression, ml.LinearSVM} {
+		got, err := ModelByName(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ModelByName(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ModelByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestNewPanicsOnNilBroker(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(nil)
+}
+
+func f(v float64) *float64 { return &v }
+
+var _ = fmt.Sprintf
+
+func TestEpsilonsEndpointAndEpsilonBuy(t *testing.T) {
+	// Wire the offer with an extra epsilon through the market API.
+	mp2, err := core.NewUntrained(core.Config{Dataset: "SUSY", Scale: 0.0005, GridPoints: 8, XMax: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp2.Broker.AddModel(ml.LogisticRegression, market.AddModelOptions{
+		Train:         ml.Options{Mu: 1e-3},
+		MCSamples:     40,
+		ExtraEpsilons: []loss.Loss{loss.ZeroOne{}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(mp2.Broker).Mux())
+	defer ts.Close()
+
+	var eps EpsilonsResponse
+	getJSON(t, ts.URL+"/epsilons?model=logistic-regression", http.StatusOK, &eps)
+	if len(eps.Epsilons) != 2 || eps.Epsilons[0] != "logistic" || eps.Epsilons[1] != "zero-one" {
+		t.Fatalf("epsilons %+v", eps)
+	}
+
+	var curve CurveResponse
+	getJSON(t, ts.URL+"/curve?model=logistic-regression&epsilon=zero-one", http.StatusOK, &curve)
+	for _, row := range curve.Curve {
+		if row.ExpectedError < 0 || row.ExpectedError > 1 {
+			t.Fatalf("0/1 menu row out of range: %+v", row)
+		}
+	}
+	getJSON(t, ts.URL+"/curve?model=logistic-regression&epsilon=nope", http.StatusBadRequest, nil)
+
+	budget := (curve.Curve[0].ExpectedError + curve.Curve[len(curve.Curve)-1].ExpectedError) / 2
+	var buy BuyResponse
+	postJSON(t, ts.URL+"/buy", BuyRequest{Model: "logistic-regression", ErrorBudget: f(budget), Epsilon: "zero-one"}, http.StatusOK, &buy)
+	if buy.Price <= 0 {
+		t.Fatalf("buy %+v", buy)
+	}
+	postJSON(t, ts.URL+"/buy", BuyRequest{Model: "logistic-regression", ErrorBudget: f(budget), Epsilon: "nope"}, http.StatusBadRequest, nil)
+}
+
+func TestQuoteEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var curve CurveResponse
+	getJSON(t, ts.URL+"/curve?model=linear-regression", http.StatusOK, &curve)
+	row := curve.Curve[0]
+	var q QuoteResponse
+	getJSON(t, fmt.Sprintf("%s/quote?model=linear-regression&delta=%g", ts.URL, row.Delta), http.StatusOK, &q)
+	if q.Price != row.Price || q.ExpectedError != row.ExpectedError {
+		t.Fatalf("quote %+v vs menu row %+v", q, row)
+	}
+	getJSON(t, ts.URL+"/quote?model=linear-regression&delta=oops", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/quote?model=nope&delta=1", http.StatusBadRequest, nil)
+	// No ledger entries from quoting.
+	var led LedgerResponse
+	getJSON(t, ts.URL+"/ledger", http.StatusOK, &led)
+	if len(led.Transactions) != 0 {
+		t.Fatal("quote created a transaction")
+	}
+}

@@ -1,0 +1,24 @@
+package isotonic_test
+
+import (
+	"fmt"
+
+	"github.com/datamarket/mbp/internal/isotonic"
+)
+
+// ExampleIncreasing pools adjacent violators into block means.
+func ExampleIncreasing() {
+	z, _ := isotonic.Increasing([]float64{1, 3, 2, 4}, nil)
+	fmt.Println(z)
+	// Output:
+	// [1 2.5 2.5 4]
+}
+
+// ExampleDecreasing is the mirrored projection, used for the price/x
+// ratio constraint of the revenue optimizer.
+func ExampleDecreasing() {
+	z, _ := isotonic.Decreasing([]float64{1, 3}, nil)
+	fmt.Println(z)
+	// Output:
+	// [2 2]
+}

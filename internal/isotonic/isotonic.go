@@ -1,0 +1,103 @@
+// Package isotonic implements weighted isotonic regression via the Pool
+// Adjacent Violators Algorithm (PAVA).
+//
+// Two MBP components rely on it: the empirical error-inverse transform ϕ
+// (internal/pricing) smooths Monte-Carlo estimates of E[ϵ(ĥδ)] into the
+// monotone function Theorem 4 guarantees, and the revenue-optimization
+// interpolation solver (internal/revopt) uses alternating projections
+// onto isotonic cones, each computed exactly by weighted PAVA.
+package isotonic
+
+import "fmt"
+
+// Increasing returns the weighted least-squares projection of y onto
+// the cone of non-decreasing sequences: it minimizes Σ wᵢ(zᵢ − yᵢ)²
+// subject to z₁ ≤ z₂ ≤ … ≤ zₙ. Weights must be positive; pass nil for
+// uniform weights. The input is not modified.
+func Increasing(y, w []float64) ([]float64, error) {
+	if len(y) == 0 {
+		return nil, nil
+	}
+	if w == nil {
+		w = make([]float64, len(y))
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	if len(w) != len(y) {
+		return nil, fmt.Errorf("isotonic: %d weights for %d values", len(w), len(y))
+	}
+	for i, v := range w {
+		if v <= 0 {
+			return nil, fmt.Errorf("isotonic: non-positive weight w[%d] = %v", i, v)
+		}
+	}
+
+	// Blocks of pooled values: each block stores its weighted mean,
+	// total weight, and the number of original points it covers.
+	means := make([]float64, 0, len(y))
+	weights := make([]float64, 0, len(y))
+	counts := make([]int, 0, len(y))
+
+	for i := range y {
+		means = append(means, y[i])
+		weights = append(weights, w[i])
+		counts = append(counts, 1)
+		// Pool while the last two blocks violate monotonicity.
+		for len(means) > 1 && means[len(means)-2] > means[len(means)-1] {
+			m2, w2, c2 := means[len(means)-1], weights[len(weights)-1], counts[len(counts)-1]
+			m1, w1, c1 := means[len(means)-2], weights[len(weights)-2], counts[len(counts)-2]
+			means = means[:len(means)-2]
+			weights = weights[:len(weights)-2]
+			counts = counts[:len(counts)-2]
+			means = append(means, (m1*w1+m2*w2)/(w1+w2))
+			weights = append(weights, w1+w2)
+			counts = append(counts, c1+c2)
+		}
+	}
+
+	out := make([]float64, 0, len(y))
+	for b := range means {
+		for k := 0; k < counts[b]; k++ {
+			out = append(out, means[b])
+		}
+	}
+	return out, nil
+}
+
+// Decreasing returns the weighted least-squares projection of y onto
+// the cone of non-increasing sequences.
+func Decreasing(y, w []float64) ([]float64, error) {
+	n := len(y)
+	rev := make([]float64, n)
+	for i := range rev {
+		rev[i] = y[n-1-i]
+	}
+	var wrev []float64
+	if w != nil {
+		wrev = make([]float64, n)
+		for i := range wrev {
+			wrev[i] = w[n-1-i]
+		}
+	}
+	z, err := Increasing(rev, wrev)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = z[n-1-i]
+	}
+	return out, nil
+}
+
+// IsNonDecreasing reports whether y is non-decreasing up to tol
+// (adjacent decreases of at most tol are accepted).
+func IsNonDecreasing(y []float64, tol float64) bool {
+	for i := 1; i < len(y); i++ {
+		if y[i] < y[i-1]-tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,217 @@
+package isotonic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+func vecEq(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAlreadyMonotone(t *testing.T) {
+	y := []float64{1, 2, 2, 5}
+	z, err := Increasing(y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecEq(z, y, 0) {
+		t.Fatalf("monotone input changed: %v", z)
+	}
+}
+
+func TestSimplePooling(t *testing.T) {
+	z, err := Increasing([]float64{3, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecEq(z, []float64{2, 2}, 1e-12) {
+		t.Fatalf("z = %v, want [2 2]", z)
+	}
+}
+
+func TestKnownExample(t *testing.T) {
+	// Classic PAVA example.
+	y := []float64{1, 3, 2, 4, 5, 4, 6}
+	z, err := Increasing(y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2.5, 2.5, 4, 4.5, 4.5, 6}
+	if !vecEq(z, want, 1e-12) {
+		t.Fatalf("z = %v, want %v", z, want)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	// Heavier weight on the first point pulls the pooled mean toward it.
+	z, err := Increasing([]float64{3, 1}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (3*3.0 + 1*1.0) / 4
+	if !vecEq(z, []float64{want, want}, 1e-12) {
+		t.Fatalf("z = %v, want [%v %v]", z, want, want)
+	}
+}
+
+func TestDecreasing(t *testing.T) {
+	z, err := Decreasing([]float64{1, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecEq(z, []float64{2, 2}, 1e-12) {
+		t.Fatalf("z = %v", z)
+	}
+	z, err = Decreasing([]float64{5, 4, 4, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecEq(z, []float64{5, 4, 4, 1}, 0) {
+		t.Fatalf("monotone decreasing input changed: %v", z)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if z, err := Increasing(nil, nil); err != nil || z != nil {
+		t.Fatalf("empty: %v, %v", z, err)
+	}
+	z, err := Increasing([]float64{7}, nil)
+	if err != nil || !vecEq(z, []float64{7}, 0) {
+		t.Fatalf("single: %v, %v", z, err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Increasing([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Increasing([]float64{1, 2}, []float64{1, 0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := Increasing([]float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestInputNotModified(t *testing.T) {
+	y := []float64{3, 1, 2}
+	orig := append([]float64(nil), y...)
+	if _, err := Increasing(y, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !vecEq(y, orig, 0) {
+		t.Fatal("input modified")
+	}
+}
+
+// Property: output is non-decreasing, preserves the weighted mean, and
+// is never farther from y than y's own span.
+func TestPAVAProperties(t *testing.T) {
+	r := rng.New(55)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed ^ r.Uint64())
+		n := 1 + rr.Intn(40)
+		y := make([]float64, n)
+		w := make([]float64, n)
+		for i := range y {
+			y[i] = rr.Normal() * 10
+			w[i] = 0.1 + rr.Float64()*5
+		}
+		z, err := Increasing(y, w)
+		if err != nil {
+			return false
+		}
+		if !IsNonDecreasing(z, 1e-9) {
+			return false
+		}
+		// Weighted means agree.
+		var my, mz, tw float64
+		for i := range y {
+			my += w[i] * y[i]
+			mz += w[i] * z[i]
+			tw += w[i]
+		}
+		return math.Abs(my/tw-mz/tw) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PAVA output is the projection — no feasible point is closer.
+// We verify first-order optimality via the KKT-style block condition:
+// perturbing toward the original y must not stay feasible and improve.
+func TestPAVAIsProjection(t *testing.T) {
+	r := rng.New(66)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(20)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = r.Normal() * 5
+		}
+		z, err := Increasing(y, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj := func(v []float64) float64 {
+			var s float64
+			for i := range v {
+				d := v[i] - y[i]
+				s += d * d
+			}
+			return s
+		}
+		base := obj(z)
+		// Random feasible (monotone) candidates must not beat z.
+		for c := 0; c < 20; c++ {
+			cand := make([]float64, n)
+			cur := -20.0
+			for i := range cand {
+				cur += r.Float64() * 3
+				cand[i] = cur
+			}
+			if obj(cand) < base-1e-9 {
+				t.Fatalf("found better feasible point: %v beats %v", obj(cand), base)
+			}
+		}
+	}
+}
+
+func TestIsNonDecreasing(t *testing.T) {
+	if !IsNonDecreasing([]float64{1, 1, 2}, 0) {
+		t.Fatal("monotone rejected")
+	}
+	if IsNonDecreasing([]float64{2, 1}, 0) {
+		t.Fatal("decreasing accepted")
+	}
+	if !IsNonDecreasing([]float64{2, 1.9999999}, 1e-3) {
+		t.Fatal("tolerance not applied")
+	}
+}
+
+func BenchmarkPAVA1000(b *testing.B) {
+	r := rng.New(1)
+	y := make([]float64, 1000)
+	for i := range y {
+		y[i] = r.Normal()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Increasing(y, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

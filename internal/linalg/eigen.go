@@ -1,0 +1,106 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymmetricEigen computes the full eigendecomposition of a symmetric
+// matrix with the cyclic Jacobi method: A = V·diag(values)·Vᵀ, with
+// eigenvalues returned in ascending order and the corresponding
+// eigenvectors as the columns of V.
+//
+// The trainers use it for conditioning diagnostics of the regularized
+// Hessian (ml.ConditionReport); Jacobi is exactly the right tool there —
+// small dense symmetric matrices, full accuracy, no external LAPACK.
+// Only the symmetric part of a is used (it is symmetrized up front to
+// absorb floating-point asymmetry).
+func SymmetricEigen(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("%w: eigen of %dx%d", ErrDimensionMismatch, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	// Work on a symmetrized copy.
+	w := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w.Set(i, j, (a.At(i, j)+a.At(j, i))/2)
+		}
+	}
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius norm.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += 2 * w.At(i, j) * w.At(i, j)
+			}
+		}
+		if math.Sqrt(off) < 1e-13*(1+frobenius(w)) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	order := make([]int, n)
+	for i := range values {
+		values[i] = w.At(i, i)
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return values[order[i]] < values[order[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for k, idx := range order {
+		sortedVals[k] = values[idx]
+		for i := 0; i < n; i++ {
+			sortedVecs.Set(i, k, v.At(i, idx))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// rotate applies the Jacobi rotation J(p,q,θ) to w (two-sided) and
+// accumulates it into v (one-sided).
+func rotate(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	for i := 0; i < n; i++ {
+		wip, wiq := w.At(i, p), w.At(i, q)
+		w.Set(i, p, c*wip-s*wiq)
+		w.Set(i, q, s*wip+c*wiq)
+	}
+	for j := 0; j < n; j++ {
+		wpj, wqj := w.At(p, j), w.At(q, j)
+		w.Set(p, j, c*wpj-s*wqj)
+		w.Set(q, j, s*wpj+c*wqj)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func frobenius(m *Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

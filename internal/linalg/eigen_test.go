@@ -1,0 +1,136 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+func TestSymmetricEigenDiagonal(t *testing.T) {
+	a := NewMatrix(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	vals, vecs, err := SymmetricEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	// Eigenvectors of a diagonal matrix are (signed) unit vectors.
+	for k := 0; k < 3; k++ {
+		var nrm float64
+		for i := 0; i < 3; i++ {
+			nrm += vecs.At(i, k) * vecs.At(i, k)
+		}
+		if math.Abs(nrm-1) > 1e-10 {
+			t.Fatalf("eigenvector %d not unit: %v", k, nrm)
+		}
+	}
+}
+
+func TestSymmetricEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, _, err := SymmetricEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-10 || math.Abs(vals[1]-3) > 1e-10 {
+		t.Fatalf("vals = %v, want [1 3]", vals)
+	}
+}
+
+func TestSymmetricEigenReconstruction(t *testing.T) {
+	r := rng.New(13)
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + r.Intn(7)
+		g := NewMatrix(n+1, n)
+		for i := range g.Data {
+			g.Data[i] = r.Normal()
+		}
+		a := g.Gram()
+		vals, vecs, err := SymmetricEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ascending order.
+		if !sort.Float64sAreSorted(vals) {
+			t.Fatalf("eigenvalues not sorted: %v", vals)
+		}
+		// A·v_k = λ_k·v_k.
+		for k := 0; k < n; k++ {
+			vk := make([]float64, n)
+			for i := 0; i < n; i++ {
+				vk[i] = vecs.At(i, k)
+			}
+			av := a.MatVec(vk)
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-vals[k]*vk[i]) > 1e-8*(1+math.Abs(vals[k])) {
+					t.Fatalf("trial %d: A·v != λ·v at (%d,%d): %v vs %v", trial, i, k, av[i], vals[k]*vk[i])
+				}
+			}
+		}
+		// Orthonormal V.
+		vtv := vecs.Transpose().Mul(vecs)
+		if !vtv.Equal(Identity(n), 1e-9) {
+			t.Fatalf("trial %d: VᵀV != I", trial)
+		}
+		// Trace preserved.
+		var trA, sumVals float64
+		for i := 0; i < n; i++ {
+			trA += a.At(i, i)
+			sumVals += vals[i]
+		}
+		if math.Abs(trA-sumVals) > 1e-9*(1+math.Abs(trA)) {
+			t.Fatalf("trial %d: trace %v vs Σλ %v", trial, trA, sumVals)
+		}
+	}
+}
+
+func TestSymmetricEigenPSD(t *testing.T) {
+	// Gram matrices are PSD: eigenvalues must be ≥ 0 (within noise).
+	r := rng.New(21)
+	g := NewMatrix(4, 6) // rank-deficient: at least 2 zero eigenvalues
+	for i := range g.Data {
+		g.Data[i] = r.Normal()
+	}
+	a := g.Gram()
+	vals, _, err := SymmetricEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] < -1e-9 {
+		t.Fatalf("PSD matrix with negative eigenvalue %v", vals[0])
+	}
+	if vals[1] > 1e-8 {
+		t.Fatalf("rank-4 6x6 Gram should have ≥2 near-zero eigenvalues: %v", vals)
+	}
+}
+
+func TestSymmetricEigenRejectsNonSquare(t *testing.T) {
+	if _, _, err := SymmetricEigen(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func BenchmarkSymmetricEigen20(b *testing.B) {
+	r := rng.New(1)
+	g := NewMatrix(25, 20)
+	for i := range g.Data {
+		g.Data[i] = r.Normal()
+	}
+	a := g.Gram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SymmetricEigen(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

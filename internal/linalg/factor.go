@@ -1,0 +1,234 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix
+// is not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// ErrSingular is returned by solvers when the system is singular to
+// working precision.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ of a
+// symmetric positive definite matrix. Only the lower triangle of a is
+// read. It returns ErrNotPositiveDefinite if a pivot is not strictly
+// positive.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: Cholesky of %dx%d", ErrDimensionMismatch, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w (pivot %d = %g)", ErrNotPositiveDefinite, j, d)
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// SolveLower solves L·x = b for lower-triangular L by forward
+// substitution.
+func SolveLower(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: SolveLower %dx%d with rhs %d", ErrDimensionMismatch, n, l.Cols, len(b))
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * x[k]
+		}
+		if row[i] == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// SolveUpper solves U·x = b for upper-triangular U by back substitution.
+func SolveUpper(u *Matrix, b []float64) ([]float64, error) {
+	n := u.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: SolveUpper %dx%d with rhs %d", ErrDimensionMismatch, n, u.Cols, len(b))
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		row := u.Row(i)
+		for k := i + 1; k < n; k++ {
+			s -= row[k] * x[k]
+		}
+		if row[i] == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// SolveLowerT solves Lᵀ·x = b given the lower-triangular L, i.e. a back
+// substitution that reads L column-wise, avoiding an explicit transpose.
+func SolveLowerT(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: SolveLowerT %dx%d with rhs %d", ErrDimensionMismatch, n, l.Cols, len(b))
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		d := l.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveSPD solves A·x = b for symmetric positive definite A via a
+// Cholesky factorization. This is the closed-form ridge-regression path
+// used by internal/ml.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	y, err := SolveLower(l, b)
+	if err != nil {
+		return nil, err
+	}
+	return SolveLowerT(l, y)
+}
+
+// QR holds a Householder QR factorization A = Q·R of an m×n matrix with
+// m >= n. Q is stored implicitly as Householder reflectors in the lower
+// trapezoid of qr; the strict upper triangle of qr holds R, and rdiag
+// holds R's diagonal.
+type QR struct {
+	qr    *Matrix
+	rdiag []float64
+}
+
+// FactorQR computes the Householder QR factorization of a (copied, not
+// overwritten). It requires a.Rows >= a.Cols.
+func FactorQR(a *Matrix) (*QR, error) {
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("%w: QR requires rows >= cols, got %dx%d", ErrDimensionMismatch, a.Rows, a.Cols)
+	}
+	m, n := a.Rows, a.Cols
+	f := a.Clone()
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of the k-th column below (and including) the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, f.At(i, k))
+		}
+		if norm != 0 {
+			if f.At(k, k) < 0 {
+				norm = -norm
+			}
+			for i := k; i < m; i++ {
+				f.Set(i, k, f.At(i, k)/norm)
+			}
+			f.Set(k, k, f.At(k, k)+1)
+			// Apply the reflector to the remaining columns.
+			for j := k + 1; j < n; j++ {
+				var s float64
+				for i := k; i < m; i++ {
+					s += f.At(i, k) * f.At(i, j)
+				}
+				s = -s / f.At(k, k)
+				for i := k; i < m; i++ {
+					f.Set(i, j, f.At(i, j)+s*f.At(i, k))
+				}
+			}
+		}
+		rdiag[k] = -norm
+	}
+	return &QR{qr: f, rdiag: rdiag}, nil
+}
+
+// SolveLeastSquares returns argmin_x ||A·x - b||₂ using the stored
+// factorization. It returns ErrSingular if R is rank deficient.
+func (q *QR) SolveLeastSquares(b []float64) ([]float64, error) {
+	m, n := q.qr.Rows, q.qr.Cols
+	if len(b) != m {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrDimensionMismatch, len(b), m)
+	}
+	y := Clone(b)
+	// Apply Householder reflectors to b: y = Qᵀ b.
+	for k := 0; k < n; k++ {
+		diag := q.qr.At(k, k)
+		if q.rdiag[k] == 0 || diag == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += q.qr.At(i, k) * y[i]
+		}
+		s = -s / diag
+		for i := k; i < m; i++ {
+			y[i] += s * q.qr.At(i, k)
+		}
+	}
+	// Back substitution on R. A pivot that is tiny relative to the
+	// largest pivot signals numerical rank deficiency.
+	var maxDiag float64
+	for _, d := range q.rdiag {
+		if a := math.Abs(d); a > maxDiag {
+			maxDiag = a
+		}
+	}
+	tol := 1e-12 * maxDiag
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= q.qr.At(i, k) * x[k]
+		}
+		if math.Abs(q.rdiag[i]) <= tol {
+			return nil, ErrSingular
+		}
+		x[i] = s / q.rdiag[i]
+	}
+	return x, nil
+}
+
+// R returns a copy of the upper-triangular factor R (n×n).
+func (q *QR) R() *Matrix {
+	n := q.qr.Cols
+	r := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		r.Set(i, i, q.rdiag[i])
+		for j := i + 1; j < n; j++ {
+			r.Set(i, j, q.qr.At(i, j))
+		}
+	}
+	return r
+}

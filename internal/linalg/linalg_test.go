@@ -1,0 +1,377 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecApprox(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !approx(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpyScaleAddSub(t *testing.T) {
+	dst := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, dst)
+	if !vecApprox(dst, []float64{3, 5, 7}, 0) {
+		t.Fatalf("Axpy = %v", dst)
+	}
+	Scale(0.5, dst)
+	if !vecApprox(dst, []float64{1.5, 2.5, 3.5}, 0) {
+		t.Fatalf("Scale = %v", dst)
+	}
+	if got := Add([]float64{1, 2}, []float64{3, 4}); !vecApprox(got, []float64{4, 6}, 0) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub([]float64{1, 2}, []float64{3, 4}); !vecApprox(got, []float64{-2, -2}, 0) {
+		t.Fatalf("Sub = %v", got)
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); !approx(got, 5, 1e-12) {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Fatalf("Norm2(nil) = %v", got)
+	}
+	// Overflow guard: squares exceed MaxFloat64 but the norm is finite.
+	big := []float64{1e200, 1e200}
+	if got := Norm2(big); math.IsInf(got, 0) || !approx(got, 1e200*math.Sqrt2, 1e188) {
+		t.Fatalf("Norm2 overflow guard failed: %v", got)
+	}
+}
+
+func TestNormInfAndSquaredDistance(t *testing.T) {
+	if got := NormInf([]float64{-7, 3}); got != 7 {
+		t.Fatalf("NormInf = %v", got)
+	}
+	if got := SquaredDistance([]float64{1, 2}, []float64{4, 6}); got != 25 {
+		t.Fatalf("SquaredDistance = %v, want 25", got)
+	}
+}
+
+func TestMeanOnesZerosAllFinite(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Ones(3); !vecApprox(got, []float64{1, 1, 1}, 0) {
+		t.Fatalf("Ones = %v", got)
+	}
+	if got := Zeros(2); !vecApprox(got, []float64{0, 0}, 0) {
+		t.Fatalf("Zeros = %v", got)
+	}
+	if !AllFinite([]float64{1, -2, 0}) {
+		t.Fatal("AllFinite false on finite input")
+	}
+	if AllFinite([]float64{1, math.NaN()}) || AllFinite([]float64{math.Inf(1)}) {
+		t.Fatal("AllFinite true on non-finite input")
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %v", m.At(2, 1))
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Fatal("Set failed")
+	}
+	tr := m.Transpose()
+	if tr.Rows != 2 || tr.Cols != 3 || tr.At(1, 2) != 6 {
+		t.Fatalf("Transpose wrong: %+v", tr)
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) != 9 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestMatVecAndMatTVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if got := m.MatVec([]float64{1, 1}); !vecApprox(got, []float64{3, 7}, 0) {
+		t.Fatalf("MatVec = %v", got)
+	}
+	if got := m.MatTVec([]float64{1, 1}); !vecApprox(got, []float64{4, 6}, 0) {
+		t.Fatalf("MatTVec = %v", got)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if got := a.Mul(b); !got.Equal(want, 0) {
+		t.Fatalf("Mul = %+v", got)
+	}
+	id := Identity(2)
+	if got := a.Mul(id); !got.Equal(a, 0) {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestGramMatchesExplicit(t *testing.T) {
+	r := rng.New(99)
+	a := NewMatrix(7, 4)
+	for i := range a.Data {
+		a.Data[i] = r.Normal()
+	}
+	want := a.Transpose().Mul(a)
+	if got := a.Gram(); !got.Equal(want, 1e-12) {
+		t.Fatal("Gram != AᵀA")
+	}
+}
+
+func TestAddScaledIdentity(t *testing.T) {
+	m := Identity(3)
+	m.AddScaledIdentity(2)
+	for i := 0; i < 3; i++ {
+		if m.At(i, i) != 3 {
+			t.Fatalf("diag %d = %v", i, m.At(i, i))
+		}
+	}
+}
+
+func TestCholeskySolveSPD(t *testing.T) {
+	// A = LLᵀ with known L.
+	a := FromRows([][]float64{
+		{4, 2, 2},
+		{2, 5, 3},
+		{2, 3, 6},
+	})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	// Verify LLᵀ = A.
+	if got := l.Mul(l.Transpose()); !got.Equal(a, 1e-10) {
+		t.Fatal("LLᵀ != A")
+	}
+	want := []float64{1, -2, 3}
+	b := a.MatVec(want)
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatalf("SolveSPD: %v", err)
+	}
+	if !vecApprox(x, want, 1e-9) {
+		t.Fatalf("SolveSPD = %v, want %v", x, want)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := Cholesky(a); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestTriangularSolves(t *testing.T) {
+	l := FromRows([][]float64{{2, 0}, {1, 3}})
+	x, err := SolveLower(l, []float64{4, 10})
+	if err != nil || !vecApprox(x, []float64{2, 8.0 / 3}, 1e-12) {
+		t.Fatalf("SolveLower = %v, %v", x, err)
+	}
+	u := FromRows([][]float64{{2, 1}, {0, 3}})
+	x, err = SolveUpper(u, []float64{5, 6})
+	if err != nil || !vecApprox(x, []float64{1.5, 2}, 1e-12) {
+		t.Fatalf("SolveUpper = %v, %v", x, err)
+	}
+	// SolveLowerT(l, b) must equal SolveUpper(lᵀ, b).
+	b := []float64{7, -2}
+	x1, err1 := SolveLowerT(l, b)
+	x2, err2 := SolveUpper(l.Transpose(), b)
+	if err1 != nil || err2 != nil || !vecApprox(x1, x2, 1e-12) {
+		t.Fatalf("SolveLowerT mismatch: %v vs %v", x1, x2)
+	}
+}
+
+func TestTriangularSingular(t *testing.T) {
+	l := FromRows([][]float64{{0, 0}, {1, 1}})
+	if _, err := SolveLower(l, []float64{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+	u := FromRows([][]float64{{1, 1}, {0, 0}})
+	if _, err := SolveUpper(u, []float64{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestQRSquareSolve(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	want := []float64{1, 2}
+	b := a.MatVec(want)
+	qr, err := FactorQR(a)
+	if err != nil {
+		t.Fatalf("FactorQR: %v", err)
+	}
+	x, err := qr.SolveLeastSquares(b)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if !vecApprox(x, want, 1e-10) {
+		t.Fatalf("QR solve = %v, want %v", x, want)
+	}
+}
+
+func TestQRLeastSquaresMatchesNormalEquations(t *testing.T) {
+	r := rng.New(5)
+	m, n := 50, 6
+	a := NewMatrix(m, n)
+	for i := range a.Data {
+		a.Data[i] = r.Normal()
+	}
+	b := r.NormalVector(nil, m)
+	qr, err := FactorQR(a)
+	if err != nil {
+		t.Fatalf("FactorQR: %v", err)
+	}
+	x, err := qr.SolveLeastSquares(b)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	// Normal equations: (AᵀA) x = Aᵀ b.
+	xne, err := SolveSPD(a.Gram(), a.MatTVec(b))
+	if err != nil {
+		t.Fatalf("SolveSPD: %v", err)
+	}
+	if !vecApprox(x, xne, 1e-8) {
+		t.Fatalf("QR %v vs normal equations %v", x, xne)
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	qr, err := FactorQR(a)
+	if err != nil {
+		t.Fatalf("FactorQR: %v", err)
+	}
+	if _, err := qr.SolveLeastSquares([]float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestQRRequiresTall(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := FactorQR(a); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestQRRReconstruction(t *testing.T) {
+	r := rng.New(8)
+	a := NewMatrix(5, 3)
+	for i := range a.Data {
+		a.Data[i] = r.Normal()
+	}
+	qr, err := FactorQR(a)
+	if err != nil {
+		t.Fatalf("FactorQR: %v", err)
+	}
+	// RᵀR must equal AᵀA (Q orthogonal).
+	rm := qr.R()
+	if got, want := rm.Transpose().Mul(rm), a.Gram(); !got.Equal(want, 1e-9) {
+		t.Fatal("RᵀR != AᵀA")
+	}
+}
+
+// Property: SolveSPD inverts MatVec for random SPD systems.
+func TestSolveSPDRoundTripProperty(t *testing.T) {
+	r := rng.New(123)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed ^ r.Uint64())
+		n := 1 + rr.Intn(8)
+		// Build SPD as GᵀG + I.
+		g := NewMatrix(n+2, n)
+		for i := range g.Data {
+			g.Data[i] = rr.Normal()
+		}
+		a := g.Gram()
+		a.AddScaledIdentity(1)
+		want := rr.NormalVector(nil, n)
+		b := a.MatVec(want)
+		x, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		return vecApprox(x, want, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCholesky32(b *testing.B) {
+	r := rng.New(1)
+	g := NewMatrix(64, 32)
+	for i := range g.Data {
+		g.Data[i] = r.Normal()
+	}
+	a := g.Gram()
+	a.AddScaledIdentity(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatVec(b *testing.B) {
+	r := rng.New(1)
+	m := NewMatrix(256, 64)
+	for i := range m.Data {
+		m.Data[i] = r.Normal()
+	}
+	x := r.NormalVector(nil, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.MatVec(x)
+	}
+}

@@ -1,0 +1,168 @@
+package linalg
+
+import "fmt"
+
+// Matrix is a dense, row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[i*Cols+j] = element (i,j)
+}
+
+// NewMatrix returns a zero Rows×Cols matrix. It panics on non-positive
+// dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices, which must all have equal
+// length. The data is copied.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("linalg: FromRows with empty input")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("linalg: ragged row %d (len %d, want %d)", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*out.Cols+i] = v
+		}
+	}
+	return out
+}
+
+// MatVec returns m·x. It panics if len(x) != m.Cols.
+func (m *Matrix) MatVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MatVec shape %dx%d times %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out
+}
+
+// MatTVec returns mᵀ·x without forming the transpose. It panics if
+// len(x) != m.Rows.
+func (m *Matrix) MatTVec(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("linalg: MatTVec shape %dx%d with %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		Axpy(x[i], m.Row(i), out)
+	}
+	return out
+}
+
+// Mul returns the matrix product m·b. It panics if shapes do not conform.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul shape %dx%d times %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		arow := m.Row(i)
+		orow := out.Row(i)
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			Axpy(aik, b.Row(k), orow)
+		}
+	}
+	return out
+}
+
+// AddScaledIdentity adds alpha to every diagonal element in place. Used
+// to form the ridge-regularized Gram matrix XᵀX + μI. It panics on a
+// non-square matrix.
+func (m *Matrix) AddScaledIdentity(alpha float64) {
+	if m.Rows != m.Cols {
+		panic("linalg: AddScaledIdentity on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += alpha
+	}
+}
+
+// Gram returns mᵀ·m, the d×d Gram matrix of an n×d design matrix.
+// Only the full (symmetric) matrix is stored.
+func (m *Matrix) Gram() *Matrix {
+	d := m.Cols
+	out := NewMatrix(d, d)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for i := 0; i < d; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j := i; j < d; j++ {
+				orow[j] += row[i] * row[j]
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			out.Set(j, i, out.At(i, j))
+		}
+	}
+	return out
+}
+
+// Equal reports whether m and b have identical shape and every element
+// differs by at most tol in absolute value.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		d := v - b.Data[i]
+		if d > tol || d < -tol {
+			return false
+		}
+	}
+	return true
+}

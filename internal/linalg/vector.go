@@ -1,0 +1,161 @@
+// Package linalg implements the dense linear algebra kernels the MBP
+// framework needs: vector arithmetic, row-major matrices, Cholesky and
+// Householder-QR factorizations, and linear solvers.
+//
+// The model trainers in internal/ml use these to compute the optimal
+// model instance h*λ(D) in closed form (ridge regression via a
+// symmetric-positive-definite solve) and via Newton's method (logistic
+// regression), and the LP solver in internal/lp uses the elementary
+// kernels. Everything is float64 and deterministic; there is no
+// parallelism hidden inside, callers control concurrency.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned (or wrapped) whenever operand shapes
+// do not conform.
+var ErrDimensionMismatch = errors.New("linalg: dimension mismatch")
+
+// Dot returns the inner product of a and b. It panics if the lengths
+// differ, as this is always a programming error.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes dst = dst + alpha*x elementwise.
+func Axpy(alpha float64, x, dst []float64) {
+	if len(x) != len(dst) {
+		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(dst)))
+	}
+	for i := range dst {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Add returns a new vector a+b.
+func Add(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Add length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a new vector a-b.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Sub length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Norm2 returns the Euclidean norm of x, guarding against overflow by
+// scaling with the largest magnitude.
+func Norm2(x []float64) float64 {
+	var maxAbs float64
+	for _, v := range x {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		r := v / maxAbs
+		s += r * r
+	}
+	return maxAbs * math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute element of x.
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// SquaredDistance returns ||a-b||² — the square-loss error ϵ_s between
+// two model instance vectors (Section 4.1 of the paper).
+func SquaredDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: SquaredDistance length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Zeros returns a zero vector of length n.
+func Zeros(n int) []float64 { return make([]float64, n) }
+
+// Ones returns a vector of length n filled with 1.
+func Ones(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// AllFinite reports whether every element of x is finite (no NaN/Inf).
+func AllFinite(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

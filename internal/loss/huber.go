@@ -1,0 +1,69 @@
+package loss
+
+import (
+	"math"
+
+	"github.com/datamarket/mbp/internal/linalg"
+)
+
+// Huber is the Huber regression loss: quadratic for residuals within
+// ±Delta, linear beyond. It extends the broker's regression menu with a
+// robust alternative to the square loss — convex (strictly so inside
+// the quadratic zone, so in practice paired with an L2 term for the
+// MBP guarantees), differentiable everywhere, and insensitive to the
+// heavy-tailed targets of datasets like CASP.
+type Huber struct {
+	// Delta is the transition residual; non-positive values mean the
+	// default 1.
+	Delta float64
+}
+
+func (h Huber) delta() float64 {
+	if h.Delta <= 0 {
+		return 1
+	}
+	return h.Delta
+}
+
+// Name implements Loss.
+func (h Huber) Name() string { return "huber" }
+
+// Convexity implements Loss.
+func (h Huber) Convexity() Convexity { return Convex }
+
+// Eval implements Loss.
+func (h Huber) Eval(w []float64, X *linalg.Matrix, y []float64) float64 {
+	checkShapes(w, X, y)
+	d := h.delta()
+	var s float64
+	for i := 0; i < X.Rows; i++ {
+		r := linalg.Dot(X.Row(i), w) - y[i]
+		if a := math.Abs(r); a <= d {
+			s += r * r / 2
+		} else {
+			s += d * (a - d/2)
+		}
+	}
+	return s / float64(X.Rows)
+}
+
+// Grad implements Differentiable.
+func (h Huber) Grad(w []float64, X *linalg.Matrix, y []float64, dst []float64) []float64 {
+	checkShapes(w, X, y)
+	d := h.delta()
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < X.Rows; i++ {
+		r := linalg.Dot(X.Row(i), w) - y[i]
+		g := r
+		if r > d {
+			g = d
+		} else if r < -d {
+			g = -d
+		}
+		linalg.Axpy(g, X.Row(i), dst)
+	}
+	linalg.Scale(1/float64(X.Rows), dst)
+	return dst
+}

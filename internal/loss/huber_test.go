@@ -1,0 +1,53 @@
+package loss
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHuberMatchesSquareForSmallResiduals(t *testing.T) {
+	// All residuals within ±Delta ⇒ Huber = square loss exactly.
+	w := []float64{0.9, 1.9} // residuals vs (1,2)-truth are small
+	h := Huber{Delta: 100}.Eval(w, xReg, yReg)
+	s := Square{}.Eval(w, xReg, yReg)
+	if math.Abs(h-s) > 1e-12 {
+		t.Fatalf("huber %v != square %v in quadratic zone", h, s)
+	}
+}
+
+func TestHuberLinearTail(t *testing.T) {
+	// One residual far outside Delta grows linearly, not quadratically.
+	d := Huber{Delta: 1}
+	base := d.Eval([]float64{0, 0}, xReg, yReg)
+	// Doubling all targets roughly doubles (not quadruples) the loss of
+	// far-out residuals.
+	y2 := []float64{2, 4, 6}
+	doubled := d.Eval([]float64{0, 0}, xReg, y2)
+	if doubled > 2.5*base {
+		t.Fatalf("huber tail not linear: %v vs %v", doubled, base)
+	}
+}
+
+func TestHuberGradNumeric(t *testing.T) {
+	gradMatches(t, Huber{Delta: 0.8}, []float64{0.2, -0.5}, xReg, yReg, 1e-5)
+}
+
+func TestHuberDefaultDelta(t *testing.T) {
+	if (Huber{}).delta() != 1 || (Huber{Delta: -2}).delta() != 1 {
+		t.Fatal("default delta wrong")
+	}
+}
+
+func TestHuberWithL2IsStrictlyConvex(t *testing.T) {
+	if c := NewL2(Huber{}, 0.1).Convexity(); c != StrictlyConvex {
+		t.Fatalf("huber+L2 convexity = %v", c)
+	}
+}
+
+func TestHuberNonNegative(t *testing.T) {
+	for _, w := range [][]float64{{0, 0}, {5, -5}, {-100, 100}} {
+		if v := (Huber{}).Eval(w, xReg, yReg); v < 0 {
+			t.Fatalf("huber negative: %v", v)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+// Package loss implements the training and testing error functions of
+// the MBP paper (Table 2): the square loss for linear regression, the
+// logistic loss for logistic regression, the (smoothed) hinge loss for
+// linear SVMs, and the zero-one misclassification rate.
+//
+// In the paper's notation these are the functions λ (measured on the
+// train split, used to define the optimal model instance h*λ(D)) and ϵ
+// (measured on either split, used to define the expected error the buyer
+// pays for). All losses here are averaged over the examples. The
+// convexity metadata matters because the paper's guarantees (Theorem 4,
+// Theorem 6) require ϵ to be (strictly) convex in the model vector.
+package loss
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/datamarket/mbp/internal/linalg"
+)
+
+// Convexity classifies a loss as a function of the model vector.
+type Convexity int
+
+const (
+	// NonConvex losses (e.g. zero-one) carry no formal guarantee, but
+	// the paper observes empirically (Fig. 6) that they still behave
+	// monotonically in the noise-control parameter.
+	NonConvex Convexity = iota
+	// Convex but not strictly convex losses (e.g. plain hinge).
+	Convex
+	// StrictlyConvex losses admit the error-inverse bijection ϕ of
+	// Theorem 6.
+	StrictlyConvex
+)
+
+// String implements fmt.Stringer.
+func (c Convexity) String() string {
+	switch c {
+	case NonConvex:
+		return "non-convex"
+	case Convex:
+		return "convex"
+	case StrictlyConvex:
+		return "strictly convex"
+	default:
+		return fmt.Sprintf("Convexity(%d)", int(c))
+	}
+}
+
+// Loss is an error function over (model w, design matrix X, targets y).
+// Eval returns the mean loss; losses must be non-negative.
+type Loss interface {
+	// Name is a short identifier ("square", "logistic", ...).
+	Name() string
+	// Eval returns the mean loss of model w on (X, y).
+	Eval(w []float64, X *linalg.Matrix, y []float64) float64
+	// Convexity reports convexity in w.
+	Convexity() Convexity
+}
+
+// Differentiable is a Loss with a gradient, usable by first-order
+// optimizers.
+type Differentiable interface {
+	Loss
+	// Grad writes the gradient of the mean loss at w into dst (which
+	// must have length len(w)) and returns dst.
+	Grad(w []float64, X *linalg.Matrix, y []float64, dst []float64) []float64
+}
+
+// TwiceDifferentiable additionally exposes the Hessian, usable by
+// Newton's method.
+type TwiceDifferentiable interface {
+	Differentiable
+	// Hessian returns the d×d Hessian of the mean loss at w.
+	Hessian(w []float64, X *linalg.Matrix, y []float64) *linalg.Matrix
+}
+
+func checkShapes(w []float64, X *linalg.Matrix, y []float64) {
+	if X.Cols != len(w) {
+		panic(fmt.Sprintf("loss: model dim %d vs %d features", len(w), X.Cols))
+	}
+	if X.Rows != len(y) {
+		panic(fmt.Sprintf("loss: %d rows vs %d targets", X.Rows, len(y)))
+	}
+	if X.Rows == 0 {
+		panic("loss: empty dataset")
+	}
+}
+
+// Square is the mean squared error ½·mean((wᵀx − y)²) used as λ and ϵ
+// for linear regression (Table 2; the ½ matches Example 2's λ).
+type Square struct{}
+
+// Name implements Loss.
+func (Square) Name() string { return "square" }
+
+// Convexity implements Loss. The square loss is convex in w, and
+// strictly convex whenever the design matrix has full column rank; we
+// report strict convexity because the MBP trainers always regularize or
+// verify rank.
+func (Square) Convexity() Convexity { return StrictlyConvex }
+
+// Eval implements Loss.
+func (Square) Eval(w []float64, X *linalg.Matrix, y []float64) float64 {
+	checkShapes(w, X, y)
+	var s float64
+	for i := 0; i < X.Rows; i++ {
+		r := linalg.Dot(X.Row(i), w) - y[i]
+		s += r * r
+	}
+	return s / (2 * float64(X.Rows))
+}
+
+// Grad implements Differentiable: ∇ = mean((wᵀx − y)·x).
+func (Square) Grad(w []float64, X *linalg.Matrix, y []float64, dst []float64) []float64 {
+	checkShapes(w, X, y)
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < X.Rows; i++ {
+		r := linalg.Dot(X.Row(i), w) - y[i]
+		linalg.Axpy(r, X.Row(i), dst)
+	}
+	linalg.Scale(1/float64(X.Rows), dst)
+	return dst
+}
+
+// Hessian implements TwiceDifferentiable: H = XᵀX / n, independent of w.
+func (Square) Hessian(w []float64, X *linalg.Matrix, y []float64) *linalg.Matrix {
+	checkShapes(w, X, y)
+	h := X.Gram()
+	linalg.Scale(1/float64(X.Rows), h.Data)
+	return h
+}
+
+// Logistic is the mean logistic loss mean(log(1 + exp(−y·wᵀx))) with
+// labels y ∈ {−1, +1}, used as λ and ϵ for logistic regression.
+type Logistic struct{}
+
+// Name implements Loss.
+func (Logistic) Name() string { return "logistic" }
+
+// Convexity implements Loss. Strictly convex on full-rank designs in
+// the region of interest (its Hessian is positive definite there).
+func (Logistic) Convexity() Convexity { return StrictlyConvex }
+
+// logOnePlusExp computes log(1+e^z) stably for large |z|.
+func logOnePlusExp(z float64) float64 {
+	if z > 35 {
+		return z
+	}
+	if z < -35 {
+		return math.Exp(z)
+	}
+	return math.Log1p(math.Exp(z))
+}
+
+// sigmoid computes 1/(1+e^−z) stably.
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Eval implements Loss.
+func (Logistic) Eval(w []float64, X *linalg.Matrix, y []float64) float64 {
+	checkShapes(w, X, y)
+	var s float64
+	for i := 0; i < X.Rows; i++ {
+		m := y[i] * linalg.Dot(X.Row(i), w)
+		s += logOnePlusExp(-m)
+	}
+	return s / float64(X.Rows)
+}
+
+// Grad implements Differentiable: ∇ = mean(−y·σ(−y·wᵀx)·x).
+func (Logistic) Grad(w []float64, X *linalg.Matrix, y []float64, dst []float64) []float64 {
+	checkShapes(w, X, y)
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < X.Rows; i++ {
+		m := y[i] * linalg.Dot(X.Row(i), w)
+		linalg.Axpy(-y[i]*sigmoid(-m), X.Row(i), dst)
+	}
+	linalg.Scale(1/float64(X.Rows), dst)
+	return dst
+}
+
+// Hessian implements TwiceDifferentiable: H = mean(σ(m)(1−σ(m))·xxᵀ).
+func (Logistic) Hessian(w []float64, X *linalg.Matrix, y []float64) *linalg.Matrix {
+	checkShapes(w, X, y)
+	d := X.Cols
+	h := linalg.NewMatrix(d, d)
+	for i := 0; i < X.Rows; i++ {
+		row := X.Row(i)
+		m := linalg.Dot(row, w) // label drops out of σ(m)(1−σ(m))
+		p := sigmoid(m)
+		c := p * (1 - p)
+		if c == 0 {
+			continue
+		}
+		for a := 0; a < d; a++ {
+			if row[a] == 0 {
+				continue
+			}
+			ha := h.Row(a)
+			ca := c * row[a]
+			for b := 0; b < d; b++ {
+				ha[b] += ca * row[b]
+			}
+		}
+	}
+	linalg.Scale(1/float64(X.Rows), h.Data)
+	return h
+}
+
+// Hinge is the mean hinge loss mean(max(0, 1 − y·wᵀx)) with labels
+// y ∈ {−1, +1}: the SVM loss of Table 2. It is convex but neither
+// strictly convex nor differentiable; Grad returns a subgradient.
+type Hinge struct{}
+
+// Name implements Loss.
+func (Hinge) Name() string { return "hinge" }
+
+// Convexity implements Loss.
+func (Hinge) Convexity() Convexity { return Convex }
+
+// Eval implements Loss.
+func (Hinge) Eval(w []float64, X *linalg.Matrix, y []float64) float64 {
+	checkShapes(w, X, y)
+	var s float64
+	for i := 0; i < X.Rows; i++ {
+		if m := 1 - y[i]*linalg.Dot(X.Row(i), w); m > 0 {
+			s += m
+		}
+	}
+	return s / float64(X.Rows)
+}
+
+// Grad implements Differentiable with a subgradient (zero on the kink).
+func (Hinge) Grad(w []float64, X *linalg.Matrix, y []float64, dst []float64) []float64 {
+	checkShapes(w, X, y)
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < X.Rows; i++ {
+		if 1-y[i]*linalg.Dot(X.Row(i), w) > 0 {
+			linalg.Axpy(-y[i], X.Row(i), dst)
+		}
+	}
+	linalg.Scale(1/float64(X.Rows), dst)
+	return dst
+}
+
+// SmoothedHinge is a Huberized hinge: quadratic on [1−γ, 1] margins and
+// linear below, making it differentiable so deterministic first-order
+// training of the SVM converges cleanly. As γ→0 it approaches Hinge.
+type SmoothedHinge struct {
+	// Gamma is the smoothing half-width; non-positive values are
+	// treated as the default 0.5.
+	Gamma float64
+}
+
+func (s SmoothedHinge) gamma() float64 {
+	if s.Gamma <= 0 {
+		return 0.5
+	}
+	return s.Gamma
+}
+
+// Name implements Loss.
+func (s SmoothedHinge) Name() string { return "smoothed-hinge" }
+
+// Convexity implements Loss.
+func (s SmoothedHinge) Convexity() Convexity { return Convex }
+
+// Eval implements Loss.
+func (s SmoothedHinge) Eval(w []float64, X *linalg.Matrix, y []float64) float64 {
+	checkShapes(w, X, y)
+	g := s.gamma()
+	var sum float64
+	for i := 0; i < X.Rows; i++ {
+		m := y[i] * linalg.Dot(X.Row(i), w)
+		switch {
+		case m >= 1:
+			// zero
+		case m <= 1-g:
+			sum += 1 - m - g/2
+		default:
+			d := 1 - m
+			sum += d * d / (2 * g)
+		}
+	}
+	return sum / float64(X.Rows)
+}
+
+// Grad implements Differentiable.
+func (s SmoothedHinge) Grad(w []float64, X *linalg.Matrix, y []float64, dst []float64) []float64 {
+	checkShapes(w, X, y)
+	g := s.gamma()
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < X.Rows; i++ {
+		m := y[i] * linalg.Dot(X.Row(i), w)
+		switch {
+		case m >= 1:
+			// zero gradient
+		case m <= 1-g:
+			linalg.Axpy(-y[i], X.Row(i), dst)
+		default:
+			linalg.Axpy(-y[i]*(1-m)/g, X.Row(i), dst)
+		}
+	}
+	linalg.Scale(1/float64(X.Rows), dst)
+	return dst
+}
+
+// ZeroOne is the misclassification rate mean(1[y ≠ sign(wᵀx)]) with
+// labels y ∈ {−1, +1}: the 0/1 testing error ϵ of Table 2. It is
+// non-convex and non-differentiable; only Eval is provided.
+type ZeroOne struct{}
+
+// Name implements Loss.
+func (ZeroOne) Name() string { return "zero-one" }
+
+// Convexity implements Loss.
+func (ZeroOne) Convexity() Convexity { return NonConvex }
+
+// Eval implements Loss. A raw score of exactly zero counts as the
+// positive class, matching the paper's 1[y = (wᵀx > 0)] convention.
+func (ZeroOne) Eval(w []float64, X *linalg.Matrix, y []float64) float64 {
+	checkShapes(w, X, y)
+	wrong := 0
+	for i := 0; i < X.Rows; i++ {
+		score := linalg.Dot(X.Row(i), w)
+		pred := -1.0
+		if score > 0 {
+			pred = 1
+		}
+		if pred != y[i] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(X.Rows)
+}
+
+// Absolute is the mean absolute error mean(|wᵀx − y|), offered as an
+// alternative regression ϵ. Convex, not strictly convex.
+type Absolute struct{}
+
+// Name implements Loss.
+func (Absolute) Name() string { return "absolute" }
+
+// Convexity implements Loss.
+func (Absolute) Convexity() Convexity { return Convex }
+
+// Eval implements Loss.
+func (Absolute) Eval(w []float64, X *linalg.Matrix, y []float64) float64 {
+	checkShapes(w, X, y)
+	var s float64
+	for i := 0; i < X.Rows; i++ {
+		s += math.Abs(linalg.Dot(X.Row(i), w) - y[i])
+	}
+	return s / float64(X.Rows)
+}

@@ -1,0 +1,379 @@
+package loss
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/datamarket/mbp/internal/linalg"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+// tiny 2-feature fixtures
+var (
+	xReg = linalg.FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	yReg = []float64{1, 2, 3}
+
+	xCls = linalg.FromRows([][]float64{{1, 2}, {-1, -2}, {2, -1}, {-2, 1}})
+	yCls = []float64{1, -1, 1, -1}
+)
+
+// numGrad computes a central-difference gradient for verification.
+func numGrad(l Loss, w []float64, X *linalg.Matrix, y []float64) []float64 {
+	const h = 1e-6
+	g := make([]float64, len(w))
+	for i := range w {
+		wp := linalg.Clone(w)
+		wm := linalg.Clone(w)
+		wp[i] += h
+		wm[i] -= h
+		g[i] = (l.Eval(wp, X, y) - l.Eval(wm, X, y)) / (2 * h)
+	}
+	return g
+}
+
+func gradMatches(t *testing.T, l Differentiable, w []float64, X *linalg.Matrix, y []float64, tol float64) {
+	t.Helper()
+	got := l.Grad(w, X, y, make([]float64, len(w)))
+	want := numGrad(l, w, X, y)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("%s grad[%d] = %v, numeric %v", l.Name(), i, got[i], want[i])
+		}
+	}
+}
+
+func TestSquareEvalKnown(t *testing.T) {
+	// w = (1,1): predictions 1,1,2; residuals 0,-1,-1; mean sq/2 = (0+1+1)/(2*3)
+	got := Square{}.Eval([]float64{1, 1}, xReg, yReg)
+	if want := 2.0 / 6.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("square eval = %v, want %v", got, want)
+	}
+}
+
+func TestSquareZeroAtExactFit(t *testing.T) {
+	// y = x1 + 2·x2 exactly.
+	y := []float64{1, 2, 3}
+	if got := (Square{}).Eval([]float64{1, 2}, linalg.FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}}), y); got != 0 {
+		t.Fatalf("square at exact fit = %v", got)
+	}
+}
+
+func TestSquareGradNumeric(t *testing.T) {
+	gradMatches(t, Square{}, []float64{0.3, -0.7}, xReg, yReg, 1e-6)
+}
+
+func TestSquareHessianIsScaledGram(t *testing.T) {
+	h := Square{}.Hessian([]float64{0, 0}, xReg, yReg)
+	want := xReg.Gram()
+	linalg.Scale(1.0/3, want.Data)
+	if !h.Equal(want, 1e-12) {
+		t.Fatal("square Hessian != XᵀX/n")
+	}
+}
+
+func TestLogisticEvalAtZero(t *testing.T) {
+	// At w = 0 every margin is 0: loss = log 2.
+	got := Logistic{}.Eval([]float64{0, 0}, xCls, yCls)
+	if math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("logistic at zero = %v, want log 2", got)
+	}
+}
+
+func TestLogisticGradNumeric(t *testing.T) {
+	gradMatches(t, Logistic{}, []float64{0.2, -0.4}, xCls, yCls, 1e-6)
+}
+
+func TestLogisticHessianNumeric(t *testing.T) {
+	w := []float64{0.1, 0.5}
+	h := Logistic{}.Hessian(w, xCls, yCls)
+	// Compare each column against the numerical derivative of the gradient.
+	const eps = 1e-6
+	for j := 0; j < len(w); j++ {
+		wp := linalg.Clone(w)
+		wm := linalg.Clone(w)
+		wp[j] += eps
+		wm[j] -= eps
+		gp := Logistic{}.Grad(wp, xCls, yCls, make([]float64, len(w)))
+		gm := Logistic{}.Grad(wm, xCls, yCls, make([]float64, len(w)))
+		for i := range w {
+			want := (gp[i] - gm[i]) / (2 * eps)
+			if math.Abs(h.At(i, j)-want) > 1e-5 {
+				t.Fatalf("H[%d,%d] = %v, numeric %v", i, j, h.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestLogisticStability(t *testing.T) {
+	// Extreme margins must not produce NaN/Inf.
+	x := linalg.FromRows([][]float64{{1000}, {-1000}})
+	y := []float64{1, -1}
+	v := Logistic{}.Eval([]float64{5}, x, y)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("logistic unstable: %v", v)
+	}
+	v = Logistic{}.Eval([]float64{-5}, x, y)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("logistic unstable: %v", v)
+	}
+	g := Logistic{}.Grad([]float64{-5}, x, y, make([]float64, 1))
+	if !linalg.AllFinite(g) {
+		t.Fatalf("logistic grad unstable: %v", g)
+	}
+}
+
+func TestHingeEvalKnown(t *testing.T) {
+	// w = 0 ⇒ every margin 0 ⇒ loss = 1.
+	if got := (Hinge{}).Eval([]float64{0, 0}, xCls, yCls); got != 1 {
+		t.Fatalf("hinge at zero = %v, want 1", got)
+	}
+	// A perfectly separating w with huge margins gives 0.
+	if got := (Hinge{}).Eval([]float64{100, 100}, linalg.FromRows([][]float64{{1, 1}, {-1, -1}}), []float64{1, -1}); got != 0 {
+		t.Fatalf("hinge with huge margin = %v, want 0", got)
+	}
+}
+
+func TestSmoothedHingeApproachesHinge(t *testing.T) {
+	r := rng.New(3)
+	w := []float64{0.4, -0.9}
+	hinge := Hinge{}.Eval(w, xCls, yCls)
+	small := SmoothedHinge{Gamma: 1e-6}.Eval(w, xCls, yCls)
+	if math.Abs(hinge-small) > 1e-4 {
+		t.Fatalf("smoothed hinge %v far from hinge %v", small, hinge)
+	}
+	_ = r
+}
+
+func TestSmoothedHingeGradNumeric(t *testing.T) {
+	gradMatches(t, SmoothedHinge{Gamma: 0.5}, []float64{0.15, -0.35}, xCls, yCls, 1e-5)
+}
+
+func TestSmoothedHingeDefaultGamma(t *testing.T) {
+	if g := (SmoothedHinge{}).gamma(); g != 0.5 {
+		t.Fatalf("default gamma = %v", g)
+	}
+	if g := (SmoothedHinge{Gamma: -1}).gamma(); g != 0.5 {
+		t.Fatalf("negative gamma not defaulted: %v", g)
+	}
+}
+
+func TestZeroOne(t *testing.T) {
+	// w = (1,0): scores 1,-1,2,-2 ⇒ preds 1,-1,1,-1 ⇒ all correct.
+	if got := (ZeroOne{}).Eval([]float64{1, 0}, xCls, yCls); got != 0 {
+		t.Fatalf("zero-one = %v, want 0", got)
+	}
+	// w = (-1,0): everything flipped.
+	if got := (ZeroOne{}).Eval([]float64{-1, 0}, xCls, yCls); got != 1 {
+		t.Fatalf("zero-one = %v, want 1", got)
+	}
+}
+
+func TestZeroOneTieCountsPositive(t *testing.T) {
+	// A raw score of exactly zero predicts the negative class under the
+	// strict (wᵀx > 0) rule.
+	x := linalg.FromRows([][]float64{{0}})
+	if got := (ZeroOne{}).Eval([]float64{1}, x, []float64{-1}); got != 0 {
+		t.Fatalf("score 0 vs label -1: err %v, want 0", got)
+	}
+	if got := (ZeroOne{}).Eval([]float64{1}, x, []float64{1}); got != 1 {
+		t.Fatalf("score 0 vs label +1: err %v, want 1", got)
+	}
+}
+
+func TestAbsoluteEval(t *testing.T) {
+	got := Absolute{}.Eval([]float64{0, 0}, xReg, yReg)
+	if want := (1.0 + 2 + 3) / 3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("absolute = %v, want %v", got, want)
+	}
+}
+
+func TestL2RegularizedEvalGradHessian(t *testing.T) {
+	l := NewL2(Logistic{}, 0.3)
+	w := []float64{0.5, -0.2}
+	base := Logistic{}.Eval(w, xCls, yCls)
+	if got, want := l.Eval(w, xCls, yCls), base+0.15*linalg.Dot(w, w); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("L2 eval = %v, want %v", got, want)
+	}
+	gradMatches(t, l, w, xCls, yCls, 1e-6)
+	h := l.Hessian(w, xCls, yCls)
+	hb := Logistic{}.Hessian(w, xCls, yCls)
+	hb.AddScaledIdentity(0.3)
+	if !h.Equal(hb, 1e-12) {
+		t.Fatal("L2 Hessian mismatch")
+	}
+}
+
+func TestL2Convexity(t *testing.T) {
+	if c := NewL2(Hinge{}, 0.1).Convexity(); c != StrictlyConvex {
+		t.Fatalf("hinge+L2 convexity = %v", c)
+	}
+	if c := NewL2(Hinge{}, 0).Convexity(); c != Convex {
+		t.Fatalf("hinge+0 convexity = %v", c)
+	}
+	if c := NewL2(ZeroOne{}, 0.1).Convexity(); c != NonConvex {
+		t.Fatalf("zero-one+L2 convexity = %v", c)
+	}
+}
+
+func TestL2Name(t *testing.T) {
+	if n := NewL2(Square{}, 0.5).Name(); !strings.Contains(n, "square") || !strings.Contains(n, "0.5") {
+		t.Fatalf("name = %q", n)
+	}
+}
+
+func TestNewL2PanicsOnNegativeMu(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewL2(Square{}, -1)
+}
+
+func TestConvexityString(t *testing.T) {
+	for c, want := range map[Convexity]string{
+		NonConvex:      "non-convex",
+		Convex:         "convex",
+		StrictlyConvex: "strictly convex",
+		Convexity(9):   "Convexity(9)",
+	} {
+		if c.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestShapeChecks(t *testing.T) {
+	cases := []func(){
+		func() { Square{}.Eval([]float64{1}, xReg, yReg) },            // dim mismatch
+		func() { Square{}.Eval([]float64{1, 2}, xReg, []float64{1}) }, // row mismatch
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: all convex losses are ≥ 0 and Jensen-consistent at midpoints:
+// l((a+b)/2) ≤ (l(a)+l(b))/2 + tiny slack.
+func TestConvexityMidpointProperty(t *testing.T) {
+	losses := []Loss{Square{}, Logistic{}, Hinge{}, SmoothedHinge{}, Absolute{}, NewL2(Logistic{}, 0.2)}
+	r := rng.New(77)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed ^ r.Uint64())
+		a := rr.NormalVector(nil, 2)
+		b := rr.NormalVector(nil, 2)
+		mid := []float64{(a[0] + b[0]) / 2, (a[1] + b[1]) / 2}
+		for _, l := range losses {
+			X, y := xCls, yCls
+			if l.Name() == "square" || l.Name() == "absolute" {
+				X, y = xReg, yReg
+			}
+			la, lb, lm := l.Eval(a, X, y), l.Eval(b, X, y), l.Eval(mid, X, y)
+			if la < 0 || lb < 0 || lm < 0 {
+				return false
+			}
+			if lm > (la+lb)/2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLogisticGrad(b *testing.B) {
+	r := rng.New(1)
+	n, d := 1000, 20
+	X := linalg.NewMatrix(n, d)
+	for i := range X.Data {
+		X.Data[i] = r.Normal()
+	}
+	y := make([]float64, n)
+	for i := range y {
+		if r.Bernoulli(0.5) {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	w := r.NormalVector(nil, d)
+	dst := make([]float64, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Logistic{}.Grad(w, X, y, dst)
+	}
+}
+
+func TestL2GradPanicsOnNonDifferentiableBase(t *testing.T) {
+	l := NewL2(ZeroOne{}, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	l.Grad([]float64{1, 1}, xCls, yCls, make([]float64, 2))
+}
+
+func TestL2HessianPanicsOnNonTwiceDifferentiableBase(t *testing.T) {
+	l := NewL2(Hinge{}, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	l.Hessian([]float64{1, 1}, xCls, yCls)
+}
+
+func TestAsDifferentiableUnwrapping(t *testing.T) {
+	if _, ok := AsDifferentiable(NewL2(Logistic{}, 0.1)); !ok {
+		t.Fatal("wrapped logistic not differentiable")
+	}
+	if _, ok := AsDifferentiable(NewL2(ZeroOne{}, 0.1)); ok {
+		t.Fatal("wrapped zero-one claimed differentiable")
+	}
+	if _, ok := AsDifferentiable(Square{}); !ok {
+		t.Fatal("square not differentiable")
+	}
+	if _, ok := AsDifferentiable(ZeroOne{}); ok {
+		t.Fatal("zero-one claimed differentiable")
+	}
+	if _, ok := AsTwiceDifferentiable(NewL2(SmoothedHinge{}, 0.1)); ok {
+		t.Fatal("wrapped smoothed hinge claimed twice differentiable")
+	}
+	if _, ok := AsTwiceDifferentiable(Logistic{}); !ok {
+		t.Fatal("logistic not twice differentiable")
+	}
+}
+
+func TestByNameRegistry(t *testing.T) {
+	for _, name := range []string{"square", "logistic", "hinge", "smoothed-hinge", "zero-one", "absolute", "huber"} {
+		l, err := ByName(name)
+		if err != nil || l.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, l, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown loss accepted")
+	}
+}
+
+func TestEmptyDatasetPanics(t *testing.T) {
+	x := linalg.NewMatrix(1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Square{}.Eval([]float64{1, 2}, x, nil)
+}

@@ -1,0 +1,27 @@
+package loss
+
+import "fmt"
+
+// ByName resolves the bundled loss functions by their Name() string.
+// Parametrized wrappers (L2Regularized, custom-γ SmoothedHinge, Huber
+// deltas) are not resolvable — persist their parameters separately.
+func ByName(name string) (Loss, error) {
+	switch name {
+	case "square":
+		return Square{}, nil
+	case "logistic":
+		return Logistic{}, nil
+	case "hinge":
+		return Hinge{}, nil
+	case "smoothed-hinge":
+		return SmoothedHinge{}, nil
+	case "zero-one":
+		return ZeroOne{}, nil
+	case "absolute":
+		return Absolute{}, nil
+	case "huber":
+		return Huber{}, nil
+	default:
+		return nil, fmt.Errorf("loss: unknown loss %q", name)
+	}
+}

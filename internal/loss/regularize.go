@@ -1,0 +1,99 @@
+package loss
+
+import (
+	"fmt"
+
+	"github.com/datamarket/mbp/internal/linalg"
+)
+
+// L2Regularized wraps a base loss with an L2 penalty, giving the
+// strictly convex objectives of Table 2:
+//
+//	λ_reg(w, D) = λ(w, D) + (μ/2)·‖w‖²
+//
+// A positive μ makes any convex base loss strictly convex, which is the
+// condition Section 3.1 imposes on training objectives ("we focus on λ
+// that is strictly convex"). The ½ factor keeps gradients tidy.
+type L2Regularized struct {
+	Base Loss
+	// Mu is the regularization strength μ > 0.
+	Mu float64
+}
+
+// NewL2 returns base + (mu/2)‖w‖². It panics if mu is negative.
+func NewL2(base Loss, mu float64) L2Regularized {
+	if mu < 0 {
+		panic("loss: negative regularization strength")
+	}
+	return L2Regularized{Base: base, Mu: mu}
+}
+
+// Name implements Loss.
+func (l L2Regularized) Name() string {
+	return fmt.Sprintf("%s+l2(%g)", l.Base.Name(), l.Mu)
+}
+
+// Convexity implements Loss: any convex base becomes strictly convex
+// under a positive quadratic penalty.
+func (l L2Regularized) Convexity() Convexity {
+	if l.Mu > 0 && l.Base.Convexity() >= Convex {
+		return StrictlyConvex
+	}
+	return l.Base.Convexity()
+}
+
+// Eval implements Loss.
+func (l L2Regularized) Eval(w []float64, X *linalg.Matrix, y []float64) float64 {
+	v := l.Base.Eval(w, X, y)
+	return v + l.Mu/2*linalg.Dot(w, w)
+}
+
+// Grad implements Differentiable if the base loss does; it panics
+// otherwise (a programming error, not a runtime condition).
+func (l L2Regularized) Grad(w []float64, X *linalg.Matrix, y []float64, dst []float64) []float64 {
+	d, ok := l.Base.(Differentiable)
+	if !ok {
+		panic(fmt.Sprintf("loss: base %q is not differentiable", l.Base.Name()))
+	}
+	d.Grad(w, X, y, dst)
+	linalg.Axpy(l.Mu, w, dst)
+	return dst
+}
+
+// Hessian implements TwiceDifferentiable if the base loss does.
+func (l L2Regularized) Hessian(w []float64, X *linalg.Matrix, y []float64) *linalg.Matrix {
+	td, ok := l.Base.(TwiceDifferentiable)
+	if !ok {
+		panic(fmt.Sprintf("loss: base %q is not twice differentiable", l.Base.Name()))
+	}
+	h := td.Hessian(w, X, y)
+	h.AddScaledIdentity(l.Mu)
+	return h
+}
+
+// AsTwiceDifferentiable reports whether l genuinely supports Hessians,
+// unwrapping L2Regularized — whose method set always includes Hessian
+// even when its base loss cannot provide one.
+func AsTwiceDifferentiable(l Loss) (TwiceDifferentiable, bool) {
+	if lr, ok := l.(L2Regularized); ok {
+		if _, ok := lr.Base.(TwiceDifferentiable); !ok {
+			return nil, false
+		}
+		return lr, true
+	}
+	td, ok := l.(TwiceDifferentiable)
+	return td, ok
+}
+
+// AsDifferentiable reports whether l genuinely supports gradients,
+// unwrapping L2Regularized in the same way.
+func AsDifferentiable(l Loss) (Differentiable, bool) {
+	if lr, ok := l.(L2Regularized); ok {
+		if _, ok := lr.Base.(Differentiable); !ok {
+			return nil, false
+		}
+		return lr, true
+	}
+	d, ok := l.(Differentiable)
+	return d, ok
+}

@@ -1,0 +1,25 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"github.com/datamarket/mbp/internal/lp"
+)
+
+// ExampleSolve maximizes 3x+2y over a small polytope.
+func ExampleSolve() {
+	sol, err := lp.Solve(&lp.Problem{
+		C: []float64{3, 2},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 1}, Op: lp.LE, RHS: 4},
+			{Coeffs: []float64{1, 0}, Op: lp.LE, RHS: 2},
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("x=%.0f y=%.0f objective=%.0f\n", sol.X[0], sol.X[1], sol.Objective)
+	// Output:
+	// x=2 y=2 objective=10
+}

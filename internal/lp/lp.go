@@ -1,0 +1,327 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	maximize    cᵀx
+//	subject to  aᵢᵀx (≤ | = | ≥) bᵢ,   x ≥ 0.
+//
+// The revenue-optimization components use it in two places: the exact
+// exponential optimizer (the paper's "MILP" baseline in Figures 9–10)
+// solves one LP per candidate buyer subset, and the T∞ price
+// interpolation objective reduces to an LP. The branch-and-bound MILP
+// solver in internal/milp drives this package for its relaxations.
+//
+// The implementation is a textbook tableau simplex with Bland's rule
+// (no cycling), suitable for the small dense instances the experiments
+// generate — not a production-scale sparse solver.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of one constraint.
+type Relation int
+
+const (
+	// LE is aᵀx ≤ b.
+	LE Relation = iota
+	// GE is aᵀx ≥ b.
+	GE
+	// EQ is aᵀx = b.
+	EQ
+)
+
+// String implements fmt.Stringer.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Constraint is one linear constraint over the problem's variables.
+// Coeffs shorter than the variable count are implicitly zero-padded.
+type Constraint struct {
+	Coeffs []float64
+	Op     Relation
+	RHS    float64
+}
+
+// Problem is a linear program over n non-negative variables. The
+// objective is always maximization; minimize by negating C.
+type Problem struct {
+	// C is the objective vector (length = number of variables).
+	C []float64
+	// Constraints are the rows.
+	Constraints []Constraint
+}
+
+// Solution is an optimal solution.
+type Solution struct {
+	// X is the optimal assignment.
+	X []float64
+	// Objective is cᵀX.
+	Objective float64
+}
+
+// ErrInfeasible is returned when no assignment satisfies the constraints.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective is unbounded above.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+const (
+	tol     = 1e-9
+	maxIter = 100000
+)
+
+// Solve runs two-phase simplex on p.
+func Solve(p *Problem) (*Solution, error) {
+	n := len(p.C)
+	if n == 0 {
+		return nil, errors.New("lp: no variables")
+	}
+	m := len(p.Constraints)
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > n {
+			return nil, fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", i, len(c.Coeffs), n)
+		}
+	}
+
+	// Count auxiliary columns. Every row gets RHS >= 0 first.
+	type rowSpec struct {
+		coeffs []float64
+		op     Relation
+		rhs    float64
+	}
+	rows := make([]rowSpec, m)
+	nSlack, nArt := 0, 0
+	for i, c := range p.Constraints {
+		coeffs := make([]float64, n)
+		copy(coeffs, c.Coeffs)
+		op, rhs := c.Op, c.RHS
+		if rhs < 0 {
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows[i] = rowSpec{coeffs, op, rhs}
+		switch op {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++ // surplus
+			nArt++
+		case EQ:
+			nArt++
+		default:
+			return nil, fmt.Errorf("lp: constraint %d has unknown relation %v", i, op)
+		}
+	}
+
+	total := n + nSlack + nArt
+	t := newTableau(m, total)
+	basis := make([]int, m)
+	slackAt, artAt := n, n+nSlack
+	for i, r := range rows {
+		copy(t.a[i], r.coeffs)
+		t.b[i] = r.rhs
+		switch r.op {
+		case LE:
+			t.a[i][slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			t.a[i][slackAt] = -1
+			slackAt++
+			t.a[i][artAt] = 1
+			basis[i] = artAt
+			artAt++
+		case EQ:
+			t.a[i][artAt] = 1
+			basis[i] = artAt
+			artAt++
+		}
+	}
+
+	// Phase 1: maximize −Σ artificials.
+	if nArt > 0 {
+		phase1 := make([]float64, total)
+		for j := n + nSlack; j < total; j++ {
+			phase1[j] = -1
+		}
+		if err := t.iterate(phase1, basis); err != nil {
+			return nil, fmt.Errorf("lp: phase 1: %w", err)
+		}
+		if v := t.objective(phase1, basis); v < -1e-7 {
+			return nil, ErrInfeasible
+		}
+		// Pivot remaining artificials out of the basis where possible.
+		for i := range basis {
+			if basis[i] < n+nSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack && !pivoted; j++ {
+				if math.Abs(t.a[i][j]) > tol {
+					t.pivot(i, j, basis)
+					pivoted = true
+				}
+			}
+			// A redundant row may keep a zero-valued artificial basic;
+			// that is harmless because the phase-2 objective ignores it
+			// and its value is zero.
+		}
+	}
+
+	// Phase 2: original objective, artificial columns frozen at zero by
+	// giving them strongly negative reduced costs is unnecessary — we
+	// simply forbid them as entering variables by truncating the
+	// objective.
+	phase2 := make([]float64, total)
+	copy(phase2, p.C)
+	if err := t.iteratePhase2(phase2, basis, n+nSlack); err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			x[bi] = t.b[i]
+		}
+	}
+	var obj float64
+	for j := range p.C {
+		obj += p.C[j] * x[j]
+	}
+	return &Solution{X: x, Objective: obj}, nil
+}
+
+// tableau holds the constraint matrix rows and RHS in canonical form
+// with respect to the current basis.
+type tableau struct {
+	m, n int
+	a    [][]float64
+	b    []float64
+}
+
+func newTableau(m, n int) *tableau {
+	t := &tableau{m: m, n: n, a: make([][]float64, m), b: make([]float64, m)}
+	for i := range t.a {
+		t.a[i] = make([]float64, n)
+	}
+	return t
+}
+
+// objective returns cᵀx for the current basic solution.
+func (t *tableau) objective(c []float64, basis []int) float64 {
+	var v float64
+	for i, bi := range basis {
+		v += c[bi] * t.b[i]
+	}
+	return v
+}
+
+// reducedCost returns c_j − c_Bᵀ·(column j).
+func (t *tableau) reducedCost(c []float64, basis []int, j int) float64 {
+	r := c[j]
+	for i, bi := range basis {
+		if c[bi] != 0 {
+			r -= c[bi] * t.a[i][j]
+		}
+	}
+	return r
+}
+
+// iterate runs primal simplex to optimality over all columns.
+func (t *tableau) iterate(c []float64, basis []int) error {
+	return t.iteratePhase2(c, basis, t.n)
+}
+
+// iteratePhase2 runs primal simplex allowing only columns < allowed to
+// enter the basis (used to freeze artificial columns in phase 2).
+func (t *tableau) iteratePhase2(c []float64, basis []int, allowed int) error {
+	for iter := 0; iter < maxIter; iter++ {
+		// Bland's rule: first improving column.
+		enter := -1
+		for j := 0; j < allowed; j++ {
+			if inBasis(basis, j) {
+				continue
+			}
+			if t.reducedCost(c, basis, j) > tol {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Ratio test with Bland tie-breaking on the leaving variable.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > tol {
+				ratio := t.b[i] / t.a[i][enter]
+				if ratio < best-tol || (ratio < best+tol && (leave < 0 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return ErrUnbounded
+		}
+		t.pivot(leave, enter, basis)
+	}
+	return errors.New("lp: iteration limit exceeded")
+}
+
+func inBasis(basis []int, j int) bool {
+	for _, b := range basis {
+		if b == j {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int, basis []int) {
+	piv := t.a[leave][enter]
+	inv := 1 / piv
+	for j := range t.a[leave] {
+		t.a[leave][j] *= inv
+	}
+	t.b[leave] *= inv
+	t.a[leave][enter] = 1 // kill roundoff
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		for j := range t.a[i] {
+			t.a[i][j] -= f * t.a[leave][j]
+		}
+		t.a[i][enter] = 0
+		t.b[i] -= f * t.b[leave]
+	}
+	basis[leave] = enter
+}

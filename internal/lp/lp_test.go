@@ -1,0 +1,291 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func wantObj(t *testing.T, s *Solution, want float64) {
+	t.Helper()
+	if math.Abs(s.Objective-want) > 1e-7 {
+		t.Fatalf("objective = %v, want %v (x=%v)", s.Objective, want, s.X)
+	}
+}
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x+2y st x+y<=4, x<=2 → x=2, y=2, obj 10.
+	s := solveOK(t, &Problem{
+		C: []float64{3, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: LE, RHS: 4},
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 2},
+		},
+	})
+	wantObj(t, s, 10)
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x+y st x+y=3, x<=1 → obj 3.
+	s := solveOK(t, &Problem{
+		C: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 3},
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 1},
+		},
+	})
+	wantObj(t, s, 3)
+	if s.X[0] > 1+1e-9 {
+		t.Fatalf("x = %v violates x<=1", s.X[0])
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// max -x st x >= 5 (minimize x with floor 5) → x=5.
+	s := solveOK(t, &Problem{
+		C:           []float64{-1},
+		Constraints: []Constraint{{Coeffs: []float64{1}, Op: GE, RHS: 5}},
+	})
+	wantObj(t, s, -5)
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x <= -2 means x >= 2; max -x → x=2.
+	s := solveOK(t, &Problem{
+		C:           []float64{-1},
+		Constraints: []Constraint{{Coeffs: []float64{-1}, Op: LE, RHS: -2}},
+	})
+	wantObj(t, s, -2)
+}
+
+func TestInfeasible(t *testing.T) {
+	_, err := Solve(&Problem{
+		C: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: LE, RHS: 1},
+			{Coeffs: []float64{1}, Op: GE, RHS: 2},
+		},
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	_, err := Solve(&Problem{
+		C:           []float64{1},
+		Constraints: []Constraint{{Coeffs: []float64{-1}, Op: LE, RHS: 1}},
+	})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNoVariables(t *testing.T) {
+	if _, err := Solve(&Problem{}); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+}
+
+func TestTooManyCoefficients(t *testing.T) {
+	_, err := Solve(&Problem{
+		C:           []float64{1},
+		Constraints: []Constraint{{Coeffs: []float64{1, 2}, Op: LE, RHS: 1}},
+	})
+	if err == nil {
+		t.Fatal("oversized constraint accepted")
+	}
+}
+
+func TestShortCoefficientsZeroPadded(t *testing.T) {
+	// Second variable unconstrained except objective... must still work:
+	// max y st x <= 1 (y only bounded by nothing) → unbounded.
+	_, err := Solve(&Problem{
+		C:           []float64{0, 1},
+		Constraints: []Constraint{{Coeffs: []float64{1}, Op: LE, RHS: 1}},
+	})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// Beale's classic cycling example; Bland's rule must terminate.
+	s := solveOK(t, &Problem{
+		C: []float64{0.75, -150, 0.02, -6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -1.0 / 25, 9}, Op: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -1.0 / 50, 3}, Op: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Op: LE, RHS: 1},
+		},
+	})
+	wantObj(t, s, 0.05)
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// x + y = 2 listed twice (redundant row keeps a zero artificial).
+	s := solveOK(t, &Problem{
+		C: []float64{1, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 2},
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 2},
+		},
+	})
+	wantObj(t, s, 2)
+}
+
+func TestDietLikeProblem(t *testing.T) {
+	// min 2a+3b st a+b>=4, a+2b>=6, i.e. max -2a-3b.
+	s := solveOK(t, &Problem{
+		C: []float64{-2, -3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: GE, RHS: 4},
+			{Coeffs: []float64{1, 2}, Op: GE, RHS: 6},
+		},
+	})
+	// Optimum at a=2,b=2: cost 10. Alternative vertices: a=4,b=0 infeasible (a+2b=4<6)... a=6,b=0 cost 12; a=0,b=4 cost 12.
+	wantObj(t, s, -10)
+}
+
+func TestSolutionSatisfiesConstraints(t *testing.T) {
+	r := rng.New(9)
+	for trial := 0; trial < 60; trial++ {
+		nv := 2 + r.Intn(5)
+		nc := 1 + r.Intn(6)
+		p := &Problem{C: make([]float64, nv)}
+		for j := range p.C {
+			p.C[j] = r.Normal()
+		}
+		for i := 0; i < nc; i++ {
+			co := make([]float64, nv)
+			for j := range co {
+				co[j] = r.Normal()
+			}
+			// Keep feasible: RHS positive with LE keeps origin feasible.
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: co, Op: LE, RHS: 1 + r.Float64()*5})
+		}
+		// Bound the box so the LP is never unbounded.
+		for j := 0; j < nv; j++ {
+			co := make([]float64, nv)
+			co[j] = 1
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: co, Op: LE, RHS: 10})
+		}
+		s, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for ci, c := range p.Constraints {
+			var lhs float64
+			for j, v := range c.Coeffs {
+				lhs += v * s.X[j]
+			}
+			if lhs > c.RHS+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, ci, lhs, c.RHS)
+			}
+		}
+		for j, v := range s.X {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: x[%d] = %v negative", trial, j, v)
+			}
+		}
+	}
+}
+
+// TestMatchesVertexEnumeration cross-checks the simplex optimum against
+// brute-force vertex enumeration on random 2-variable LPs.
+func TestMatchesVertexEnumeration(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 40; trial++ {
+		p := &Problem{C: []float64{r.Normal(), r.Normal()}}
+		nc := 2 + r.Intn(4)
+		for i := 0; i < nc; i++ {
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: []float64{r.Uniform(0.1, 2), r.Uniform(0.1, 2)},
+				Op:     LE,
+				RHS:    r.Uniform(1, 6),
+			})
+		}
+		s, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		best := bruteForce2D(p)
+		if math.Abs(s.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: simplex %v vs brute force %v", trial, s.Objective, best)
+		}
+	}
+}
+
+// bruteForce2D enumerates all intersections of constraint boundaries
+// (including the axes) and returns the best feasible objective.
+func bruteForce2D(p *Problem) float64 {
+	type line struct{ a, b, c float64 } // a·x + b·y = c
+	var lines []line
+	for _, c := range p.Constraints {
+		lines = append(lines, line{c.Coeffs[0], c.Coeffs[1], c.RHS})
+	}
+	lines = append(lines, line{1, 0, 0}, line{0, 1, 0})
+	feasible := func(x, y float64) bool {
+		if x < -1e-9 || y < -1e-9 {
+			return false
+		}
+		for _, c := range p.Constraints {
+			if c.Coeffs[0]*x+c.Coeffs[1]*y > c.RHS+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	best := math.Inf(-1)
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			l1, l2 := lines[i], lines[j]
+			det := l1.a*l2.b - l2.a*l1.b
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (l1.c*l2.b - l2.c*l1.b) / det
+			y := (l1.a*l2.c - l2.a*l1.c) / det
+			if feasible(x, y) {
+				if v := p.C[0]*x + p.C[1]*y; v > best {
+					best = v
+				}
+			}
+		}
+	}
+	return best
+}
+
+func BenchmarkSolve20x20(b *testing.B) {
+	r := rng.New(1)
+	nv, nc := 20, 20
+	p := &Problem{C: make([]float64, nv)}
+	for j := range p.C {
+		p.C[j] = r.Float64()
+	}
+	for i := 0; i < nc; i++ {
+		co := make([]float64, nv)
+		for j := range co {
+			co[j] = r.Float64()
+		}
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: co, Op: LE, RHS: 5 + r.Float64()})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Exchange is the full data marketplace of Figure 1 scaled out: many
+// sellers' brokers listed side by side, each selling model instances
+// over its own dataset. BDEX/Qlik-style markets in the paper's
+// introduction host many datasets; Exchange is the registry layer that
+// turns one broker into such a market.
+type Exchange struct {
+	mu       sync.RWMutex
+	listings map[string]*Broker
+}
+
+// NewExchange returns an empty marketplace.
+func NewExchange() *Exchange {
+	return &Exchange{listings: make(map[string]*Broker)}
+}
+
+// ErrUnknownListing is returned for listings that do not exist.
+var ErrUnknownListing = errors.New("market: unknown listing")
+
+// List registers a broker under a unique listing name.
+func (e *Exchange) List(name string, b *Broker) error {
+	if name == "" {
+		return errors.New("market: empty listing name")
+	}
+	if b == nil {
+		return errors.New("market: nil broker")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.listings[name]; dup {
+		return fmt.Errorf("market: listing %q already exists", name)
+	}
+	e.listings[name] = b
+	return nil
+}
+
+// Delist removes a listing.
+func (e *Exchange) Delist(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.listings[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownListing, name)
+	}
+	delete(e.listings, name)
+	return nil
+}
+
+// Broker returns the broker behind a listing.
+func (e *Exchange) Broker(name string) (*Broker, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	b, ok := e.listings[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownListing, name)
+	}
+	return b, nil
+}
+
+// Listings returns the listing names in sorted order.
+func (e *Exchange) Listings() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.listings))
+	for name := range e.listings {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalRevenue aggregates seller and broker shares across all listings.
+func (e *Exchange) TotalRevenue() (sellerShare, brokerShare float64) {
+	e.mu.RLock()
+	brokers := make([]*Broker, 0, len(e.listings))
+	for _, b := range e.listings {
+		brokers = append(brokers, b)
+	}
+	e.mu.RUnlock()
+	for _, b := range brokers {
+		s, br := b.RevenueSplit()
+		sellerShare += s
+		brokerShare += br
+	}
+	return sellerShare, brokerShare
+}

@@ -1,0 +1,578 @@
+// Package market wires the three MBP agents together: the seller who
+// supplies the dataset and market research, the broker who trains the
+// optimal model once, prices its noisy versions, and serves buyers in
+// real time, and the buyer who purchases through one of the three
+// interaction options of Section 3.2:
+//
+//  1. a point on the price–error curve (an explicit NCP δ),
+//  2. an error budget ϵ̂ (cheapest version at least that accurate), or
+//  3. a price budget p̂ (most accurate version within the budget).
+//
+// The broker is safe for concurrent use; cmd/mbpmarket exposes it over
+// HTTP as the "real-time interaction" demonstration.
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/datamarket/mbp/internal/curves"
+	"github.com/datamarket/mbp/internal/dataset"
+	"github.com/datamarket/mbp/internal/loss"
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/noise"
+	"github.com/datamarket/mbp/internal/pricing"
+	"github.com/datamarket/mbp/internal/revopt"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+// Seller owns a dataset for sale plus the market research that drives
+// pricing (Figure 1A, Figure 2a).
+type Seller struct {
+	// Name identifies the seller in ledgers.
+	Name string
+	// Data is the train/test pair offered.
+	Data dataset.Split
+	// Research holds the buyer value and demand curves over x = 1/NCP.
+	Research *curves.Market
+}
+
+// Purchase is what a buyer takes home (Figure 1C, step 4).
+type Purchase struct {
+	// Instance is the noisy model instance.
+	Instance *ml.Instance
+	// Model identifies the hypothesis space.
+	Model ml.Model
+	// Delta is the NCP used.
+	Delta float64
+	// ExpectedError is the quoted E[ϵ(ĥδ, D)].
+	ExpectedError float64
+	// Price is what the buyer paid.
+	Price float64
+}
+
+// Transaction is a ledger row.
+type Transaction struct {
+	// Seq is a monotonically increasing sequence number.
+	Seq int
+	// Model sold.
+	Model ml.Model
+	// Delta, Price, ExpectedError mirror the purchase.
+	Delta, Price, ExpectedError float64
+}
+
+// offer is the broker's per-model state: the one-time-trained optimum
+// plus the published pricing artifacts.
+type offer struct {
+	optimal   *ml.Instance
+	transform *pricing.Transform
+	curve     *pricing.Curve
+	epsilon   loss.Loss
+	evalOn    *dataset.Dataset // split the transform's errors were measured on
+	// extras holds the transforms for additional buyer-selectable error
+	// functions ϵ, keyed by loss name (Section 3.2: the buyer picks ϵ
+	// from among the ones the broker supports).
+	extras map[string]*pricing.Transform
+}
+
+// transformFor resolves an ϵ name: empty means the default.
+func (o *offer) transformFor(epsName string) (*pricing.Transform, error) {
+	if epsName == "" || epsName == o.epsilon.Name() {
+		return o.transform, nil
+	}
+	if tr, ok := o.extras[epsName]; ok {
+		return tr, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownEpsilon, epsName)
+}
+
+// Broker mediates between a seller and buyers (Figure 1B). It charges
+// the seller a commission rate on every sale.
+type Broker struct {
+	mu         sync.Mutex
+	seller     *Seller
+	mech       noise.Mechanism
+	r          *rng.RNG
+	commission float64
+	offers     map[ml.Model]*offer
+	ledger     []Transaction
+}
+
+// NewBroker creates a broker for the seller using the given noise
+// mechanism. commission ∈ [0, 1) is the broker's cut of each sale.
+func NewBroker(seller *Seller, mech noise.Mechanism, seed uint64, commission float64) (*Broker, error) {
+	if seller == nil || seller.Data.Train == nil || seller.Data.Test == nil {
+		return nil, errors.New("market: seller must provide a train/test dataset pair")
+	}
+	if seller.Research != nil {
+		if err := seller.Research.Validate(); err != nil {
+			return nil, fmt.Errorf("market: invalid market research: %w", err)
+		}
+	}
+	if mech == nil {
+		return nil, errors.New("market: nil mechanism")
+	}
+	if commission < 0 || commission >= 1 {
+		return nil, fmt.Errorf("market: commission %v outside [0, 1)", commission)
+	}
+	return &Broker{
+		seller:     seller,
+		mech:       mech,
+		r:          rng.New(seed),
+		commission: commission,
+		offers:     make(map[ml.Model]*offer),
+	}, nil
+}
+
+// AddModelOptions configure offer construction.
+type AddModelOptions struct {
+	// Train are the training options for the one-time optimum.
+	Train ml.Options
+	// Epsilon is the buyer-facing error function ϵ; nil picks the
+	// model's surrogate loss (Table 2).
+	Epsilon loss.Loss
+	// OnTrain evaluates ϵ on the train split instead of the default
+	// test split, per the buyer's preference in Section 3.1.
+	OnTrain bool
+	// MCSamples is the Monte-Carlo sample count per grid point for the
+	// empirical transform (default 200; the paper uses 2000).
+	MCSamples int
+	// ForceEmpirical disables the closed-form transform fast path
+	// (linear regression under the square loss admits an exact affine
+	// transform); used by the ablation benchmarks.
+	ForceEmpirical bool
+	// ExtraEpsilons lists additional error functions the buyer may
+	// select (e.g. the 0/1 rate next to the logistic loss, per
+	// Table 2's classification rows). Each gets its own empirical
+	// transform over the same price curve.
+	ExtraEpsilons []loss.Loss
+}
+
+// AddModel trains the optimal instance for model m (the broker's
+// one-time cost), builds the error transform on the research grid, runs
+// revenue optimization, and publishes the resulting price curve.
+// It requires the seller to have provided market research.
+func (b *Broker) AddModel(m ml.Model, opts AddModelOptions) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.offers[m]; dup {
+		return fmt.Errorf("market: model %v already offered", m)
+	}
+	if b.seller.Research == nil {
+		return errors.New("market: seller provided no market research")
+	}
+	eps := opts.Epsilon
+	if eps == nil {
+		var err error
+		eps, err = defaultEpsilon(m)
+		if err != nil {
+			return err
+		}
+	}
+	mc := opts.MCSamples
+	if mc <= 0 {
+		mc = 200
+	}
+
+	optimal, err := ml.Train(m, b.seller.Data.Train, opts.Train)
+	if err != nil {
+		return fmt.Errorf("market: training optimal instance: %w", err)
+	}
+
+	evalOn := b.seller.Data.Test
+	if opts.OnTrain {
+		evalOn = b.seller.Data.Train
+	}
+	deltas := make([]float64, len(b.seller.Research.A))
+	for i, x := range b.seller.Research.A {
+		deltas[len(deltas)-1-i] = 1 / x
+	}
+	sort.Float64s(deltas)
+	var tr *pricing.Transform
+	_, isSquare := eps.(loss.Square)
+	_, isGaussian := b.mech.(noise.Gaussian)
+	if isSquare && isGaussian && m == ml.LinearRegression && !opts.ForceEmpirical {
+		// Exact affine transform — no Monte-Carlo needed (Lemma 3's
+		// trace identity; see pricing.AnalyticSquareTransform).
+		tr, err = pricing.AnalyticSquareTransform(optimal, evalOn, deltas)
+	} else {
+		tr, err = pricing.NewEmpirical(b.mech, optimal, eps, evalOn, deltas, mc, b.r.Split())
+	}
+	if err != nil {
+		return fmt.Errorf("market: building error transform: %w", err)
+	}
+
+	extras := make(map[string]*pricing.Transform, len(opts.ExtraEpsilons))
+	for _, extra := range opts.ExtraEpsilons {
+		if extra == nil {
+			return errors.New("market: nil extra error function")
+		}
+		name := extra.Name()
+		if name == eps.Name() {
+			continue // already the default
+		}
+		if _, dup := extras[name]; dup {
+			return fmt.Errorf("market: duplicate extra error function %q", name)
+		}
+		etr, err := pricing.NewEmpirical(b.mech, optimal, extra, evalOn, deltas, mc, b.r.Split())
+		if err != nil {
+			return fmt.Errorf("market: building transform for ϵ=%q: %w", name, err)
+		}
+		extras[name] = etr
+	}
+
+	curve, err := optimizeCurve(b.seller.Research)
+	if err != nil {
+		return err
+	}
+	b.offers[m] = &offer{optimal: optimal, transform: tr, curve: curve, epsilon: eps, evalOn: evalOn, extras: extras}
+	return nil
+}
+
+// optimizeCurve runs the revenue DP over a market instance and returns
+// the certified arbitrage-free price curve through its solution.
+func optimizeCurve(research *curves.Market) (*pricing.Curve, error) {
+	res, err := revopt.MaximizeRevenueDP(research)
+	if err != nil {
+		return nil, fmt.Errorf("market: revenue optimization: %w", err)
+	}
+	pts := make([]pricing.Point, len(res.Z))
+	for i := range res.Z {
+		pts[i] = pricing.Point{X: research.A[i], Price: res.Z[i]}
+	}
+	curve, err := pricing.NewCurve(pts)
+	if err != nil {
+		return nil, fmt.Errorf("market: building price curve: %w", err)
+	}
+	if err := curve.Certify(); err != nil {
+		return nil, fmt.Errorf("market: optimized curve failed certification: %w", err)
+	}
+	return curve, nil
+}
+
+// AddModelFromErrorResearch implements the complete Figure 2 pipeline:
+// the seller's value/demand research arrives in the ERROR domain
+// (Figure 2a); the broker trains the optimum, tabulates the error
+// transform ϕ on its own deltaGrid, converts the research into the
+// inverse-NCP domain (Figure 2b), and publishes the revenue-optimized
+// arbitrage-free curve over the transformed grid (Figure 2c).
+//
+// Unlike AddModel, this path does not use the seller's pre-transformed
+// Research field, so SimulateBuyers is unavailable for such offers.
+func (b *Broker) AddModelFromErrorResearch(m ml.Model, opts AddModelOptions, research []pricing.ErrorResearchPoint, deltaGrid []float64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.offers[m]; dup {
+		return fmt.Errorf("market: model %v already offered", m)
+	}
+	if len(research) == 0 {
+		return errors.New("market: empty error-domain research")
+	}
+	if len(deltaGrid) < 2 {
+		return errors.New("market: need at least two δ grid points")
+	}
+	eps := opts.Epsilon
+	if eps == nil {
+		var err error
+		eps, err = defaultEpsilon(m)
+		if err != nil {
+			return err
+		}
+	}
+	mc := opts.MCSamples
+	if mc <= 0 {
+		mc = 200
+	}
+
+	optimal, err := ml.Train(m, b.seller.Data.Train, opts.Train)
+	if err != nil {
+		return fmt.Errorf("market: training optimal instance: %w", err)
+	}
+	evalOn := b.seller.Data.Test
+	if opts.OnTrain {
+		evalOn = b.seller.Data.Train
+	}
+
+	deltas := append([]float64(nil), deltaGrid...)
+	sort.Float64s(deltas)
+	var tr *pricing.Transform
+	_, isSquare := eps.(loss.Square)
+	_, isGaussian := b.mech.(noise.Gaussian)
+	if isSquare && isGaussian && m == ml.LinearRegression && !opts.ForceEmpirical {
+		tr, err = pricing.AnalyticSquareTransform(optimal, evalOn, deltas)
+	} else {
+		tr, err = pricing.NewEmpirical(b.mech, optimal, eps, evalOn, deltas, mc, b.r.Split())
+	}
+	if err != nil {
+		return fmt.Errorf("market: building error transform: %w", err)
+	}
+
+	market, err := pricing.MarketFromErrorResearch(research, tr)
+	if err != nil {
+		return fmt.Errorf("market: transforming research (Fig. 2a→2b): %w", err)
+	}
+	curve, err := optimizeCurve(market)
+	if err != nil {
+		return err
+	}
+	b.offers[m] = &offer{optimal: optimal, transform: tr, curve: curve, epsilon: eps, evalOn: evalOn}
+	return nil
+}
+
+// defaultEpsilon returns the Table 2 buyer-facing error function for a
+// model.
+func defaultEpsilon(m ml.Model) (loss.Loss, error) {
+	switch m {
+	case ml.LinearRegression:
+		return loss.Square{}, nil
+	case ml.LogisticRegression:
+		return loss.Logistic{}, nil
+	case ml.LinearSVM:
+		return loss.SmoothedHinge{}, nil
+	default:
+		return nil, fmt.Errorf("market: unknown model %v", m)
+	}
+}
+
+// ErrUnknownEpsilon is returned when a buyer names an error function
+// the broker does not support for the model.
+var ErrUnknownEpsilon = errors.New("market: unsupported error function")
+
+// Epsilons lists the error functions supported for model m, default
+// first.
+func (b *Broker) Epsilons(m ml.Model) ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	off, ok := b.offers[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
+	}
+	out := []string{off.epsilon.Name()}
+	names := make([]string, 0, len(off.extras))
+	for n := range off.extras {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return append(out, names...), nil
+}
+
+// PriceErrorCurveFor returns the buyer-facing menu measured under the
+// named error function (empty = the offer's default).
+func (b *Broker) PriceErrorCurveFor(m ml.Model, epsName string) ([]pricing.PriceError, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	off, ok := b.offers[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
+	}
+	tr, err := off.transformFor(epsName)
+	if err != nil {
+		return nil, err
+	}
+	return pricing.PriceErrorCurve(off.curve, tr), nil
+}
+
+// BuyWithErrorBudgetFor executes option 2 against the named error
+// function's scale: cheapest version whose expected ϵ is at most
+// maxErr.
+func (b *Broker) BuyWithErrorBudgetFor(m ml.Model, epsName string, maxErr float64) (*Purchase, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	off, ok := b.offers[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
+	}
+	tr, err := off.transformFor(epsName)
+	if err != nil {
+		return nil, err
+	}
+	delta, err := tr.DeltaForError(maxErr)
+	if err != nil {
+		return nil, fmt.Errorf("%w (requested %v under ϵ=%q)", ErrErrorBudgetTooTight, maxErr, epsName)
+	}
+	// Clamp to the offered range of the default grid (identical grids
+	// by construction, but guard against numerical drift).
+	lo, hi := off.deltaBounds()
+	delta = math.Min(math.Max(delta, lo), hi)
+	return b.sellLocked(m, off, delta), nil
+}
+
+// Models lists the offered models (the menu M).
+func (b *Broker) Models() []ml.Model {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]ml.Model, 0, len(b.offers))
+	for m := range b.offers {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ErrUnknownModel is returned for models not on the menu.
+var ErrUnknownModel = errors.New("market: model not offered")
+
+// PriceErrorCurve returns the buyer-facing menu of (δ, expected error,
+// price) rows for model m (Figure 1C, step 2).
+func (b *Broker) PriceErrorCurve(m ml.Model) ([]pricing.PriceError, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	off, ok := b.offers[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
+	}
+	return pricing.PriceErrorCurve(off.curve, off.transform), nil
+}
+
+// deltaBounds returns the offered NCP range [min, max] of the transform
+// grid.
+func (o *offer) deltaBounds() (float64, float64) {
+	ds, _ := o.transform.Grid()
+	return ds[0], ds[len(ds)-1]
+}
+
+// BuyAtPoint executes option 1: the buyer picks an NCP δ directly.
+func (b *Broker) BuyAtPoint(m ml.Model, delta float64) (*Purchase, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	off, ok := b.offers[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
+	}
+	lo, hi := off.deltaBounds()
+	if delta < lo || delta > hi || math.IsNaN(delta) {
+		return nil, fmt.Errorf("market: δ=%v outside offered range [%v, %v]", delta, lo, hi)
+	}
+	return b.sellLocked(m, off, delta), nil
+}
+
+// ErrBudgetTooSmall is returned when no offered version fits the budget.
+var ErrBudgetTooSmall = errors.New("market: budget below the cheapest offered version")
+
+// ErrErrorBudgetTooTight is returned when even the noiseless-est
+// offered version cannot meet the requested error.
+var ErrErrorBudgetTooTight = errors.New("market: error budget below the most accurate offered version")
+
+// BuyWithErrorBudget executes option 2: cheapest version whose expected
+// error is at most maxErr.
+func (b *Broker) BuyWithErrorBudget(m ml.Model, maxErr float64) (*Purchase, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	off, ok := b.offers[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
+	}
+	delta, err := off.transform.DeltaForError(maxErr)
+	if err != nil {
+		return nil, fmt.Errorf("%w (requested %v)", ErrErrorBudgetTooTight, maxErr)
+	}
+	return b.sellLocked(m, off, delta), nil
+}
+
+// BuyWithPriceBudget executes option 3: the most accurate version whose
+// price is within budget.
+func (b *Broker) BuyWithPriceBudget(m ml.Model, budget float64) (*Purchase, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	off, ok := b.offers[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
+	}
+	lo, hi := off.deltaBounds()
+	if budget < off.curve.Price(1/hi) {
+		return nil, fmt.Errorf("%w: %v < %v", ErrBudgetTooSmall, budget, off.curve.Price(1/hi))
+	}
+	// The price is non-increasing in δ; binary-search the smallest δ
+	// (most accurate version) still within budget.
+	loD, hiD := lo, hi
+	for i := 0; i < 200 && hiD-loD > 1e-12*(1+hiD); i++ {
+		mid := (loD + hiD) / 2
+		if off.curve.Price(1/mid) <= budget {
+			hiD = mid
+		} else {
+			loD = mid
+		}
+	}
+	return b.sellLocked(m, off, hiD), nil
+}
+
+// Quote previews the price and expected error of the version at NCP δ
+// without executing a sale (no noise drawn, no ledger entry).
+func (b *Broker) Quote(m ml.Model, delta float64) (price, expectedError float64, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	off, ok := b.offers[m]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %v", ErrUnknownModel, m)
+	}
+	lo, hi := off.deltaBounds()
+	if delta < lo || delta > hi || math.IsNaN(delta) {
+		return 0, 0, fmt.Errorf("market: δ=%v outside offered range [%v, %v]", delta, lo, hi)
+	}
+	return off.curve.Price(1 / delta), off.transform.ErrorForDelta(delta), nil
+}
+
+// sellLocked performs the sale. Callers hold b.mu.
+func (b *Broker) sellLocked(m ml.Model, off *offer, delta float64) *Purchase {
+	price := off.curve.Price(1 / delta)
+	instance := b.mech.Perturb(off.optimal, delta, b.r)
+	p := &Purchase{
+		Instance:      instance,
+		Model:         m,
+		Delta:         delta,
+		ExpectedError: off.transform.ErrorForDelta(delta),
+		Price:         price,
+	}
+	b.ledger = append(b.ledger, Transaction{
+		Seq:           len(b.ledger) + 1,
+		Model:         m,
+		Delta:         delta,
+		Price:         price,
+		ExpectedError: p.ExpectedError,
+	})
+	return p
+}
+
+// Ledger returns a copy of all transactions.
+func (b *Broker) Ledger() []Transaction {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Transaction(nil), b.ledger...)
+}
+
+// RevenueSplit returns the seller's and broker's cumulative shares.
+func (b *Broker) RevenueSplit() (sellerShare, brokerShare float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var total float64
+	for _, t := range b.ledger {
+		total += t.Price
+	}
+	return total * (1 - b.commission), total * b.commission
+}
+
+// Optimal exposes the trained optimum for experiment harnesses; the
+// production market never hands it to buyers.
+func (b *Broker) Optimal(m ml.Model) (*ml.Instance, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	off, ok := b.offers[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
+	}
+	return off.optimal.Clone(), nil
+}
+
+// Curve exposes the published pricing curve for model m.
+func (b *Broker) Curve(m ml.Model) (*pricing.Curve, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	off, ok := b.offers[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
+	}
+	return off.curve, nil
+}

@@ -1,0 +1,142 @@
+package market
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/datamarket/mbp/internal/loss"
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/pricing"
+)
+
+// OfferSnapshot is the serializable state of one published offer: the
+// trained optimum and the pricing artifacts. Restoring a snapshot
+// skips the broker's expensive one-time training and Monte-Carlo
+// transform estimation — the warm-start path for cmd/mbpmarket.
+type OfferSnapshot struct {
+	// Model identifies the hypothesis space.
+	Model ml.Model `json:"model"`
+	// Weights, Mu and TrainLoss reconstruct the optimal instance.
+	Weights   []float64 `json:"weights"`
+	Mu        float64   `json:"mu"`
+	TrainLoss float64   `json:"trainLoss"`
+	// Epsilon names the buyer-facing error function (loss.ByName).
+	Epsilon string `json:"epsilon"`
+	// Curve and Transform are the published pricing artifacts.
+	Curve     *pricing.Curve     `json:"curve"`
+	Transform *pricing.Transform `json:"transform"`
+	// Extras holds transforms for additional buyer-selectable error
+	// functions, keyed by loss name.
+	Extras map[string]*pricing.Transform `json:"extras,omitempty"`
+}
+
+// SnapshotOffer exports the state of an offered model.
+func (b *Broker) SnapshotOffer(m ml.Model) (*OfferSnapshot, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	off, ok := b.offers[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
+	}
+	snap := &OfferSnapshot{
+		Model:     m,
+		Weights:   append([]float64(nil), off.optimal.W...),
+		Mu:        off.optimal.Mu,
+		TrainLoss: off.optimal.TrainLoss,
+		Epsilon:   off.epsilon.Name(),
+		Curve:     off.curve,
+		Transform: off.transform,
+	}
+	if len(off.extras) > 0 {
+		snap.Extras = make(map[string]*pricing.Transform, len(off.extras))
+		for name, tr := range off.extras {
+			snap.Extras[name] = tr
+		}
+	}
+	return snap, nil
+}
+
+// RestoreOffer publishes an offer from a snapshot without retraining.
+// The curve is re-certified before listing; SLA verification for the
+// restored offer runs against the seller's test split.
+func (b *Broker) RestoreOffer(s *OfferSnapshot) error {
+	if s == nil {
+		return errors.New("market: nil snapshot")
+	}
+	if s.Curve == nil || s.Transform == nil {
+		return errors.New("market: snapshot missing pricing artifacts")
+	}
+	if len(s.Weights) == 0 {
+		return errors.New("market: snapshot missing weights")
+	}
+	eps, err := loss.ByName(s.Epsilon)
+	if err != nil {
+		return fmt.Errorf("market: restoring snapshot: %w", err)
+	}
+	for name, tr := range s.Extras {
+		if _, err := loss.ByName(name); err != nil {
+			return fmt.Errorf("market: restoring snapshot extras: %w", err)
+		}
+		if tr == nil {
+			return fmt.Errorf("market: snapshot extra %q has no transform", name)
+		}
+	}
+	if err := s.Curve.Certify(); err != nil {
+		return fmt.Errorf("market: snapshot curve failed certification: %w", err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.offers[s.Model]; dup {
+		return fmt.Errorf("market: model %v already offered", s.Model)
+	}
+	if d := b.seller.Data.Train.D(); len(s.Weights) != d {
+		return fmt.Errorf("market: snapshot has %d weights but the dataset has %d features", len(s.Weights), d)
+	}
+	b.offers[s.Model] = &offer{
+		optimal: &ml.Instance{
+			Model:     s.Model,
+			W:         append([]float64(nil), s.Weights...),
+			Mu:        s.Mu,
+			TrainLoss: s.TrainLoss,
+			Optimal:   true,
+		},
+		transform: s.Transform,
+		curve:     s.Curve,
+		epsilon:   eps,
+		evalOn:    b.seller.Data.Test,
+		extras:    s.Extras,
+	}
+	return nil
+}
+
+// SaveOffers writes every published offer as a JSON array.
+func (b *Broker) SaveOffers(w io.Writer) error {
+	var snaps []*OfferSnapshot
+	for _, m := range b.Models() {
+		s, err := b.SnapshotOffer(m)
+		if err != nil {
+			return err
+		}
+		snaps = append(snaps, s)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snaps)
+}
+
+// LoadOffers restores every offer from a JSON array written by
+// SaveOffers.
+func (b *Broker) LoadOffers(r io.Reader) error {
+	var snaps []*OfferSnapshot
+	if err := json.NewDecoder(r).Decode(&snaps); err != nil {
+		return fmt.Errorf("market: decoding offers: %w", err)
+	}
+	for _, s := range snaps {
+		if err := b.RestoreOffer(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package market
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/noise"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	b := testBroker(t)
+	var buf bytes.Buffer
+	if err := b.SaveOffers(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh broker over the same seller, warm-started from the dump.
+	b2, err := NewBroker(b.seller, noise.Gaussian{}, 7, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.LoadOffers(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored broker publishes the identical menu.
+	m1, err := b.PriceErrorCurve(ml.LinearRegression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := b2.PriceErrorCurve(ml.LinearRegression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1) != len(m2) {
+		t.Fatalf("menu sizes %d vs %d", len(m1), len(m2))
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("menu row %d differs: %+v vs %+v", i, m1[i], m2[i])
+		}
+	}
+	// And sells.
+	if _, err := b2.BuyAtPoint(ml.LinearRegression, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	// And its restored optimum matches.
+	o1, _ := b.Optimal(ml.LinearRegression)
+	o2, _ := b2.Optimal(ml.LinearRegression)
+	for i := range o1.W {
+		if o1.W[i] != o2.W[i] {
+			t.Fatal("restored weights differ")
+		}
+	}
+}
+
+func TestRestoreOfferValidation(t *testing.T) {
+	b := testBroker(t)
+	snap, err := b.SnapshotOffer(ml.LinearRegression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() *Broker {
+		nb, err := NewBroker(b.seller, noise.Gaussian{}, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nb
+	}
+
+	if err := fresh().RestoreOffer(nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	s := *snap
+	s.Curve = nil
+	if err := fresh().RestoreOffer(&s); err == nil {
+		t.Fatal("missing curve accepted")
+	}
+	s = *snap
+	s.Weights = nil
+	if err := fresh().RestoreOffer(&s); err == nil {
+		t.Fatal("missing weights accepted")
+	}
+	s = *snap
+	s.Weights = []float64{1, 2}
+	if err := fresh().RestoreOffer(&s); err == nil {
+		t.Fatal("wrong dimension accepted")
+	}
+	s = *snap
+	s.Epsilon = "nope"
+	if err := fresh().RestoreOffer(&s); err == nil {
+		t.Fatal("unknown epsilon accepted")
+	}
+	// Duplicate restore.
+	nb := fresh()
+	if err := nb.RestoreOffer(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := nb.RestoreOffer(snap); err == nil {
+		t.Fatal("duplicate restore accepted")
+	}
+}
+
+func TestSnapshotUnknownModel(t *testing.T) {
+	b := testBroker(t)
+	if _, err := b.SnapshotOffer(ml.LinearSVM); err == nil {
+		t.Fatal("unknown model snapshot accepted")
+	}
+}
+
+func TestLoadOffersRejectsGarbage(t *testing.T) {
+	b := testBroker(t)
+	if err := b.LoadOffers(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRestoredOfferSLA(t *testing.T) {
+	b := testBroker(t)
+	snap, err := b.SnapshotOffer(ml.LinearRegression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := NewBroker(b.seller, noise.Gaussian{}, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.RestoreOffer(snap); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b2.VerifySLA(ml.LinearRegression, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violations(8); v > 1 {
+		t.Fatalf("restored offer violates SLA: %d rows", v)
+	}
+}

@@ -1,0 +1,84 @@
+package market
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/ml"
+)
+
+// TestSLAHolds is the honesty property of the published menu: fresh
+// Monte-Carlo measurements must agree with every quoted expected error
+// within statistical tolerance.
+func TestSLAHolds(t *testing.T) {
+	b := testBroker(t)
+	rep, err := b.VerifySLA(ml.LinearRegression, 400, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 20 {
+		t.Fatalf("%d rows", len(rep.Rows))
+	}
+	// The quotes themselves are Monte-Carlo estimates (60 samples in the
+	// fixture), so allow a generous multiple of the re-measurement's
+	// standard error.
+	if v := rep.Violations(8); v > 1 {
+		t.Fatalf("%d SLA violations: %+v", v, rep.Rows)
+	}
+}
+
+func TestSLADetectsDishonestQuote(t *testing.T) {
+	b := testBroker(t)
+	rep, err := b.VerifySLA(ml.LinearRegression, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a quote and confirm Violated flags it.
+	row := rep.Rows[0]
+	row.Quoted *= 10
+	if !row.Violated(8) {
+		t.Fatal("corrupted quote not flagged")
+	}
+}
+
+func TestVerifySLAErrors(t *testing.T) {
+	b := testBroker(t)
+	if _, err := b.VerifySLA(ml.LinearRegression, 0, 1); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	if _, err := b.VerifySLA(ml.LinearSVM, 10, 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestExportLedger(t *testing.T) {
+	b := testBroker(t)
+	for i := 0; i < 3; i++ {
+		if _, err := b.BuyAtPoint(ml.LinearRegression, 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := b.ExportLedger(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Transactions []Transaction `json:"transactions"`
+		SellerShare  float64       `json:"sellerShare"`
+		BrokerShare  float64       `json:"brokerShare"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Transactions) != 3 {
+		t.Fatalf("%d transactions", len(decoded.Transactions))
+	}
+	var total float64
+	for _, tx := range decoded.Transactions {
+		total += tx.Price
+	}
+	if diff := total - decoded.SellerShare - decoded.BrokerShare; diff > 1e-9 || diff < -1e-9 {
+		t.Fatal("revenue split inconsistent in export")
+	}
+}

@@ -1,0 +1,141 @@
+// Package milp implements a small branch-and-bound solver for mixed
+// integer linear programs on top of the simplex solver in internal/lp.
+//
+// The exact revenue optimizer (the expensive baseline the paper labels
+// "MILP" in Figures 9–10) uses it to decide which buyers to serve at a
+// price equal to their valuation; every branch-and-bound node solves one
+// LP relaxation. Runtime is exponential in the worst case — that is the
+// point of the comparison against the polynomial MBP dynamic program.
+package milp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/datamarket/mbp/internal/lp"
+)
+
+// Problem is a mixed integer linear program: the base LP plus a set of
+// variable indices that must take integer values at the optimum.
+// Bounds on the integer variables must be expressed as LP constraints
+// (e.g. x ≤ 1 for binaries).
+type Problem struct {
+	// LP is the relaxation.
+	LP lp.Problem
+	// Integer lists the variable indices constrained to integers.
+	Integer []int
+}
+
+// Options tune the search. Zero values mean defaults.
+type Options struct {
+	// MaxNodes caps the number of branch-and-bound nodes (default 1e6).
+	MaxNodes int
+	// Tol is the integrality tolerance (default 1e-6).
+	Tol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 1000000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	return o
+}
+
+// Result reports the optimum and search statistics.
+type Result struct {
+	// X is the optimal assignment.
+	X []float64
+	// Objective is the optimal value.
+	Objective float64
+	// Nodes is the number of LP relaxations solved.
+	Nodes int
+}
+
+// ErrInfeasible is returned when no integer-feasible point exists.
+var ErrInfeasible = errors.New("milp: infeasible")
+
+// ErrNodeLimit is returned when the node budget is exhausted before the
+// search completes.
+var ErrNodeLimit = errors.New("milp: node limit exceeded")
+
+// Solve runs best-effort depth-first branch and bound, maximizing.
+func Solve(p *Problem, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	for _, idx := range p.Integer {
+		if idx < 0 || idx >= len(p.LP.C) {
+			return nil, fmt.Errorf("milp: integer index %d out of range (%d variables)", idx, len(p.LP.C))
+		}
+	}
+
+	best := math.Inf(-1)
+	var bestX []float64
+	nodes := 0
+
+	// node is a set of additional bound constraints.
+	type node struct {
+		extra []lp.Constraint
+	}
+	stack := []node{{}}
+
+	for len(stack) > 0 {
+		if nodes >= o.MaxNodes {
+			return nil, ErrNodeLimit
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		sub := lp.Problem{C: p.LP.C, Constraints: append(append([]lp.Constraint{}, p.LP.Constraints...), nd.extra...)}
+		sol, err := lp.Solve(&sub)
+		if errors.Is(err, lp.ErrInfeasible) {
+			continue
+		}
+		if errors.Is(err, lp.ErrUnbounded) {
+			return nil, fmt.Errorf("milp: relaxation unbounded — add explicit bounds: %w", err)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if sol.Objective <= best+o.Tol {
+			continue // bound: cannot beat the incumbent
+		}
+
+		// Find the most fractional integer variable.
+		branchVar, frac := -1, 0.0
+		for _, idx := range p.Integer {
+			v := sol.X[idx]
+			f := math.Abs(v - math.Round(v))
+			if f > o.Tol && f > frac {
+				branchVar, frac = idx, f
+			}
+		}
+		if branchVar < 0 {
+			// Integer feasible: new incumbent.
+			if sol.Objective > best {
+				best = sol.Objective
+				bestX = append([]float64(nil), sol.X...)
+			}
+			continue
+		}
+
+		v := sol.X[branchVar]
+		floorC := make([]float64, branchVar+1)
+		floorC[branchVar] = 1
+		ceilC := make([]float64, branchVar+1)
+		ceilC[branchVar] = 1
+		down := node{extra: append(append([]lp.Constraint{}, nd.extra...),
+			lp.Constraint{Coeffs: floorC, Op: lp.LE, RHS: math.Floor(v)})}
+		up := node{extra: append(append([]lp.Constraint{}, nd.extra...),
+			lp.Constraint{Coeffs: ceilC, Op: lp.GE, RHS: math.Ceil(v)})}
+		stack = append(stack, down, up)
+	}
+
+	if bestX == nil {
+		return nil, ErrInfeasible
+	}
+	return &Result{X: bestX, Objective: best, Nodes: nodes}, nil
+}

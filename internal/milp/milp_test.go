@@ -1,0 +1,237 @@
+package milp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/lp"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+func binBounds(n int) []lp.Constraint {
+	out := make([]lp.Constraint, n)
+	for j := 0; j < n; j++ {
+		co := make([]float64, j+1)
+		co[j] = 1
+		out[j] = lp.Constraint{Coeffs: co, Op: lp.LE, RHS: 1}
+	}
+	return out
+}
+
+func TestKnapsack(t *testing.T) {
+	// max 10a+6b+4c st 5a+4b+3c <= 8, binary → a=1,b=0,c=1 → 14.
+	p := &Problem{
+		LP: lp.Problem{
+			C: []float64{10, 6, 4},
+			Constraints: append([]lp.Constraint{
+				{Coeffs: []float64{5, 4, 3}, Op: lp.LE, RHS: 8},
+			}, binBounds(3)...),
+		},
+		Integer: []int{0, 1, 2},
+	}
+	r, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Objective-14) > 1e-6 {
+		t.Fatalf("objective %v, want 14 (x=%v)", r.Objective, r.X)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// max x st x <= 2.5, integer → 2.
+	p := &Problem{
+		LP: lp.Problem{
+			C:           []float64{1},
+			Constraints: []lp.Constraint{{Coeffs: []float64{1}, Op: lp.LE, RHS: 2.5}},
+		},
+		Integer: []int{0},
+	}
+	r, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Objective-2) > 1e-6 {
+		t.Fatalf("objective %v, want 2", r.Objective)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// max 2x + y, x integer, x <= 1.5, y <= 0.7 → x=1, y=0.7 → 2.7.
+	p := &Problem{
+		LP: lp.Problem{
+			C: []float64{2, 1},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{1, 0}, Op: lp.LE, RHS: 1.5},
+				{Coeffs: []float64{0, 1}, Op: lp.LE, RHS: 0.7},
+			},
+		},
+		Integer: []int{0},
+	}
+	r, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Objective-2.7) > 1e-6 {
+		t.Fatalf("objective %v, want 2.7", r.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// 0.4 <= x <= 0.6, x integer → infeasible.
+	p := &Problem{
+		LP: lp.Problem{
+			C: []float64{1},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{1}, Op: lp.GE, RHS: 0.4},
+				{Coeffs: []float64{1}, Op: lp.LE, RHS: 0.6},
+			},
+		},
+		Integer: []int{0},
+	}
+	if _, err := Solve(p, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestBadIntegerIndex(t *testing.T) {
+	p := &Problem{LP: lp.Problem{C: []float64{1}}, Integer: []int{5}}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A problem needing several nodes with MaxNodes=1 must error.
+	p := &Problem{
+		LP: lp.Problem{
+			C: []float64{1, 1},
+			Constraints: append([]lp.Constraint{
+				{Coeffs: []float64{2, 2}, Op: lp.LE, RHS: 3},
+			}, binBounds(2)...),
+		},
+		Integer: []int{0, 1},
+	}
+	if _, err := Solve(p, Options{MaxNodes: 1}); !errors.Is(err, ErrNodeLimit) {
+		t.Fatalf("err = %v, want ErrNodeLimit", err)
+	}
+}
+
+func TestUnboundedRelaxation(t *testing.T) {
+	p := &Problem{LP: lp.Problem{C: []float64{1}}, Integer: []int{0}}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("unbounded accepted")
+	}
+}
+
+// TestAgainstExhaustive compares branch and bound with exhaustive
+// enumeration on random binary knapsacks.
+func TestAgainstExhaustive(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(8)
+		c := make([]float64, n)
+		w := make([]float64, n)
+		for j := 0; j < n; j++ {
+			c[j] = r.Uniform(0, 10)
+			w[j] = r.Uniform(0.5, 5)
+		}
+		cap := r.Uniform(2, 10)
+		p := &Problem{
+			LP: lp.Problem{
+				C: c,
+				Constraints: append([]lp.Constraint{
+					{Coeffs: w, Op: lp.LE, RHS: cap},
+				}, binBounds(n)...),
+			},
+			Integer: intRange(n),
+		}
+		res, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			var val, wt float64
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					val += c[j]
+					wt += w[j]
+				}
+			}
+			if wt <= cap && val > best {
+				best = val
+			}
+		}
+		if math.Abs(res.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: bb %v vs exhaustive %v", trial, res.Objective, best)
+		}
+	}
+}
+
+func intRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestSolutionIsIntegral(t *testing.T) {
+	r := rng.New(23)
+	n := 6
+	c := make([]float64, n)
+	w := make([]float64, n)
+	for j := 0; j < n; j++ {
+		c[j] = r.Uniform(1, 10)
+		w[j] = r.Uniform(1, 4)
+	}
+	p := &Problem{
+		LP: lp.Problem{
+			C: c,
+			Constraints: append([]lp.Constraint{
+				{Coeffs: w, Op: lp.LE, RHS: 7},
+			}, binBounds(n)...),
+		},
+		Integer: intRange(n),
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range p.Integer {
+		if f := math.Abs(res.X[idx] - math.Round(res.X[idx])); f > 1e-6 {
+			t.Fatalf("x[%d] = %v not integral", idx, res.X[idx])
+		}
+	}
+	if res.Nodes < 1 {
+		t.Fatal("node count not recorded")
+	}
+}
+
+func BenchmarkKnapsack10(b *testing.B) {
+	r := rng.New(1)
+	n := 10
+	c := make([]float64, n)
+	w := make([]float64, n)
+	for j := 0; j < n; j++ {
+		c[j] = r.Uniform(1, 10)
+		w[j] = r.Uniform(1, 4)
+	}
+	p := &Problem{
+		LP: lp.Problem{
+			C: c,
+			Constraints: append([]lp.Constraint{
+				{Coeffs: w, Op: lp.LE, RHS: 12},
+			}, binBounds(n)...),
+		},
+		Integer: intRange(n),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

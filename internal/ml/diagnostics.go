@@ -1,0 +1,59 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/datamarket/mbp/internal/dataset"
+	"github.com/datamarket/mbp/internal/linalg"
+)
+
+// ConditionReport describes the curvature of the regularized
+// least-squares objective on a dataset: the eigenvalue range of
+// H = XᵀX/n + μI and the induced condition number. The broker can use
+// it to sanity-check a seller's data before listing (a huge condition
+// number means the optimal model is barely identified, so even small
+// noise buys large model-space error) and to justify the μ it applies.
+type ConditionReport struct {
+	// EigMin and EigMax bound the spectrum of the regularized Hessian.
+	EigMin, EigMax float64
+	// Condition is EigMax/EigMin.
+	Condition float64
+	// EffectiveRank counts eigenvalues above 1e-10·EigMax before
+	// regularization.
+	EffectiveRank int
+	// Mu echoes the regularization used.
+	Mu float64
+}
+
+// ConditionNumber analyzes the ridge Hessian of a dataset at strength
+// mu ≥ 0.
+func ConditionNumber(ds *dataset.Dataset, mu float64) (ConditionReport, error) {
+	if mu < 0 {
+		return ConditionReport{}, fmt.Errorf("ml: negative regularization %v", mu)
+	}
+	if ds.N() == 0 {
+		return ConditionReport{}, fmt.Errorf("ml: empty dataset")
+	}
+	h := ds.X.Gram()
+	linalg.Scale(1/float64(ds.N()), h.Data)
+	raw, _, err := linalg.SymmetricEigen(h)
+	if err != nil {
+		return ConditionReport{}, err
+	}
+	rep := ConditionReport{Mu: mu}
+	top := raw[len(raw)-1]
+	for _, v := range raw {
+		if v > 1e-10*math.Max(top, 1e-300) {
+			rep.EffectiveRank++
+		}
+	}
+	rep.EigMin = raw[0] + mu
+	rep.EigMax = top + mu
+	if rep.EigMin <= 0 {
+		rep.Condition = math.Inf(1)
+	} else {
+		rep.Condition = rep.EigMax / rep.EigMin
+	}
+	return rep, nil
+}

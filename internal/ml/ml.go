@@ -1,0 +1,352 @@
+// Package ml trains the supervised models of the paper's Table 2 —
+// ridge linear regression, L2 logistic regression, and the L2 linear
+// SVM — producing the optimal model instance h*λ(D) that the broker
+// perturbs and sells.
+//
+// Every hypothesis space here is the set of hyperplanes h ∈ R^d, so a
+// model instance is a weight vector plus metadata. Training is the
+// broker's one-time cost per (model, dataset) pair: linear regression is
+// solved in closed form through the normal equations (Cholesky), and the
+// two classifiers by Newton's method or gradient descent on their
+// strictly convex regularized objectives.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/datamarket/mbp/internal/dataset"
+	"github.com/datamarket/mbp/internal/linalg"
+	"github.com/datamarket/mbp/internal/loss"
+	"github.com/datamarket/mbp/internal/opt"
+)
+
+// Model enumerates the supported hypothesis spaces (the broker's menu M).
+type Model int
+
+const (
+	// LinearRegression is least-squares regression with optional L2.
+	LinearRegression Model = iota
+	// LogisticRegression is binary classification with the log loss.
+	LogisticRegression
+	// LinearSVM is binary classification with the (smoothed) hinge loss
+	// and mandatory L2 regularization (Table 2).
+	LinearSVM
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case LinearRegression:
+		return "linear-regression"
+	case LogisticRegression:
+		return "logistic-regression"
+	case LinearSVM:
+		return "linear-svm"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Task returns the dataset task the model applies to.
+func (m Model) Task() dataset.Task {
+	if m == LinearRegression {
+		return dataset.Regression
+	}
+	return dataset.Classification
+}
+
+// TrainLoss returns the model's training objective λ (Table 2) at
+// regularization strength mu.
+func (m Model) TrainLoss(mu float64) (loss.Loss, error) {
+	switch m {
+	case LinearRegression:
+		return loss.NewL2(loss.Square{}, mu), nil
+	case LogisticRegression:
+		return loss.NewL2(loss.Logistic{}, mu), nil
+	case LinearSVM:
+		if mu <= 0 {
+			return nil, fmt.Errorf("ml: linear SVM requires mu > 0, got %v", mu)
+		}
+		return loss.NewL2(loss.SmoothedHinge{}, mu), nil
+	default:
+		return nil, fmt.Errorf("ml: unknown model %v", m)
+	}
+}
+
+// Method selects the training algorithm.
+type Method int
+
+const (
+	// Auto picks the fastest exact method: closed form for linear
+	// regression, Newton for the classifiers.
+	Auto Method = iota
+	// ClosedForm solves the normal equations (linear regression only).
+	ClosedForm
+	// NewtonMethod runs damped Newton on the regularized objective.
+	NewtonMethod
+	// GD runs gradient descent with backtracking line search.
+	GD
+	// LBFGSMethod runs limited-memory BFGS — gradients only, no d×d
+	// Hessians, the right choice for wide feature spaces.
+	LBFGSMethod
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case ClosedForm:
+		return "closed-form"
+	case NewtonMethod:
+		return "newton"
+	case GD:
+		return "gradient-descent"
+	case LBFGSMethod:
+		return "lbfgs"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configure training. The zero value requests defaults: Auto
+// method, mu = 1e-6 (a whisper of regularization keeping objectives
+// strictly convex), default optimizer options.
+type Options struct {
+	// Mu is the L2 regularization strength μ; negative is rejected,
+	// zero means the 1e-6 default.
+	Mu float64
+	// Method selects the training algorithm.
+	Method Method
+	// Opt tunes the iterative optimizers.
+	Opt opt.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mu == 0 {
+		o.Mu = 1e-6
+	}
+	return o
+}
+
+// Instance is a trained model instance: a point in the hypothesis space
+// H = R^d, the object the MBP market sells (possibly noised).
+type Instance struct {
+	// Model identifies the hypothesis space.
+	Model Model
+	// W is the weight vector, one coefficient per feature.
+	W []float64
+	// Mu is the L2 strength the instance was trained with.
+	Mu float64
+	// TrainLoss is λ(W, Dtrain) at the end of training.
+	TrainLoss float64
+	// Optimal is true for broker-trained optima h*λ(D) and false for
+	// noise-perturbed copies sold to buyers.
+	Optimal bool
+}
+
+// Clone deep-copies the instance.
+func (in *Instance) Clone() *Instance {
+	out := *in
+	out.W = linalg.Clone(in.W)
+	return &out
+}
+
+// Predict returns the raw score wᵀx.
+func (in *Instance) Predict(x []float64) float64 { return linalg.Dot(in.W, x) }
+
+// PredictLabel returns the ±1 label under the (wᵀx > 0) rule.
+func (in *Instance) PredictLabel(x []float64) float64 {
+	if in.Predict(x) > 0 {
+		return 1
+	}
+	return -1
+}
+
+// Eval returns the mean of the given error function ϵ on ds.
+func (in *Instance) Eval(e loss.Loss, ds *dataset.Dataset) float64 {
+	return e.Eval(in.W, ds.X, ds.Y)
+}
+
+// ErrTaskMismatch is returned when the dataset's task does not match
+// the model's.
+var ErrTaskMismatch = errors.New("ml: dataset task does not match model")
+
+// lossObjective adapts a loss on a fixed dataset to opt's interfaces.
+type lossObjective struct {
+	l loss.Differentiable
+	x *linalg.Matrix
+	y []float64
+}
+
+func (lo lossObjective) Eval(w []float64) float64 { return lo.l.Eval(w, lo.x, lo.y) }
+
+func (lo lossObjective) Grad(w, dst []float64) []float64 { return lo.l.Grad(w, lo.x, lo.y, dst) }
+
+type hessObjective struct {
+	lossObjective
+	h loss.TwiceDifferentiable
+}
+
+func (ho hessObjective) Hessian(w []float64) *linalg.Matrix { return ho.h.Hessian(w, ho.x, ho.y) }
+
+// Train computes the optimal model instance h*λ(Dtrain) for the given
+// model on the training split. This is the broker's one-time cost.
+func Train(m Model, train *dataset.Dataset, o Options) (*Instance, error) {
+	o = o.withDefaults()
+	if o.Mu < 0 {
+		return nil, fmt.Errorf("ml: negative regularization %v", o.Mu)
+	}
+	if train.Task != m.Task() {
+		return nil, fmt.Errorf("%w: %v on %v data", ErrTaskMismatch, m, train.Task)
+	}
+	l, err := m.TrainLoss(o.Mu)
+	if err != nil {
+		return nil, err
+	}
+
+	method := o.Method
+	if method == Auto {
+		if m == LinearRegression {
+			method = ClosedForm
+		} else {
+			method = NewtonMethod
+		}
+	}
+
+	var w []float64
+	switch method {
+	case ClosedForm:
+		if m != LinearRegression {
+			return nil, fmt.Errorf("ml: closed form only applies to linear regression, not %v", m)
+		}
+		w, err = solveRidge(train, o.Mu)
+	case NewtonMethod:
+		w, err = trainNewton(l, train, o.Opt)
+	case GD:
+		w, err = trainGD(l, train, o.Opt)
+	case LBFGSMethod:
+		w, err = trainLBFGS(l, train, o.Opt)
+	default:
+		return nil, fmt.Errorf("ml: unknown method %v", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	return &Instance{
+		Model:     m,
+		W:         w,
+		Mu:        o.Mu,
+		TrainLoss: l.Eval(w, train.X, train.Y),
+		Optimal:   true,
+	}, nil
+}
+
+// solveRidge solves (XᵀX/n + μI)·w = Xᵀy/n, the stationarity condition
+// of the Table 2 least-squares objective ½·mean((wᵀx−y)²) + (μ/2)‖w‖².
+func solveRidge(train *dataset.Dataset, mu float64) ([]float64, error) {
+	n := float64(train.N())
+	a := train.X.Gram()
+	linalg.Scale(1/n, a.Data)
+	a.AddScaledIdentity(mu)
+	b := train.X.MatTVec(train.Y)
+	linalg.Scale(1/n, b)
+	w, err := linalg.SolveSPD(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("ml: ridge normal equations: %w", err)
+	}
+	return w, nil
+}
+
+func trainNewton(l loss.Loss, train *dataset.Dataset, o opt.Options) ([]float64, error) {
+	td, ok := loss.AsTwiceDifferentiable(l)
+	if !ok {
+		return trainGD(l, train, o)
+	}
+	obj := hessObjective{lossObjective{td, train.X, train.Y}, td}
+	res, err := opt.Newton(obj, linalg.Zeros(train.D()), o)
+	if err != nil {
+		return nil, fmt.Errorf("ml: newton training: %w", err)
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("ml: newton did not converge in %d iterations (‖∇‖=%g)", res.Iterations, res.GradNorm)
+	}
+	return res.W, nil
+}
+
+func trainGD(l loss.Loss, train *dataset.Dataset, o opt.Options) ([]float64, error) {
+	d, ok := loss.AsDifferentiable(l)
+	if !ok {
+		return nil, fmt.Errorf("ml: loss %q is not differentiable", l.Name())
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 5000
+	}
+	if o.GradTol == 0 {
+		o.GradTol = 1e-7
+	}
+	res, err := opt.GradientDescent(lossObjective{d, train.X, train.Y}, linalg.Zeros(train.D()), o)
+	if err != nil {
+		return nil, fmt.Errorf("ml: gradient-descent training: %w", err)
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("ml: gradient descent did not converge in %d iterations (‖∇‖=%g)", res.Iterations, res.GradNorm)
+	}
+	return res.W, nil
+}
+
+func trainLBFGS(l loss.Loss, train *dataset.Dataset, o opt.Options) ([]float64, error) {
+	d, ok := loss.AsDifferentiable(l)
+	if !ok {
+		return nil, fmt.Errorf("ml: loss %q is not differentiable", l.Name())
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 1000
+	}
+	if o.GradTol == 0 {
+		o.GradTol = 1e-7
+	}
+	res, err := opt.LBFGS(lossObjective{d, train.X, train.Y}, linalg.Zeros(train.D()), o)
+	if err != nil {
+		return nil, fmt.Errorf("ml: lbfgs training: %w", err)
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("ml: lbfgs did not converge in %d iterations (‖∇‖=%g)", res.Iterations, res.GradNorm)
+	}
+	return res.W, nil
+}
+
+// TestError evaluates the conventional test-time error for the model:
+// the square loss for regression and both the surrogate loss and the
+// zero-one rate for classification.
+type TestError struct {
+	// Surrogate is ϵ under the model's own (convex) loss.
+	Surrogate float64
+	// ZeroOne is the misclassification rate; NaN for regression.
+	ZeroOne float64
+}
+
+// Evaluate computes TestError for instance in on ds.
+func Evaluate(in *Instance, ds *dataset.Dataset) (TestError, error) {
+	if ds.Task != in.Model.Task() {
+		return TestError{}, fmt.Errorf("%w: %v on %v data", ErrTaskMismatch, in.Model, ds.Task)
+	}
+	var te TestError
+	switch in.Model {
+	case LinearRegression:
+		te.Surrogate = loss.Square{}.Eval(in.W, ds.X, ds.Y)
+		te.ZeroOne = math.NaN()
+	case LogisticRegression:
+		te.Surrogate = loss.Logistic{}.Eval(in.W, ds.X, ds.Y)
+		te.ZeroOne = loss.ZeroOne{}.Eval(in.W, ds.X, ds.Y)
+	case LinearSVM:
+		te.Surrogate = loss.Hinge{}.Eval(in.W, ds.X, ds.Y)
+		te.ZeroOne = loss.ZeroOne{}.Eval(in.W, ds.X, ds.Y)
+	default:
+		return TestError{}, fmt.Errorf("ml: unknown model %v", in.Model)
+	}
+	return te, nil
+}

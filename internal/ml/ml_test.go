@@ -1,0 +1,374 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/dataset"
+	"github.com/datamarket/mbp/internal/linalg"
+	"github.com/datamarket/mbp/internal/loss"
+	"github.com/datamarket/mbp/internal/opt"
+	"github.com/datamarket/mbp/internal/rng"
+	"github.com/datamarket/mbp/internal/synth"
+)
+
+func regData(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	sp, err := synth.Generate("Simulated1", 0.0001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp.Train
+}
+
+func clsData(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	sp, err := synth.Generate("Simulated2", 0.0002, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp.Train
+}
+
+func TestLinearRegressionRecoversExactTarget(t *testing.T) {
+	// Simulated1's target is exactly linear, so with negligible
+	// regularization the trained model must fit almost perfectly.
+	train := regData(t)
+	in, err := Train(LinearRegression, train, Options{Mu: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.TrainLoss > 1e-6 {
+		t.Fatalf("train loss %v on an exactly-linear target", in.TrainLoss)
+	}
+	if !in.Optimal {
+		t.Fatal("trained instance not marked optimal")
+	}
+}
+
+func TestClosedFormMatchesGD(t *testing.T) {
+	train := regData(t)
+	cf, err := Train(LinearRegression, train, Options{Mu: 0.01, Method: ClosedForm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := Train(LinearRegression, train, Options{Mu: 0.01, Method: GD,
+		Opt: opt.Options{MaxIter: 20000, GradTol: 1e-8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cf.W {
+		if math.Abs(cf.W[i]-gd.W[i]) > 1e-3 {
+			t.Fatalf("w[%d]: closed form %v vs GD %v", i, cf.W[i], gd.W[i])
+		}
+	}
+}
+
+func TestClosedFormMatchesNewton(t *testing.T) {
+	train := regData(t)
+	cf, err := Train(LinearRegression, train, Options{Mu: 0.01, Method: ClosedForm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := Train(LinearRegression, train, Options{Mu: 0.01, Method: NewtonMethod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cf.W {
+		if math.Abs(cf.W[i]-nw.W[i]) > 1e-6 {
+			t.Fatalf("w[%d]: closed form %v vs newton %v", i, cf.W[i], nw.W[i])
+		}
+	}
+}
+
+func TestLogisticRegressionLearnsSimulated2(t *testing.T) {
+	train := clsData(t)
+	in, err := Train(LogisticRegression, train, Options{Mu: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := Evaluate(in, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bayes error is ~0.05·P(above) ≈ 0.025; a trained model should be
+	// well under coin-flipping and near that.
+	if te.ZeroOne > 0.15 {
+		t.Fatalf("logistic 0/1 train error %v too high", te.ZeroOne)
+	}
+}
+
+func TestLinearSVMLearnsSimulated2(t *testing.T) {
+	train := clsData(t)
+	in, err := Train(LinearSVM, train, Options{Mu: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := Evaluate(in, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if te.ZeroOne > 0.15 {
+		t.Fatalf("svm 0/1 train error %v too high", te.ZeroOne)
+	}
+}
+
+func TestSVMRequiresRegularization(t *testing.T) {
+	if _, err := (LinearSVM).TrainLoss(0); err == nil {
+		t.Fatal("SVM with mu=0 accepted")
+	}
+}
+
+func TestTrainOptimalityStationarity(t *testing.T) {
+	// The returned instance must be a stationary point of λ: ‖∇λ‖ ≈ 0.
+	train := clsData(t)
+	for _, m := range []Model{LogisticRegression, LinearSVM} {
+		in, err := Train(m, train, Options{Mu: 0.01})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		l, _ := m.TrainLoss(0.01)
+		g := l.(loss.Differentiable).Grad(in.W, train.X, train.Y, make([]float64, train.D()))
+		if linalg.NormInf(g) > 1e-6 {
+			t.Fatalf("%v: ‖∇λ(h*)‖∞ = %v", m, linalg.NormInf(g))
+		}
+	}
+}
+
+func TestTrainTaskMismatch(t *testing.T) {
+	if _, err := Train(LinearRegression, clsData(t), Options{}); !errors.Is(err, ErrTaskMismatch) {
+		t.Fatalf("err = %v, want ErrTaskMismatch", err)
+	}
+	if _, err := Train(LogisticRegression, regData(t), Options{}); !errors.Is(err, ErrTaskMismatch) {
+		t.Fatalf("err = %v, want ErrTaskMismatch", err)
+	}
+}
+
+func TestTrainArgErrors(t *testing.T) {
+	train := regData(t)
+	if _, err := Train(LinearRegression, train, Options{Mu: -1}); err == nil {
+		t.Fatal("negative mu accepted")
+	}
+	if _, err := Train(LogisticRegression, clsData(t), Options{Method: ClosedForm}); err == nil {
+		t.Fatal("closed form for logistic accepted")
+	}
+	if _, err := Train(Model(99), train, Options{}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestPredictLabel(t *testing.T) {
+	in := &Instance{Model: LogisticRegression, W: []float64{1, -1}}
+	if got := in.PredictLabel([]float64{2, 1}); got != 1 {
+		t.Fatalf("label = %v", got)
+	}
+	if got := in.PredictLabel([]float64{1, 2}); got != -1 {
+		t.Fatalf("label = %v", got)
+	}
+	if got := in.PredictLabel([]float64{1, 1}); got != -1 {
+		t.Fatalf("score 0 label = %v, want -1", got)
+	}
+}
+
+func TestInstanceClone(t *testing.T) {
+	in := &Instance{Model: LinearSVM, W: []float64{1, 2}, Mu: 0.5, Optimal: true}
+	c := in.Clone()
+	c.W[0] = 9
+	c.Optimal = false
+	if in.W[0] != 1 || !in.Optimal {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestEvaluateRegressionNaNZeroOne(t *testing.T) {
+	train := regData(t)
+	in, err := Train(LinearRegression, train, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := Evaluate(in, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(te.ZeroOne) {
+		t.Fatalf("regression ZeroOne = %v, want NaN", te.ZeroOne)
+	}
+	if te.Surrogate < 0 {
+		t.Fatalf("surrogate %v negative", te.Surrogate)
+	}
+}
+
+func TestEvaluateTaskMismatch(t *testing.T) {
+	in := &Instance{Model: LinearRegression, W: make([]float64, 20)}
+	if _, err := Evaluate(in, clsData(t)); !errors.Is(err, ErrTaskMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	if LinearRegression.String() != "linear-regression" ||
+		LogisticRegression.String() != "logistic-regression" ||
+		LinearSVM.String() != "linear-svm" {
+		t.Fatal("model names wrong")
+	}
+	if Auto.String() != "auto" || ClosedForm.String() != "closed-form" ||
+		NewtonMethod.String() != "newton" || GD.String() != "gradient-descent" {
+		t.Fatal("method names wrong")
+	}
+}
+
+func TestTrainedModelGeneralizes(t *testing.T) {
+	sp, err := synth.Generate("SUSY", 0.0005, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Train(LogisticRegression, sp.Train, Options{Mu: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := Evaluate(in, sp.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The surrogate-data Bayes error is ≈0.21; trained error should land
+	// in a band around it, far from 0.5.
+	if te.ZeroOne < 0.1 || te.ZeroOne > 0.35 {
+		t.Fatalf("SUSY test 0/1 error %v outside plausible band", te.ZeroOne)
+	}
+}
+
+func TestRidgeShrinksWeights(t *testing.T) {
+	train := regData(t)
+	weak, err := Train(LinearRegression, train, Options{Mu: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := Train(LinearRegression, train, Options{Mu: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linalg.Norm2(strong.W) >= linalg.Norm2(weak.W) {
+		t.Fatalf("ridge did not shrink: %v vs %v", linalg.Norm2(strong.W), linalg.Norm2(weak.W))
+	}
+}
+
+func BenchmarkTrainRidgeClosedForm(b *testing.B) {
+	train := regData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(LinearRegression, train, Options{Mu: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainLogisticNewton(b *testing.B) {
+	train := clsData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(LogisticRegression, train, Options{Mu: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = rng.New
+
+func TestLBFGSMethodMatchesClosedForm(t *testing.T) {
+	train := regData(t)
+	cf, err := Train(LinearRegression, train, Options{Mu: 0.01, Method: ClosedForm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := Train(LinearRegression, train, Options{Mu: 0.01, Method: LBFGSMethod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cf.W {
+		if math.Abs(cf.W[i]-lb.W[i]) > 1e-4 {
+			t.Fatalf("w[%d]: closed form %v vs lbfgs %v", i, cf.W[i], lb.W[i])
+		}
+	}
+}
+
+func TestLBFGSMethodTrainsClassifiers(t *testing.T) {
+	train := clsData(t)
+	for _, m := range []Model{LogisticRegression, LinearSVM} {
+		in, err := Train(m, train, Options{Mu: 1e-3, Method: LBFGSMethod})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		te, err := Evaluate(in, train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if te.ZeroOne > 0.15 {
+			t.Fatalf("%v via lbfgs: 0/1 error %v", m, te.ZeroOne)
+		}
+	}
+}
+
+func TestMethodStringLBFGS(t *testing.T) {
+	if LBFGSMethod.String() != "lbfgs" {
+		t.Fatal("lbfgs name wrong")
+	}
+}
+
+func TestConditionNumber(t *testing.T) {
+	train := regData(t)
+	rep, err := ConditionNumber(train, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EigMin <= 0 || rep.EigMax < rep.EigMin {
+		t.Fatalf("spectrum bounds wrong: %+v", rep)
+	}
+	if rep.Condition < 1 {
+		t.Fatalf("condition %v < 1", rep.Condition)
+	}
+	if rep.EffectiveRank != train.D() {
+		t.Fatalf("effective rank %d, want full %d on Gaussian data", rep.EffectiveRank, train.D())
+	}
+	// More regularization improves conditioning.
+	rep2, err := ConditionNumber(train, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Condition >= rep.Condition {
+		t.Fatalf("regularization did not improve conditioning: %v vs %v", rep2.Condition, rep.Condition)
+	}
+}
+
+func TestConditionNumberRankDeficient(t *testing.T) {
+	// Duplicate column ⇒ rank deficiency ⇒ infinite condition at mu=0.
+	x := linalg.FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	ds, err := dataset.New("dup", dataset.Regression, x, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ConditionNumber(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(rep.Condition, 1) {
+		t.Fatalf("condition %v, want +Inf for a singular Gram", rep.Condition)
+	}
+	if rep.EffectiveRank != 1 {
+		t.Fatalf("effective rank %d, want 1", rep.EffectiveRank)
+	}
+	// Regularization rescues it.
+	rep, err = ConditionNumber(ds, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(rep.Condition, 1) {
+		t.Fatal("regularized condition still infinite")
+	}
+}
+
+func TestConditionNumberErrors(t *testing.T) {
+	if _, err := ConditionNumber(regData(t), -1); err == nil {
+		t.Fatal("negative mu accepted")
+	}
+}

@@ -1,0 +1,192 @@
+// Package noise implements the randomized mechanisms K of Section 4:
+// unbiased perturbations of the optimal model instance h*λ(D) whose
+// magnitude is steered by the noise control parameter (NCP) δ.
+//
+// The paper's central mechanism is the Gaussian one,
+//
+//	K_G(h*, w) = h* + w,  w ~ N(0, (δ/d)·I_d),
+//
+// for which the expected square-loss error equals δ exactly (Lemma 3):
+// the NCP is the total injected variance. The Laplace and uniform
+// mechanisms (Examples 1–2) are provided as alternatives; they are
+// calibrated so that their total variance is also δ, which makes the
+// mechanisms interchangeable under the square-loss error ϵ_s and lets
+// the ablation benchmarks compare them at equal noise budgets.
+package noise
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/datamarket/mbp/internal/dataset"
+	"github.com/datamarket/mbp/internal/linalg"
+	"github.com/datamarket/mbp/internal/loss"
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+// Mechanism is an unbiased noise-injection mechanism K. Implementations
+// must satisfy the two restrictions of Section 3.2: unbiasedness
+// (E[K(h*, w)] = h*) and monotonicity of the expected error in δ.
+type Mechanism interface {
+	// Name is a short identifier ("gaussian", "laplace", ...).
+	Name() string
+	// Perturb returns a noisy copy of the optimal instance at NCP δ.
+	// It panics if δ is negative; δ = 0 returns an exact copy (marked
+	// non-optimal, since it is a sold artifact).
+	Perturb(optimal *ml.Instance, delta float64, r *rng.RNG) *ml.Instance
+	// TotalVariance returns E‖K(h*,w) − h*‖² for a d-dimensional model
+	// at NCP δ. All bundled mechanisms return δ, by calibration.
+	TotalVariance(delta float64, d int) float64
+}
+
+func checkDelta(delta float64) {
+	if delta < 0 || math.IsNaN(delta) {
+		panic(fmt.Sprintf("noise: invalid NCP %v", delta))
+	}
+}
+
+func perturbed(optimal *ml.Instance, w []float64) *ml.Instance {
+	out := optimal.Clone()
+	out.Optimal = false
+	linalg.Axpy(1, w, out.W)
+	return out
+}
+
+// Gaussian is the paper's mechanism K_G: isotropic Gaussian noise with
+// per-coordinate variance δ/d (total variance δ).
+type Gaussian struct{}
+
+// Name implements Mechanism.
+func (Gaussian) Name() string { return "gaussian" }
+
+// Perturb implements Mechanism.
+func (Gaussian) Perturb(optimal *ml.Instance, delta float64, r *rng.RNG) *ml.Instance {
+	checkDelta(delta)
+	d := len(optimal.W)
+	return perturbed(optimal, r.IsotropicGaussian(d, delta/float64(d)))
+}
+
+// TotalVariance implements Mechanism: exactly δ (Lemma 3).
+func (Gaussian) TotalVariance(delta float64, d int) float64 { return delta }
+
+// Laplace adds independent zero-mean Laplace noise per coordinate with
+// scale b = sqrt(δ/(2d)), so each coordinate has variance 2b² = δ/d and
+// the total variance is δ.
+type Laplace struct{}
+
+// Name implements Mechanism.
+func (Laplace) Name() string { return "laplace" }
+
+// Perturb implements Mechanism.
+func (Laplace) Perturb(optimal *ml.Instance, delta float64, r *rng.RNG) *ml.Instance {
+	checkDelta(delta)
+	d := len(optimal.W)
+	w := make([]float64, d)
+	if delta > 0 {
+		b := math.Sqrt(delta / (2 * float64(d)))
+		for i := range w {
+			w[i] = r.Laplace(0, b)
+		}
+	}
+	return perturbed(optimal, w)
+}
+
+// TotalVariance implements Mechanism.
+func (Laplace) TotalVariance(delta float64, d int) float64 { return delta }
+
+// UniformAdditive adds independent U[−a, a] noise per coordinate with
+// a = sqrt(3δ/d), so each coordinate has variance a²/3 = δ/d and the
+// total variance is δ. This is the mechanism K₁ of Example 1,
+// generalized to d dimensions and calibrated to the δ convention.
+type UniformAdditive struct{}
+
+// Name implements Mechanism.
+func (UniformAdditive) Name() string { return "uniform-additive" }
+
+// Perturb implements Mechanism.
+func (UniformAdditive) Perturb(optimal *ml.Instance, delta float64, r *rng.RNG) *ml.Instance {
+	checkDelta(delta)
+	d := len(optimal.W)
+	w := make([]float64, d)
+	if delta > 0 {
+		a := math.Sqrt(3 * delta / float64(d))
+		for i := range w {
+			w[i] = r.Uniform(-a, a)
+		}
+	}
+	return perturbed(optimal, w)
+}
+
+// TotalVariance implements Mechanism.
+func (UniformAdditive) TotalVariance(delta float64, d int) float64 { return delta }
+
+// ByName returns the bundled mechanism with the given name.
+func ByName(name string) (Mechanism, error) {
+	switch name {
+	case "gaussian":
+		return Gaussian{}, nil
+	case "laplace":
+		return Laplace{}, nil
+	case "uniform-additive":
+		return UniformAdditive{}, nil
+	default:
+		return nil, fmt.Errorf("noise: unknown mechanism %q", name)
+	}
+}
+
+// All returns every bundled mechanism, Gaussian first.
+func All() []Mechanism {
+	return []Mechanism{Gaussian{}, Laplace{}, UniformAdditive{}}
+}
+
+// SquaredError is ϵ_s(ĥ, D) = ‖ĥ − h*‖², the model-space square loss of
+// Section 4.1 against which Lemma 3 and Theorem 5 are stated.
+func SquaredError(noisy, optimal *ml.Instance) float64 {
+	return linalg.SquaredDistance(noisy.W, optimal.W)
+}
+
+// ErrorEstimate is a Monte-Carlo estimate of an expected error.
+type ErrorEstimate struct {
+	// Mean is the sample mean of the error.
+	Mean float64
+	// StdErr is the standard error of Mean.
+	StdErr float64
+	// Samples is the number of Monte-Carlo draws used.
+	Samples int
+}
+
+// ExpectedError estimates E_{w~Wδ}[ϵ(K(h*,w), D)] by drawing samples
+// noisy instances, the quantity the broker quotes on the price–error
+// curve (Section 3.2, step 2). The paper's experiments use 2000 draws
+// per NCP (Section 6.1). eval receives each noisy instance and returns
+// its error; this indirection lets callers measure arbitrary ϵ,
+// including the model-space ϵ_s.
+func ExpectedError(k Mechanism, optimal *ml.Instance, delta float64, samples int, r *rng.RNG, eval func(*ml.Instance) float64) ErrorEstimate {
+	if samples <= 0 {
+		panic(fmt.Sprintf("noise: non-positive sample count %d", samples))
+	}
+	var sum, sumSq float64
+	for i := 0; i < samples; i++ {
+		e := eval(k.Perturb(optimal, delta, r))
+		sum += e
+		sumSq += e * e
+	}
+	n := float64(samples)
+	mean := sum / n
+	variance := math.Max(0, sumSq/n-mean*mean)
+	return ErrorEstimate{
+		Mean:    mean,
+		StdErr:  math.Sqrt(variance / n),
+		Samples: samples,
+	}
+}
+
+// ExpectedLossError estimates the expected dataset error
+// E[ϵ(ĥδ, D)] for a loss function ϵ on a dataset split, the exact
+// quantity plotted in Figure 6.
+func ExpectedLossError(k Mechanism, optimal *ml.Instance, e loss.Loss, ds *dataset.Dataset, delta float64, samples int, r *rng.RNG) ErrorEstimate {
+	return ExpectedError(k, optimal, delta, samples, r, func(in *ml.Instance) float64 {
+		return in.Eval(e, ds)
+	})
+}

@@ -1,0 +1,321 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/linalg"
+	"github.com/datamarket/mbp/internal/loss"
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/rng"
+	"github.com/datamarket/mbp/internal/synth"
+)
+
+func optInstance(d int) *ml.Instance {
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = float64(i) - float64(d)/2
+	}
+	return &ml.Instance{Model: ml.LinearRegression, W: w, Optimal: true}
+}
+
+// TestUnbiasedness verifies E[K(h*,w)] = h* for every mechanism
+// (the first restriction of Section 3.2 / Lemma 2).
+func TestUnbiasedness(t *testing.T) {
+	const d, delta, samples = 6, 4.0, 60000
+	optimal := optInstance(d)
+	for _, k := range All() {
+		r := rng.New(11)
+		mean := make([]float64, d)
+		for i := 0; i < samples; i++ {
+			noisy := k.Perturb(optimal, delta, r)
+			linalg.Axpy(1, noisy.W, mean)
+		}
+		linalg.Scale(1.0/samples, mean)
+		for i := range mean {
+			if math.Abs(mean[i]-optimal.W[i]) > 0.03 {
+				t.Errorf("%s: coord %d mean %v, want %v", k.Name(), i, mean[i], optimal.W[i])
+			}
+		}
+	}
+}
+
+// TestLemma3 verifies E[ϵ_s] = δ for the Gaussian mechanism — and, by
+// the shared calibration, for every bundled mechanism.
+func TestLemma3ExpectedSquareErrorEqualsDelta(t *testing.T) {
+	const d = 8
+	optimal := optInstance(d)
+	for _, k := range All() {
+		for _, delta := range []float64{0.5, 2, 10} {
+			r := rng.New(7)
+			est := ExpectedError(k, optimal, delta, 40000, r, func(in *ml.Instance) float64 {
+				return SquaredError(in, optimal)
+			})
+			if math.Abs(est.Mean-delta) > 0.05*delta {
+				t.Errorf("%s: E[ϵ_s] = %v at δ=%v (want δ within 5%%)", k.Name(), est.Mean, delta)
+			}
+		}
+	}
+}
+
+// TestTheorem4Monotonicity verifies that the expected error strictly
+// increases with δ for a strictly convex ϵ.
+func TestTheorem4Monotonicity(t *testing.T) {
+	sp, err := synth.Generate("CASP", 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimal, err := ml.Train(ml.LinearRegression, sp.Train, ml.Options{Mu: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := []float64{0.01, 0.1, 1, 10}
+	var prev float64
+	for i, delta := range deltas {
+		r := rng.New(5)
+		est := ExpectedLossError(Gaussian{}, optimal, loss.Square{}, sp.Test, delta, 3000, r)
+		if i > 0 && est.Mean <= prev {
+			t.Fatalf("expected error not increasing: E[ϵ](δ=%v)=%v ≤ E[ϵ](δ=%v)=%v",
+				delta, est.Mean, deltas[i-1], prev)
+		}
+		prev = est.Mean
+	}
+}
+
+func TestPerturbZeroDeltaIsExactCopy(t *testing.T) {
+	optimal := optInstance(4)
+	for _, k := range All() {
+		noisy := k.Perturb(optimal, 0, rng.New(1))
+		if noisy.Optimal {
+			t.Errorf("%s: sold copy still marked optimal", k.Name())
+		}
+		for i := range noisy.W {
+			if noisy.W[i] != optimal.W[i] {
+				t.Errorf("%s: δ=0 changed weights", k.Name())
+			}
+		}
+	}
+}
+
+func TestPerturbDoesNotMutateOptimal(t *testing.T) {
+	optimal := optInstance(4)
+	orig := linalg.Clone(optimal.W)
+	for _, k := range All() {
+		_ = k.Perturb(optimal, 5, rng.New(2))
+		for i := range orig {
+			if optimal.W[i] != orig[i] {
+				t.Fatalf("%s mutated the optimal instance", k.Name())
+			}
+		}
+	}
+}
+
+func TestPerturbPanicsOnNegativeDelta(t *testing.T) {
+	optimal := optInstance(3)
+	for _, k := range All() {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: negative δ accepted", k.Name())
+				}
+			}()
+			k.Perturb(optimal, -1, rng.New(1))
+		}()
+	}
+}
+
+func TestTotalVariance(t *testing.T) {
+	for _, k := range All() {
+		if got := k.TotalVariance(3.7, 12); got != 3.7 {
+			t.Errorf("%s: TotalVariance = %v, want 3.7", k.Name(), got)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, k := range All() {
+		got, err := ByName(k.Name())
+		if err != nil || got.Name() != k.Name() {
+			t.Errorf("ByName(%q) = %v, %v", k.Name(), got, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+}
+
+func TestSquaredError(t *testing.T) {
+	a := &ml.Instance{W: []float64{1, 2}}
+	b := &ml.Instance{W: []float64{4, 6}}
+	if got := SquaredError(a, b); got != 25 {
+		t.Fatalf("SquaredError = %v", got)
+	}
+}
+
+func TestExpectedErrorStdErrShrinks(t *testing.T) {
+	optimal := optInstance(5)
+	eval := func(in *ml.Instance) float64 { return SquaredError(in, optimal) }
+	small := ExpectedError(Gaussian{}, optimal, 1, 100, rng.New(3), eval)
+	large := ExpectedError(Gaussian{}, optimal, 1, 10000, rng.New(3), eval)
+	if large.StdErr >= small.StdErr {
+		t.Fatalf("stderr did not shrink: %v vs %v", large.StdErr, small.StdErr)
+	}
+	if small.Samples != 100 || large.Samples != 10000 {
+		t.Fatal("sample counts not recorded")
+	}
+}
+
+func TestExpectedErrorPanicsOnBadSamples(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ExpectedError(Gaussian{}, optInstance(2), 1, 0, rng.New(1), func(*ml.Instance) float64 { return 0 })
+}
+
+// TestGaussianPerCoordinateVariance pins the W_δ = N(0, (δ/d)·I_d)
+// convention: each coordinate must carry δ/d, not δ.
+func TestGaussianPerCoordinateVariance(t *testing.T) {
+	const d, delta, samples = 4, 8.0, 50000
+	optimal := optInstance(d)
+	r := rng.New(13)
+	var sumSq float64
+	for i := 0; i < samples; i++ {
+		noisy := Gaussian{}.Perturb(optimal, delta, r)
+		diff := noisy.W[0] - optimal.W[0]
+		sumSq += diff * diff
+	}
+	got := sumSq / samples
+	want := delta / d
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("per-coordinate variance %v, want %v", got, want)
+	}
+}
+
+func BenchmarkGaussianPerturb(b *testing.B) {
+	optimal := optInstance(64)
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Gaussian{}.Perturb(optimal, 1, r)
+	}
+}
+
+func BenchmarkExpectedError(b *testing.B) {
+	optimal := optInstance(20)
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		_ = ExpectedError(Gaussian{}, optimal, 1, 100, r, func(in *ml.Instance) float64 {
+			return SquaredError(in, optimal)
+		})
+	}
+}
+
+func TestScalarMultiplicativeUnbiasedAndVariance(t *testing.T) {
+	const h, delta, samples = 4.0, 0.5, 200000
+	optimal := &ml.Instance{Model: ml.LinearRegression, W: []float64{h}, Optimal: true}
+	mech := ScalarMultiplicative{}
+	r := rng.New(9)
+	var sum, sq float64
+	for i := 0; i < samples; i++ {
+		v := mech.Perturb(optimal, delta, r).W[0]
+		sum += v
+		sq += (v - h) * (v - h)
+	}
+	mean := sum / samples
+	if math.Abs(mean-h) > 0.01 {
+		t.Fatalf("mean %v, want %v (unbiased)", mean, h)
+	}
+	variance := sq / samples
+	want := mech.Variance(h, delta)
+	if math.Abs(variance-want) > 0.05*want {
+		t.Fatalf("variance %v, want %v", variance, want)
+	}
+}
+
+func TestScalarMultiplicativePanics(t *testing.T) {
+	mech := ScalarMultiplicative{}
+	multi := &ml.Instance{W: []float64{1, 2}}
+	scalar := &ml.Instance{W: []float64{1}}
+	for name, f := range map[string]func(){
+		"multi-dim": func() { mech.Perturb(multi, 0.5, rng.New(1)) },
+		"negative":  func() { mech.Perturb(scalar, -0.1, rng.New(1)) },
+		"too-large": func() { mech.Perturb(scalar, 1.5, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestScalarMultiplicativeZeroDelta(t *testing.T) {
+	optimal := &ml.Instance{W: []float64{3}, Optimal: true}
+	out := ScalarMultiplicative{}.Perturb(optimal, 0, rng.New(1))
+	if out.W[0] != 3 || out.Optimal {
+		t.Fatalf("zero-delta perturb: %+v", out)
+	}
+}
+
+func TestExpectedErrorParallelMatchesSerialStatistically(t *testing.T) {
+	const d, delta, samples = 8, 2.0, 20000
+	optimal := optInstance(d)
+	eval := func(in *ml.Instance) float64 { return SquaredError(in, optimal) }
+	serial := ExpectedError(Gaussian{}, optimal, delta, samples, rng.New(3), eval)
+	parallel := ExpectedErrorParallel(Gaussian{}, optimal, delta, samples, 4, rng.New(3), eval)
+	if parallel.Samples != samples {
+		t.Fatalf("samples %d", parallel.Samples)
+	}
+	// Different streams, same distribution: means agree within a few
+	// combined standard errors.
+	tol := 5 * (serial.StdErr + parallel.StdErr)
+	if math.Abs(serial.Mean-parallel.Mean) > tol {
+		t.Fatalf("serial %v vs parallel %v (tol %v)", serial.Mean, parallel.Mean, tol)
+	}
+	// And both near the Lemma 3 value δ.
+	if math.Abs(parallel.Mean-delta) > 0.05*delta {
+		t.Fatalf("parallel mean %v, want ≈%v", parallel.Mean, delta)
+	}
+}
+
+func TestExpectedErrorParallelDeterministic(t *testing.T) {
+	optimal := optInstance(4)
+	eval := func(in *ml.Instance) float64 { return SquaredError(in, optimal) }
+	a := ExpectedErrorParallel(Gaussian{}, optimal, 1, 5000, 3, rng.New(7), eval)
+	b := ExpectedErrorParallel(Gaussian{}, optimal, 1, 5000, 3, rng.New(7), eval)
+	if a.Mean != b.Mean || a.StdErr != b.StdErr {
+		t.Fatalf("parallel MC not deterministic: %v vs %v", a, b)
+	}
+	// A different worker count partitions differently — still valid,
+	// just a different stream.
+	c := ExpectedErrorParallel(Gaussian{}, optimal, 1, 5000, 2, rng.New(7), eval)
+	if math.Abs(a.Mean-c.Mean) > 10*(a.StdErr+c.StdErr) {
+		t.Fatalf("worker-count variation too large: %v vs %v", a.Mean, c.Mean)
+	}
+}
+
+func TestExpectedErrorParallelEdge(t *testing.T) {
+	optimal := optInstance(2)
+	eval := func(in *ml.Instance) float64 { return SquaredError(in, optimal) }
+	// More workers than samples must still work.
+	est := ExpectedErrorParallel(Gaussian{}, optimal, 1, 3, 64, rng.New(1), eval)
+	if est.Samples != 3 {
+		t.Fatalf("samples %d", est.Samples)
+	}
+	// workers <= 0 selects a default.
+	est = ExpectedErrorParallel(Gaussian{}, optimal, 1, 100, 0, rng.New(1), eval)
+	if est.Samples != 100 {
+		t.Fatalf("samples %d", est.Samples)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero samples accepted")
+		}
+	}()
+	ExpectedErrorParallel(Gaussian{}, optimal, 1, 0, 2, rng.New(1), eval)
+}

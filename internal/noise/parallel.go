@@ -1,0 +1,66 @@
+package noise
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+// ExpectedErrorParallel is ExpectedError fanned out over worker
+// goroutines. Each worker draws from its own child stream split off
+// the caller's generator, so the result is deterministic in
+// (seed, samples, workers) — the experiment harness uses a fixed worker
+// count precisely so published numbers are reproducible. workers ≤ 0
+// selects GOMAXPROCS.
+func ExpectedErrorParallel(k Mechanism, optimal *ml.Instance, delta float64, samples, workers int, r *rng.RNG, eval func(*ml.Instance) float64) ErrorEstimate {
+	if samples <= 0 {
+		panic(fmt.Sprintf("noise: non-positive sample count %d", samples))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > samples {
+		workers = samples
+	}
+
+	// Deterministic partition: worker i runs base(+1) samples with its
+	// own split stream.
+	base := samples / workers
+	extra := samples % workers
+	type part struct{ sum, sumSq float64 }
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		n := base
+		if i < extra {
+			n++
+		}
+		wr := r.Split()
+		wg.Add(1)
+		go func(idx, n int, wr *rng.RNG) {
+			defer wg.Done()
+			var s, sq float64
+			for j := 0; j < n; j++ {
+				e := eval(k.Perturb(optimal, delta, wr))
+				s += e
+				sq += e * e
+			}
+			parts[idx] = part{s, sq}
+		}(i, n, wr)
+	}
+	wg.Wait()
+
+	var sum, sumSq float64
+	for _, p := range parts {
+		sum += p.sum
+		sumSq += p.sumSq
+	}
+	n := float64(samples)
+	mean := sum / n
+	variance := math.Max(0, sumSq/n-mean*mean)
+	return ErrorEstimate{Mean: mean, StdErr: math.Sqrt(variance / n), Samples: samples}
+}

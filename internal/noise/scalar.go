@@ -1,0 +1,49 @@
+package noise
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+// ScalarMultiplicative is Example 1's second mechanism K₂ for the
+// scalar hypothesis space H = R (e.g. selling a noisy column average):
+//
+//	K₂(h*, w) = h*·w,   w ~ U[1−δ, 1+δ],  0 ≤ δ ≤ 1.
+//
+// It is unbiased (E[w] = 1) but, unlike the additive mechanisms, its
+// error depends on the optimum itself: Var = h*²·δ²/3. That is exactly
+// why the paper's general treatment fixes additive mechanisms — this
+// type exists to reproduce Example 1 faithfully and to demonstrate the
+// contrast in tests. It intentionally does NOT implement Mechanism:
+// TotalVariance would need h*.
+type ScalarMultiplicative struct{}
+
+// Name identifies the mechanism.
+func (ScalarMultiplicative) Name() string { return "scalar-multiplicative" }
+
+// Perturb returns h*·w for a one-dimensional instance. δ must lie in
+// [0, 1] so the noise cannot flip the sign scale; larger δ would also
+// break the monotone error restriction.
+func (ScalarMultiplicative) Perturb(optimal *ml.Instance, delta float64, r *rng.RNG) *ml.Instance {
+	if len(optimal.W) != 1 {
+		panic(fmt.Sprintf("noise: scalar mechanism on %d-dimensional model", len(optimal.W)))
+	}
+	if delta < 0 || delta > 1 || math.IsNaN(delta) {
+		panic(fmt.Sprintf("noise: multiplicative NCP %v outside [0,1]", delta))
+	}
+	out := optimal.Clone()
+	out.Optimal = false
+	if delta > 0 {
+		out.W[0] *= r.Uniform(1-delta, 1+delta)
+	}
+	return out
+}
+
+// Variance returns the exact noise variance h²·δ²/3 of the mechanism
+// at optimum value h.
+func (ScalarMultiplicative) Variance(h, delta float64) float64 {
+	return h * h * delta * delta / 3
+}

@@ -1,0 +1,99 @@
+package opt
+
+import (
+	"math"
+
+	"github.com/datamarket/mbp/internal/linalg"
+)
+
+// LBFGSMemory is the number of curvature pairs kept by LBFGS.
+const LBFGSMemory = 10
+
+// LBFGS minimizes f with the limited-memory BFGS method (two-loop
+// recursion, Armijo backtracking, powered by gradients only). It sits
+// between GradientDescent and Newton: superlinear convergence on the
+// Table 2 objectives without forming d×d Hessians, which matters when
+// the broker sells wide models (YearMSD has d = 90). w0 is not
+// modified.
+func LBFGS(f Objective, w0 []float64, opts Options) (Result, error) {
+	o := opts.withDefaults()
+	n := len(w0)
+	w := linalg.Clone(w0)
+	g := make([]float64, n)
+	gPrev := make([]float64, n)
+	wPrev := make([]float64, n)
+	p := make([]float64, n)
+	fw := f.Eval(w)
+	f.Grad(w, g)
+
+	// Curvature ring buffers.
+	var (
+		ss, ys [][]float64
+		rhos   []float64
+	)
+	alpha := make([]float64, 0, LBFGSMemory)
+
+	for iter := 1; iter <= o.MaxIter; iter++ {
+		gn := linalg.NormInf(g)
+		if gn <= o.GradTol {
+			return Result{W: w, Value: fw, GradNorm: gn, Iterations: iter - 1, Converged: true}, nil
+		}
+
+		// Two-loop recursion: p = -H·g approximated from history.
+		copy(p, g)
+		alpha = alpha[:0]
+		for i := len(ss) - 1; i >= 0; i-- {
+			a := rhos[i] * linalg.Dot(ss[i], p)
+			alpha = append(alpha, a)
+			linalg.Axpy(-a, ys[i], p)
+		}
+		// Initial Hessian scaling γ = sᵀy/yᵀy.
+		if m := len(ss) - 1; m >= 0 {
+			gamma := linalg.Dot(ss[m], ys[m]) / linalg.Dot(ys[m], ys[m])
+			if gamma > 0 && !math.IsNaN(gamma) && !math.IsInf(gamma, 0) {
+				linalg.Scale(gamma, p)
+			}
+		}
+		for i := 0; i < len(ss); i++ {
+			b := rhos[i] * linalg.Dot(ys[i], p)
+			linalg.Axpy(alpha[len(ss)-1-i]-b, ss[i], p)
+		}
+		linalg.Scale(-1, p)
+
+		dd := linalg.Dot(g, p)
+		if dd >= 0 {
+			// History produced a non-descent direction: reset to
+			// steepest descent.
+			ss, ys, rhos = nil, nil, nil
+			copy(p, g)
+			linalg.Scale(-1, p)
+			dd = -linalg.Dot(g, g)
+		}
+
+		t, fv, err := backtrack(f, w, p, fw, dd, o.InitialStep)
+		if err != nil {
+			return Result{W: w, Value: fw, GradNorm: gn, Iterations: iter - 1}, err
+		}
+		copy(wPrev, w)
+		copy(gPrev, g)
+		linalg.Axpy(t, p, w)
+		fw = fv
+		f.Grad(w, g)
+
+		// Store the curvature pair if it is positive (Wolfe-lite).
+		s := linalg.Sub(w, wPrev)
+		y := linalg.Sub(g, gPrev)
+		if sy := linalg.Dot(s, y); sy > 1e-12 {
+			ss = append(ss, s)
+			ys = append(ys, y)
+			rhos = append(rhos, 1/sy)
+			if len(ss) > LBFGSMemory {
+				ss = ss[1:]
+				ys = ys[1:]
+				rhos = rhos[1:]
+			}
+		}
+	}
+	gn := linalg.NormInf(g)
+	return Result{W: w, Value: fw, GradNorm: gn, Iterations: o.MaxIter, Converged: gn <= o.GradTol}, nil
+}

@@ -1,0 +1,99 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/linalg"
+)
+
+func TestLBFGSQuadratic(t *testing.T) {
+	q, wStar := randomQuadratic(31, 12)
+	res, err := LBFGS(q, linalg.Zeros(12), Options{MaxIter: 500, GradTol: 1e-7})
+	checkSolution(t, "LBFGS", res, err, wStar, 1e-5)
+}
+
+func TestLBFGSMatchesNewton(t *testing.T) {
+	q, _ := randomQuadratic(33, 6)
+	w0 := []float64{1, -2, 0.5, 3, -1, 0}
+	lb, err1 := LBFGS(q, w0, Options{MaxIter: 1000, GradTol: 1e-8})
+	nw, err2 := Newton(q, w0, Options{})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: %v %v", err1, err2)
+	}
+	for i := range lb.W {
+		if math.Abs(lb.W[i]-nw.W[i]) > 1e-5 {
+			t.Fatalf("w[%d]: lbfgs %v vs newton %v", i, lb.W[i], nw.W[i])
+		}
+	}
+}
+
+func TestLBFGSNonQuadratic(t *testing.T) {
+	res, err := LBFGS(coshObjective{}, []float64{3, -2, 1}, Options{GradTol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || linalg.NormInf(res.W) > 1e-8 {
+		t.Fatalf("LBFGS: %+v", res)
+	}
+}
+
+func TestLBFGSFasterThanGDOnIllConditioned(t *testing.T) {
+	// Ill-conditioned diagonal quadratic: GD crawls, LBFGS should not.
+	n := 20
+	a := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, math.Pow(10, float64(i)/float64(n-1)*3)) // cond 1e3
+	}
+	wStar := linalg.Ones(n)
+	q := quadratic{a: a, b: a.MatVec(wStar)}
+	opts := Options{MaxIter: 2000, GradTol: 1e-5}
+	lb, err := LBFGS(q, linalg.Zeros(n), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lb.Converged {
+		t.Fatalf("LBFGS did not converge: %+v", lb)
+	}
+	gd, err := GradientDescent(q, linalg.Zeros(n), Options{MaxIter: lb.Iterations, GradTol: 1e-5})
+	if err == nil && gd.Converged && gd.Iterations < lb.Iterations {
+		t.Fatalf("GD (%d iters) beat LBFGS (%d) on an ill-conditioned problem", gd.Iterations, lb.Iterations)
+	}
+}
+
+func TestLBFGSDoesNotModifyW0(t *testing.T) {
+	q, _ := randomQuadratic(35, 4)
+	w0 := []float64{1, 2, 3, 4}
+	orig := linalg.Clone(w0)
+	if _, err := LBFGS(q, w0, Options{MaxIter: 50}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range w0 {
+		if w0[i] != orig[i] {
+			t.Fatal("LBFGS modified w0")
+		}
+	}
+}
+
+func TestLBFGSImmediateConvergence(t *testing.T) {
+	q, wStar := randomQuadratic(37, 5)
+	res, err := LBFGS(q, wStar, Options{GradTol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Fatalf("expected immediate convergence: %+v", res)
+	}
+}
+
+func BenchmarkLBFGSQuadratic50(b *testing.B) {
+	q, _ := randomQuadratic(1, 50)
+	w0 := linalg.Zeros(50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LBFGS(q, w0, Options{MaxIter: 500, GradTol: 1e-6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package opt provides deterministic full-batch optimizers for the
+// strictly convex training objectives of the MBP framework: gradient
+// descent with backtracking line search, nonlinear conjugate gradient,
+// and Newton's method.
+//
+// The broker trains the optimal model instance h*λ(D) exactly once per
+// (model, dataset) pair — a one-time cost the paper emphasizes — so the
+// optimizers favour reliability and determinism over raw speed:
+// full-batch gradients, no stochasticity, tight convergence tolerances.
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/datamarket/mbp/internal/linalg"
+)
+
+// Objective is a smooth function with a gradient.
+type Objective interface {
+	// Eval returns the objective value at w.
+	Eval(w []float64) float64
+	// Grad writes the gradient at w into dst (len(dst) == len(w)) and
+	// returns dst.
+	Grad(w, dst []float64) []float64
+}
+
+// HessianObjective additionally exposes the Hessian for Newton steps.
+type HessianObjective interface {
+	Objective
+	// Hessian returns the d×d Hessian at w.
+	Hessian(w []float64) *linalg.Matrix
+}
+
+// Options control an optimizer run. The zero value is usable: it means
+// "use the documented defaults".
+type Options struct {
+	// MaxIter caps the number of outer iterations (default 500).
+	MaxIter int
+	// GradTol declares convergence when ‖∇f‖∞ ≤ GradTol (default 1e-8).
+	GradTol float64
+	// InitialStep seeds the line search (default 1).
+	InitialStep float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 500
+	}
+	if o.GradTol <= 0 {
+		o.GradTol = 1e-8
+	}
+	if o.InitialStep <= 0 {
+		o.InitialStep = 1
+	}
+	return o
+}
+
+// Result reports the outcome of an optimizer run.
+type Result struct {
+	// W is the final iterate.
+	W []float64
+	// Value is the objective at W.
+	Value float64
+	// GradNorm is ‖∇f(W)‖∞.
+	GradNorm float64
+	// Iterations is the number of outer iterations performed.
+	Iterations int
+	// Converged reports whether GradNorm ≤ GradTol was reached.
+	Converged bool
+}
+
+// ErrLineSearchFailed is returned when backtracking cannot find a step
+// that decreases the objective — typically a non-finite gradient or an
+// objective that is not (locally) convex.
+var ErrLineSearchFailed = errors.New("opt: line search failed to find a descent step")
+
+// ErrNotDescent is returned by Newton when the (regularized) Newton
+// system fails to produce a descent direction.
+var ErrNotDescent = errors.New("opt: computed direction is not a descent direction")
+
+// backtrack performs an Armijo backtracking line search from w along
+// direction p with directional derivative dd < 0. It returns the
+// accepted step and the new objective value.
+func backtrack(f Objective, w, p []float64, fw, dd, step float64) (float64, float64, error) {
+	const (
+		c      = 1e-4
+		shrink = 0.5
+		minF   = 1e-20
+	)
+	trial := make([]float64, len(w))
+	eval := func(t float64) float64 {
+		copy(trial, w)
+		linalg.Axpy(t, p, trial)
+		return f.Eval(trial)
+	}
+	// Floating-point floor: objective differences smaller than a few
+	// ulps of |fw| are indistinguishable from noise; without this slack
+	// the search rejects true descent steps near the optimum and the
+	// optimizers stall a decade above their gradient tolerance.
+	noise := 4 * 2.220446049250313e-16 * math.Abs(fw)
+	first := true
+	for t := step; t > minF; t *= shrink {
+		v := eval(t)
+		if v <= fw+c*t*dd+noise && !math.IsNaN(v) {
+			if first {
+				// The very first trial already satisfies Armijo: expand
+				// the step while the objective keeps improving, which
+				// approximates an exact line search (important for CG).
+				for {
+					v2 := eval(2 * t)
+					if math.IsNaN(v2) || v2 >= v || v2 > fw+c*2*t*dd {
+						break
+					}
+					t *= 2
+					v = v2
+				}
+			}
+			return t, v, nil
+		}
+		first = false
+	}
+	return 0, fw, ErrLineSearchFailed
+}
+
+// GradientDescent minimizes f starting from w0 using steepest descent
+// with Armijo backtracking. w0 is not modified.
+func GradientDescent(f Objective, w0 []float64, opts Options) (Result, error) {
+	o := opts.withDefaults()
+	w := linalg.Clone(w0)
+	g := make([]float64, len(w))
+	p := make([]float64, len(w))
+	fw := f.Eval(w)
+	step := o.InitialStep
+
+	for iter := 1; iter <= o.MaxIter; iter++ {
+		f.Grad(w, g)
+		gn := linalg.NormInf(g)
+		if gn <= o.GradTol {
+			return Result{W: w, Value: fw, GradNorm: gn, Iterations: iter - 1, Converged: true}, nil
+		}
+		if !linalg.AllFinite(g) {
+			return Result{W: w, Value: fw, GradNorm: gn, Iterations: iter - 1}, fmt.Errorf("opt: non-finite gradient at iteration %d", iter)
+		}
+		copy(p, g)
+		linalg.Scale(-1, p)
+		dd := -linalg.Dot(g, g)
+		t, fv, err := backtrack(f, w, p, fw, dd, step)
+		if err != nil {
+			gn := linalg.NormInf(g)
+			return Result{W: w, Value: fw, GradNorm: gn, Iterations: iter - 1, Converged: gn <= math.Sqrt(o.GradTol)}, err
+		}
+		linalg.Axpy(t, p, w)
+		fw = fv
+		// Reuse a slightly enlarged accepted step to warm-start the
+		// next search.
+		step = math.Min(o.InitialStep, t*4)
+	}
+	f.Grad(w, g)
+	gn := linalg.NormInf(g)
+	return Result{W: w, Value: fw, GradNorm: gn, Iterations: o.MaxIter, Converged: gn <= o.GradTol}, nil
+}
+
+// ConjugateGradient minimizes f with Polak–Ribière+ nonlinear CG and
+// Armijo backtracking, restarting on loss of conjugacy. w0 is not
+// modified.
+func ConjugateGradient(f Objective, w0 []float64, opts Options) (Result, error) {
+	o := opts.withDefaults()
+	w := linalg.Clone(w0)
+	n := len(w)
+	g := make([]float64, n)
+	gPrev := make([]float64, n)
+	p := make([]float64, n)
+	fw := f.Eval(w)
+
+	f.Grad(w, g)
+	copy(p, g)
+	linalg.Scale(-1, p)
+
+	for iter := 1; iter <= o.MaxIter; iter++ {
+		gn := linalg.NormInf(g)
+		if gn <= o.GradTol {
+			return Result{W: w, Value: fw, GradNorm: gn, Iterations: iter - 1, Converged: true}, nil
+		}
+		dd := linalg.Dot(g, p)
+		if dd >= 0 {
+			// Restart with steepest descent when conjugacy is lost.
+			copy(p, g)
+			linalg.Scale(-1, p)
+			dd = -linalg.Dot(g, g)
+		}
+		t, fv, err := backtrack(f, w, p, fw, dd, o.InitialStep)
+		if err != nil {
+			return Result{W: w, Value: fw, GradNorm: gn, Iterations: iter - 1}, err
+		}
+		linalg.Axpy(t, p, w)
+		fw = fv
+		copy(gPrev, g)
+		f.Grad(w, g)
+		// Polak–Ribière+ coefficient.
+		num := linalg.Dot(g, g) - linalg.Dot(g, gPrev)
+		den := linalg.Dot(gPrev, gPrev)
+		beta := 0.0
+		if den > 0 {
+			beta = math.Max(0, num/den)
+		}
+		for i := range p {
+			p[i] = -g[i] + beta*p[i]
+		}
+	}
+	gn := linalg.NormInf(g)
+	return Result{W: w, Value: fw, GradNorm: gn, Iterations: o.MaxIter, Converged: gn <= o.GradTol}, nil
+}
+
+// Newton minimizes f using damped Newton steps: solve H·p = −∇f by a
+// Cholesky factorization (adding a diagonal shift if H is not positive
+// definite) and line-search along p. For the strictly convex, twice
+// differentiable objectives of Table 2 this converges quadratically.
+// w0 is not modified.
+func Newton(f HessianObjective, w0 []float64, opts Options) (Result, error) {
+	o := opts.withDefaults()
+	w := linalg.Clone(w0)
+	g := make([]float64, len(w))
+	fw := f.Eval(w)
+
+	for iter := 1; iter <= o.MaxIter; iter++ {
+		f.Grad(w, g)
+		gn := linalg.NormInf(g)
+		if gn <= o.GradTol {
+			return Result{W: w, Value: fw, GradNorm: gn, Iterations: iter - 1, Converged: true}, nil
+		}
+		h := f.Hessian(w)
+		rhs := linalg.Clone(g)
+		linalg.Scale(-1, rhs)
+		p, err := solveShifted(h, rhs)
+		if err != nil {
+			return Result{W: w, Value: fw, GradNorm: gn, Iterations: iter - 1}, err
+		}
+		dd := linalg.Dot(g, p)
+		if dd >= 0 {
+			return Result{W: w, Value: fw, GradNorm: gn, Iterations: iter - 1}, ErrNotDescent
+		}
+		t, fv, err := backtrack(f, w, p, fw, dd, 1)
+		if err != nil {
+			return Result{W: w, Value: fw, GradNorm: gn, Iterations: iter - 1}, err
+		}
+		linalg.Axpy(t, p, w)
+		fw = fv
+	}
+	f.Grad(w, g)
+	gn := linalg.NormInf(g)
+	return Result{W: w, Value: fw, GradNorm: gn, Iterations: o.MaxIter, Converged: gn <= o.GradTol}, nil
+}
+
+// solveShifted solves H·x = b, escalating a diagonal shift until the
+// factorization succeeds. The shift sequence is deterministic.
+func solveShifted(h *linalg.Matrix, b []float64) ([]float64, error) {
+	if x, err := linalg.SolveSPD(h, b); err == nil {
+		return x, nil
+	}
+	shift := 1e-10
+	for i := 0; i < 40; i++ {
+		hs := h.Clone()
+		hs.AddScaledIdentity(shift)
+		if x, err := linalg.SolveSPD(hs, b); err == nil {
+			return x, nil
+		}
+		shift *= 10
+	}
+	return nil, fmt.Errorf("opt: Hessian could not be regularized: %w", linalg.ErrNotPositiveDefinite)
+}
+
+// FuncObjective adapts plain closures to the Objective interface.
+type FuncObjective struct {
+	F func(w []float64) float64
+	G func(w, dst []float64) []float64
+}
+
+// Eval implements Objective.
+func (f FuncObjective) Eval(w []float64) float64 { return f.F(w) }
+
+// Grad implements Objective.
+func (f FuncObjective) Grad(w, dst []float64) []float64 { return f.G(w, dst) }

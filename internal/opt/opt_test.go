@@ -1,0 +1,277 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/linalg"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+// quadratic is ½ wᵀAw − bᵀw with SPD A; minimizer solves Aw = b.
+type quadratic struct {
+	a *linalg.Matrix
+	b []float64
+}
+
+func (q quadratic) Eval(w []float64) float64 {
+	return 0.5*linalg.Dot(w, q.a.MatVec(w)) - linalg.Dot(q.b, w)
+}
+
+func (q quadratic) Grad(w, dst []float64) []float64 {
+	aw := q.a.MatVec(w)
+	for i := range dst {
+		dst[i] = aw[i] - q.b[i]
+	}
+	return dst
+}
+
+func (q quadratic) Hessian(w []float64) *linalg.Matrix { return q.a.Clone() }
+
+func randomQuadratic(seed uint64, n int) (quadratic, []float64) {
+	r := rng.New(seed)
+	g := linalg.NewMatrix(n+3, n)
+	for i := range g.Data {
+		g.Data[i] = r.Normal()
+	}
+	a := g.Gram()
+	a.AddScaledIdentity(0.5)
+	wStar := r.NormalVector(nil, n)
+	return quadratic{a: a, b: a.MatVec(wStar)}, wStar
+}
+
+func checkSolution(t *testing.T, name string, res Result, err error, wStar []float64, tol float64) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !res.Converged {
+		t.Fatalf("%s did not converge: %+v", name, res)
+	}
+	for i := range wStar {
+		if math.Abs(res.W[i]-wStar[i]) > tol {
+			t.Fatalf("%s w[%d] = %v, want %v", name, i, res.W[i], wStar[i])
+		}
+	}
+}
+
+func TestGradientDescentQuadratic(t *testing.T) {
+	q, wStar := randomQuadratic(1, 5)
+	res, err := GradientDescent(q, linalg.Zeros(5), Options{MaxIter: 5000, GradTol: 1e-6})
+	checkSolution(t, "GD", res, err, wStar, 1e-4)
+}
+
+func TestConjugateGradientQuadratic(t *testing.T) {
+	q, wStar := randomQuadratic(2, 8)
+	// GradTol must stay above float64 saturation of the Armijo test for
+	// objective values of this magnitude (~30).
+	res, err := ConjugateGradient(q, linalg.Zeros(8), Options{MaxIter: 2000, GradTol: 1e-7})
+	checkSolution(t, "CG", res, err, wStar, 1e-5)
+}
+
+func TestNewtonQuadraticOneStep(t *testing.T) {
+	q, wStar := randomQuadratic(3, 6)
+	res, err := Newton(q, linalg.Zeros(6), Options{})
+	checkSolution(t, "Newton", res, err, wStar, 1e-8)
+	if res.Iterations > 2 {
+		t.Fatalf("Newton on a quadratic took %d iterations", res.Iterations)
+	}
+}
+
+func TestNewtonNonQuadratic(t *testing.T) {
+	// f(w) = Σ cosh(w_i) + ½‖w‖², strictly convex, minimum at 0.
+	f := coshObjective{}
+	res, err := Newton(f, []float64{2, -3, 1}, Options{GradTol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || linalg.NormInf(res.W) > 1e-8 {
+		t.Fatalf("Newton: %+v", res)
+	}
+}
+
+type coshObjective struct{}
+
+func (coshObjective) Eval(w []float64) float64 {
+	var s float64
+	for _, v := range w {
+		s += math.Cosh(v) + v*v/2
+	}
+	return s
+}
+
+func (coshObjective) Grad(w, dst []float64) []float64 {
+	for i, v := range w {
+		dst[i] = math.Sinh(v) + v
+	}
+	return dst
+}
+
+func (coshObjective) Hessian(w []float64) *linalg.Matrix {
+	h := linalg.NewMatrix(len(w), len(w))
+	for i, v := range w {
+		h.Set(i, i, math.Cosh(v)+1)
+	}
+	return h
+}
+
+func TestOptimizersAgree(t *testing.T) {
+	q, _ := randomQuadratic(4, 4)
+	w0 := []float64{1, -1, 2, 0}
+	opts := Options{MaxIter: 10000, GradTol: 1e-6}
+	rgd, err1 := GradientDescent(q, w0, opts)
+	rcg, err2 := ConjugateGradient(q, w0, opts)
+	rnw, err3 := Newton(q, w0, opts)
+	if err1 != nil || err2 != nil || err3 != nil {
+		t.Fatalf("errors: %v %v %v", err1, err2, err3)
+	}
+	for i := range rgd.W {
+		if math.Abs(rgd.W[i]-rnw.W[i]) > 1e-4 || math.Abs(rcg.W[i]-rnw.W[i]) > 1e-4 {
+			t.Fatalf("optimizers disagree at %d: gd=%v cg=%v newton=%v", i, rgd.W[i], rcg.W[i], rnw.W[i])
+		}
+	}
+}
+
+func TestW0NotModified(t *testing.T) {
+	q, _ := randomQuadratic(5, 3)
+	w0 := []float64{1, 2, 3}
+	orig := linalg.Clone(w0)
+	if _, err := GradientDescent(q, w0, Options{MaxIter: 50}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range w0 {
+		if w0[i] != orig[i] {
+			t.Fatal("GradientDescent modified w0")
+		}
+	}
+}
+
+func TestConvergedAtStart(t *testing.T) {
+	q, wStar := randomQuadratic(6, 3)
+	res, err := GradientDescent(q, wStar, Options{GradTol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Fatalf("expected immediate convergence, got %+v", res)
+	}
+}
+
+func TestMaxIterRespected(t *testing.T) {
+	q, _ := randomQuadratic(7, 10)
+	res, err := GradientDescent(q, linalg.Zeros(10), Options{MaxIter: 3, GradTol: 1e-300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 3 || res.Converged {
+		t.Fatalf("MaxIter not respected: %+v", res)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxIter != 500 || o.GradTol != 1e-8 || o.InitialStep != 1 {
+		t.Fatalf("defaults: %+v", o)
+	}
+}
+
+func TestFuncObjective(t *testing.T) {
+	f := FuncObjective{
+		F: func(w []float64) float64 { return (w[0] - 3) * (w[0] - 3) },
+		G: func(w, dst []float64) []float64 { dst[0] = 2 * (w[0] - 3); return dst },
+	}
+	res, err := GradientDescent(f, []float64{0}, Options{GradTol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.W[0]-3) > 1e-8 {
+		t.Fatalf("minimizer = %v, want 3", res.W[0])
+	}
+}
+
+func BenchmarkNewtonQuadratic20(b *testing.B) {
+	q, _ := randomQuadratic(1, 20)
+	w0 := linalg.Zeros(20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Newton(q, w0, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGradientDescentQuadratic20(b *testing.B) {
+	q, _ := randomQuadratic(1, 20)
+	w0 := linalg.Zeros(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GradientDescent(q, w0, Options{MaxIter: 200, GradTol: 1e-6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// saddleObjective has an indefinite Hessian at the start point, forcing
+// Newton through the diagonal-shift escalation.
+type saddleObjective struct{}
+
+func (saddleObjective) Eval(w []float64) float64 {
+	// f = (w0²−1)²/4 + w1²/2: non-convex in w0 with minima at ±1.
+	a := w[0]*w[0] - 1
+	return a*a/4 + w[1]*w[1]/2
+}
+
+func (saddleObjective) Grad(w, dst []float64) []float64 {
+	dst[0] = w[0] * (w[0]*w[0] - 1)
+	dst[1] = w[1]
+	return dst
+}
+
+func (saddleObjective) Hessian(w []float64) *linalg.Matrix {
+	h := linalg.NewMatrix(2, 2)
+	h.Set(0, 0, 3*w[0]*w[0]-1) // negative near w0 = 0
+	h.Set(1, 1, 1)
+	return h
+}
+
+func TestNewtonIndefiniteHessianShift(t *testing.T) {
+	// Start where the Hessian is indefinite; the shift must rescue the
+	// step and converge to one of the two minima.
+	res, err := Newton(saddleObjective{}, []float64{0.1, 1}, Options{GradTol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if math.Abs(math.Abs(res.W[0])-1) > 1e-6 || math.Abs(res.W[1]) > 1e-8 {
+		t.Fatalf("converged to %v, want (±1, 0)", res.W)
+	}
+}
+
+func TestLineSearchFailsOnNaNObjective(t *testing.T) {
+	f := FuncObjective{
+		F: func(w []float64) float64 {
+			if w[0] != 0 {
+				return math.NaN()
+			}
+			return 1
+		},
+		G: func(w, dst []float64) []float64 { dst[0] = 1; return dst },
+	}
+	_, err := GradientDescent(f, []float64{0}, Options{MaxIter: 5})
+	if err == nil {
+		t.Fatal("NaN objective accepted")
+	}
+}
+
+func TestGradientDescentNonFiniteGradient(t *testing.T) {
+	f := FuncObjective{
+		F: func(w []float64) float64 { return w[0] },
+		G: func(w, dst []float64) []float64 { dst[0] = math.Inf(1); return dst },
+	}
+	if _, err := GradientDescent(f, []float64{1}, Options{MaxIter: 5}); err == nil {
+		t.Fatal("infinite gradient accepted")
+	}
+}

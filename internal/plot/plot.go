@@ -1,0 +1,312 @@
+// Package plot renders the experiment results as self-contained SVG
+// charts, so `mbpbench -svg <dir>` regenerates the paper's figures as
+// images and not only as numeric tables. Stdlib-only: the SVG is
+// assembled with encoding/xml-safe escaping and plain string building.
+//
+// Two chart types cover every panel in the paper: multi-series line
+// charts (Figure 6's error curves, Figures 9–10's runtime/revenue
+// sweeps, with optional log-scale Y) and grouped bar charts (Figures
+// 7–8's revenue and affordability comparisons).
+package plot
+
+import (
+	"encoding/xml"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X and Y are the sample coordinates (equal length).
+	X, Y []float64
+}
+
+// palette holds the series colors, chosen for distinguishability.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// Options configure a chart.
+type Options struct {
+	// Title is drawn above the plot area.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// LogY switches the Y axis to log₁₀ scale; every Y value must then
+	// be strictly positive.
+	LogY bool
+	// Width and Height are the SVG dimensions (defaults 640×420).
+	Width, Height int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 640
+	}
+	if o.Height <= 0 {
+		o.Height = 420
+	}
+	return o
+}
+
+const (
+	marginLeft   = 70.0
+	marginRight  = 140.0
+	marginTop    = 40.0
+	marginBottom = 55.0
+)
+
+// esc XML-escapes a label.
+func esc(s string) string {
+	var b strings.Builder
+	_ = xml.EscapeText(&b, []byte(s))
+	return b.String()
+}
+
+// Line renders a multi-series line chart. Every series must be
+// non-empty with matching X/Y lengths; with LogY all Y must be > 0.
+func Line(series []Series, opts Options) (string, error) {
+	o := opts.withDefaults()
+	if len(series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d/%d points", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if o.LogY {
+				if y <= 0 {
+					return "", fmt.Errorf("plot: series %q has non-positive y=%v under log scale", s.Name, y)
+				}
+				y = math.Log10(y)
+			}
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], y, y
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	plotW := float64(o.Width) - marginLeft - marginRight
+	plotH := float64(o.Height) - marginTop - marginBottom
+	px := func(x float64) float64 { return marginLeft + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 {
+		if o.LogY {
+			y = math.Log10(y)
+		}
+		return marginTop + plotH - (y-ymin)/(ymax-ymin)*plotH
+	}
+
+	var b strings.Builder
+	header(&b, o)
+	axes(&b, o, plotW, plotH)
+	xticks(&b, o, xmin, xmax, plotH, px)
+	yticksLinear(&b, o, ymin, ymax, plotH, py)
+
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		var path strings.Builder
+		for i := range s.X {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.2f %.2f ", cmd, px(s.X[i]), py(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<path d=%q fill="none" stroke="%s" stroke-width="2"/>`+"\n", strings.TrimSpace(path.String()), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="3" fill="%s"/>`+"\n", px(s.X[i]), py(s.Y[i]), color)
+		}
+		legendEntry(&b, o, si, s.Name, color)
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// BarGroup is one cluster of bars sharing an x-axis label.
+type BarGroup struct {
+	// Label names the cluster ("MBP", "Lin", ...).
+	Label string
+	// Value is the bar height.
+	Value float64
+}
+
+// Bars renders a single-metric bar chart (one bar per group), the shape
+// of Figures 7–8's revenue/affordability panels.
+func Bars(groups []BarGroup, opts Options) (string, error) {
+	o := opts.withDefaults()
+	if len(groups) == 0 {
+		return "", fmt.Errorf("plot: no bars")
+	}
+	ymax := 0.0
+	for _, g := range groups {
+		if g.Value < 0 {
+			return "", fmt.Errorf("plot: negative bar %q = %v", g.Label, g.Value)
+		}
+		ymax = math.Max(ymax, g.Value)
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+
+	plotW := float64(o.Width) - marginLeft - marginRight
+	plotH := float64(o.Height) - marginTop - marginBottom
+
+	var b strings.Builder
+	header(&b, o)
+	axes(&b, o, plotW, plotH)
+	yticksLinear(&b, o, 0, ymax, plotH, func(y float64) float64 {
+		return marginTop + plotH - y/ymax*plotH
+	})
+
+	slot := plotW / float64(len(groups))
+	barW := slot * 0.6
+	for i, g := range groups {
+		color := palette[i%len(palette)]
+		x := marginLeft + float64(i)*slot + (slot-barW)/2
+		h := g.Value / ymax * plotH
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"/>`+"\n",
+			x, marginTop+plotH-h, barW, h, color)
+		fmt.Fprintf(&b, `<text x="%.2f" y="%.2f" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			x+barW/2, marginTop+plotH+16, esc(g.Label))
+		fmt.Fprintf(&b, `<text x="%.2f" y="%.2f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x+barW/2, marginTop+plotH-h-4, esc(trimFloat(g.Value)))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func header(b *strings.Builder, o Options) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		o.Width, o.Height, o.Width, o.Height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", o.Width, o.Height)
+	if o.Title != "" {
+		fmt.Fprintf(b, `<text x="%d" y="24" font-size="15" text-anchor="middle" font-weight="bold">%s</text>`+"\n",
+			o.Width/2, esc(o.Title))
+	}
+}
+
+func axes(b *strings.Builder, o Options, plotW, plotH float64) {
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	if o.XLabel != "" {
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="13" text-anchor="middle">%s</text>`+"\n",
+			marginLeft+plotW/2, marginTop+plotH+40, esc(o.XLabel))
+	}
+	if o.YLabel != "" {
+		fmt.Fprintf(b, `<text x="16" y="%.1f" font-size="13" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+			marginTop+plotH/2, marginTop+plotH/2, esc(o.YLabel))
+	}
+}
+
+func xticks(b *strings.Builder, o Options, xmin, xmax, plotH float64, px func(float64) float64) {
+	for _, t := range niceTicks(xmin, xmax, 6) {
+		x := px(t)
+		fmt.Fprintf(b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="black"/>`+"\n",
+			x, marginTop+plotH, x, marginTop+plotH+4)
+		fmt.Fprintf(b, `<text x="%.2f" y="%.2f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, marginTop+plotH+18, esc(trimFloat(t)))
+	}
+}
+
+// yticksLinear draws ticks on the (possibly log-transformed) y range;
+// values are labeled in original units.
+func yticksLinear(b *strings.Builder, o Options, ymin, ymax, plotH float64, py func(float64) float64) {
+	if o.LogY {
+		// One tick per decade.
+		lo, hi := int(math.Floor(ymin)), int(math.Ceil(ymax))
+		for e := lo; e <= hi; e++ {
+			v := math.Pow(10, float64(e))
+			y := py(v)
+			if y < marginTop-1 || y > marginTop+plotH+1 {
+				continue
+			}
+			fmt.Fprintf(b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="black"/>`+"\n",
+				marginLeft-4, y, marginLeft, y)
+			fmt.Fprintf(b, `<text x="%.2f" y="%.2f" font-size="11" text-anchor="end">1e%d</text>`+"\n",
+				marginLeft-8, y+4, e)
+		}
+		return
+	}
+	for _, t := range niceTicks(ymin, ymax, 6) {
+		y := py(t)
+		fmt.Fprintf(b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="black"/>`+"\n",
+			marginLeft-4, y, marginLeft, y)
+		fmt.Fprintf(b, `<text x="%.2f" y="%.2f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-8, y+4, esc(trimFloat(t)))
+	}
+}
+
+func legendEntry(b *strings.Builder, o Options, idx int, name, color string) {
+	x := float64(o.Width) - marginRight + 12
+	y := marginTop + 10 + float64(idx)*18
+	fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s"/>`+"\n", x, y-10, color)
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="12">%s</text>`+"\n", x+16, y, esc(name))
+}
+
+// niceTicks returns up to n round tick values spanning [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo || n < 2 {
+		return []float64{lo, hi}
+	}
+	raw := (hi - lo) / float64(n-1)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	for _, m := range []float64{1, 2, 5, 10} {
+		step = m * mag
+		if step >= raw {
+			break
+		}
+	}
+	start := math.Ceil(lo/step) * step
+	var out []float64
+	for t := start; t <= hi+step*1e-9; t += step {
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		out = []float64{lo, hi}
+	}
+	return out
+}
+
+// trimFloat formats a float compactly for labels.
+func trimFloat(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a != 0 && (a < 0.01 || a >= 100000):
+		return fmt.Sprintf("%.1e", v)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		s := fmt.Sprintf("%.3f", v)
+		s = strings.TrimRight(s, "0")
+		return strings.TrimRight(s, ".")
+	}
+}
+
+// SortSeries orders series by name for deterministic output.
+func SortSeries(ss []Series) {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].Name < ss[j].Name })
+}

@@ -1,0 +1,185 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed parses the SVG as XML, catching unescaped labels or broken
+// nesting.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestLineBasic(t *testing.T) {
+	svg, err := Line([]Series{
+		{Name: "MBP", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}},
+		{Name: "MILP", X: []float64{1, 2, 3}, Y: []float64{3, 2, 1}},
+	}, Options{Title: "test", XLabel: "n", YLabel: "seconds"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	for _, want := range []string{"MBP", "MILP", "test", "seconds", "<path", "<circle"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestLineLogScale(t *testing.T) {
+	svg, err := Line([]Series{
+		{Name: "runtime", X: []float64{2, 4, 6}, Y: []float64{1e-6, 1e-3, 1}},
+	}, Options{LogY: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "1e-6") && !strings.Contains(svg, "1e-3") {
+		t.Errorf("log ticks missing:\n%s", svg)
+	}
+}
+
+func TestLineLogRejectsNonPositive(t *testing.T) {
+	_, err := Line([]Series{{Name: "x", X: []float64{1}, Y: []float64{0}}}, Options{LogY: true})
+	if err == nil {
+		t.Fatal("zero Y accepted under log scale")
+	}
+}
+
+func TestLineValidation(t *testing.T) {
+	if _, err := Line(nil, Options{}); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, err := Line([]Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}, Options{}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := Line([]Series{{Name: "empty"}}, Options{}); err == nil {
+		t.Fatal("empty points accepted")
+	}
+}
+
+func TestLineDegenerateRanges(t *testing.T) {
+	// Single point: ranges must be padded, not NaN.
+	svg, err := Line([]Series{{Name: "pt", X: []float64{5}, Y: []float64{7}}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+	wellFormed(t, svg)
+}
+
+func TestLineEscapesLabels(t *testing.T) {
+	svg, err := Line([]Series{{Name: "a<b&c", X: []float64{1, 2}, Y: []float64{1, 2}}},
+		Options{Title: `q"uote`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if strings.Contains(svg, "a<b&c") {
+		t.Fatal("label not escaped")
+	}
+}
+
+func TestBarsBasic(t *testing.T) {
+	svg, err := Bars([]BarGroup{
+		{Label: "MBP", Value: 69.5},
+		{Label: "Lin", Value: 50.2},
+		{Label: "MaxC", Value: 0.05},
+	}, Options{Title: "revenue"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	for _, want := range []string{"MBP", "Lin", "MaxC", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestBarsValidation(t *testing.T) {
+	if _, err := Bars(nil, Options{}); err == nil {
+		t.Fatal("empty bars accepted")
+	}
+	if _, err := Bars([]BarGroup{{Label: "x", Value: -1}}, Options{}); err == nil {
+		t.Fatal("negative bar accepted")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	svg, err := Bars([]BarGroup{{Label: "a", Value: 0}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN in zero-bar chart")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) < 3 {
+		t.Fatalf("ticks %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 100+1e-9 {
+		t.Fatalf("ticks out of range: %v", ticks)
+	}
+	// Degenerate range.
+	d := niceTicks(5, 5, 6)
+	if len(d) != 2 {
+		t.Fatalf("degenerate ticks %v", d)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:    "1.5",
+		100:    "100",
+		0.001:  "1.0e-03",
+		123456: "1.2e+05",
+		2:      "2",
+		0:      "0",
+	}
+	for v, want := range cases {
+		if got := trimFloat(v); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSortSeries(t *testing.T) {
+	ss := []Series{{Name: "b"}, {Name: "a"}}
+	SortSeries(ss)
+	if ss[0].Name != "a" {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestDefaultDimensions(t *testing.T) {
+	svg, err := Line([]Series{{Name: "x", X: []float64{1, 2}, Y: []float64{1, 2}}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, `width="640"`) || !strings.Contains(svg, `height="420"`) {
+		t.Fatal("default dimensions missing")
+	}
+}

@@ -1,0 +1,69 @@
+package pricing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/datamarket/mbp/internal/dataset"
+	"github.com/datamarket/mbp/internal/ml"
+)
+
+// AnalyticSquareTransform builds the error transform for linear
+// regression under the dataset square loss in closed form, with no
+// Monte-Carlo at all. For the Gaussian mechanism,
+//
+//	ϵ(h, D) = ‖X·h − y‖²/(2n),   ĥ = h* + w,  w ~ N(0, (δ/d)·I_d),
+//
+// the expected error decomposes exactly:
+//
+//	E[ϵ(ĥ, D)] = ϵ(h*, D) + E[wᵀ(XᵀX)w]/(2n)
+//	           = ϵ(h*, D) + δ·tr(XᵀX)/(2·n·d),
+//
+// because E[wᵀAw] = tr(A·Cov(w)) for zero-mean w. The transform is
+// therefore affine in δ — strictly increasing, as Theorem 4 promises —
+// and exact, which makes it both the fast path for regression menus
+// and the ground truth the empirical estimator is tested against.
+func AnalyticSquareTransform(optimal *ml.Instance, ds *dataset.Dataset, deltas []float64) (*Transform, error) {
+	if optimal == nil {
+		return nil, errors.New("pricing: nil optimal instance")
+	}
+	if optimal.Model != ml.LinearRegression {
+		return nil, fmt.Errorf("pricing: analytic transform applies to linear regression, not %v", optimal.Model)
+	}
+	if ds == nil || ds.N() == 0 {
+		return nil, errors.New("pricing: empty dataset")
+	}
+	if ds.D() != len(optimal.W) {
+		return nil, fmt.Errorf("pricing: model has %d weights, dataset %d features", len(optimal.W), ds.D())
+	}
+	if len(deltas) == 0 {
+		return nil, errors.New("pricing: empty δ grid")
+	}
+
+	// Base error at the optimum and the trace of the Gram matrix,
+	// computed row-wise without materializing XᵀX.
+	var base, traceGram float64
+	for i := 0; i < ds.N(); i++ {
+		row, y := ds.Row(i)
+		var pred, rowSq float64
+		for j, v := range row {
+			pred += v * optimal.W[j]
+			rowSq += v * v
+		}
+		r := pred - y
+		base += r * r
+		traceGram += rowSq
+	}
+	n := float64(ds.N())
+	base /= 2 * n
+	slope := traceGram / (2 * n * float64(ds.D()))
+
+	grid := append([]float64(nil), deltas...)
+	sort.Float64s(grid)
+	errs := make([]float64, len(grid))
+	for i, d := range grid {
+		errs[i] = base + slope*d
+	}
+	return newTransform(grid, errs)
+}

@@ -1,0 +1,117 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/loss"
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/noise"
+	"github.com/datamarket/mbp/internal/rng"
+	"github.com/datamarket/mbp/internal/synth"
+)
+
+func TestAnalyticMatchesMonteCarlo(t *testing.T) {
+	sp, err := synth.Generate("CASP", 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimal, err := ml.Train(ml.LinearRegression, sp.Train, ml.Options{Mu: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := []float64{0.01, 0.1, 1, 5}
+	analytic, err := AnalyticSquareTransform(optimal, sp.Test, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deltas {
+		mc := noise.ExpectedLossError(noise.Gaussian{}, optimal, loss.Square{}, sp.Test, d, 4000, rng.New(3))
+		want := analytic.ErrorForDelta(d)
+		if math.Abs(mc.Mean-want) > 6*mc.StdErr+1e-9 {
+			t.Fatalf("δ=%v: Monte-Carlo %v vs analytic %v (stderr %v)", d, mc.Mean, want, mc.StdErr)
+		}
+	}
+}
+
+func TestAnalyticAffineInDelta(t *testing.T) {
+	sp, err := synth.Generate("CASP", 0.005, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimal, err := ml.Train(ml.LinearRegression, sp.Train, ml.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := AnalyticSquareTransform(optimal, sp.Test, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errs := tr.Grid()
+	// Affine: equal increments.
+	d1 := errs[1] - errs[0]
+	d2 := errs[2] - errs[1]
+	if math.Abs(d1-d2) > 1e-9*(1+math.Abs(d1)) {
+		t.Fatalf("transform not affine: increments %v vs %v", d1, d2)
+	}
+	if d1 <= 0 {
+		t.Fatalf("transform not strictly increasing: %v", errs)
+	}
+}
+
+func TestAnalyticValidation(t *testing.T) {
+	sp, err := synth.Generate("CASP", 0.005, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimal, err := ml.Train(ml.LinearRegression, sp.Train, ml.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyticSquareTransform(nil, sp.Test, []float64{1}); err == nil {
+		t.Fatal("nil optimal accepted")
+	}
+	if _, err := AnalyticSquareTransform(optimal, nil, []float64{1}); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := AnalyticSquareTransform(optimal, sp.Test, nil); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	bad := optimal.Clone()
+	bad.Model = ml.LogisticRegression
+	if _, err := AnalyticSquareTransform(bad, sp.Test, []float64{1}); err == nil {
+		t.Fatal("non-regression model accepted")
+	}
+	short := optimal.Clone()
+	short.W = short.W[:3]
+	if _, err := AnalyticSquareTransform(short, sp.Test, []float64{1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func BenchmarkAnalyticVsEmpirical(b *testing.B) {
+	sp, err := synth.Generate("CASP", 0.01, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	optimal, err := ml.Train(ml.LinearRegression, sp.Train, ml.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	deltas := []float64{0.01, 0.1, 1, 5}
+	b.Run("analytic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := AnalyticSquareTransform(optimal, sp.Test, deltas); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("empirical-200", func(b *testing.B) {
+		r := rng.New(1)
+		for i := 0; i < b.N; i++ {
+			if _, err := NewEmpirical(noise.Gaussian{}, optimal, loss.Square{}, sp.Test, deltas, 200, r.Split()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,218 @@
+// Package pricing implements the pricing-function machinery of the MBP
+// framework: piecewise-linear price curves over the inverse noise
+// control parameter, the arbitrage-freeness certificates of Theorems 5
+// and 6, and the error-inverse transform ϕ that converts between
+// expected model error and NCP.
+//
+// Following Section 4.2, prices are naturally expressed in the variable
+// x = 1/δ (inverse variance): a pricing function is arbitrage-free for
+// the Gaussian mechanism iff p̄(x) = p(1/x) is non-negative, monotone
+// non-decreasing and subadditive in x. Curves in this package live in
+// x-space.
+package pricing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a sampled value of the pricing function: Price at inverse
+// NCP X = 1/δ.
+type Point struct {
+	// X is the inverse noise control parameter 1/δ (> 0).
+	X float64
+	// Price is the quoted price p̄(X) (≥ 0 for a valid curve).
+	Price float64
+}
+
+// Curve is a piecewise-linear pricing function p̄ over x = 1/δ, built
+// from n sample points with the extension of Proposition 1:
+//
+//	p̄(x) = (P₁/a₁)·x              on [0, a₁]
+//	p̄(x) = linear interpolation   on [aⱼ, aⱼ₊₁]
+//	p̄(x) = Pₙ                     on [aₙ, ∞)
+//
+// The paper proves that when the sampled prices are non-negative,
+// monotone, and have non-increasing ratio Pⱼ/aⱼ, this extension is a
+// well-behaved (arbitrage-free) pricing function.
+type Curve struct {
+	xs []float64
+	ps []float64
+}
+
+// NewCurve builds a curve through the given points. Points are copied
+// and sorted by X. It rejects empty input, non-positive or duplicate X,
+// negative prices, and non-finite values. It does NOT require the
+// points to be arbitrage-free — use Certify for that — so that the
+// experiments can also represent deliberately broken curves.
+func NewCurve(points []Point) (*Curve, error) {
+	if len(points) == 0 {
+		return nil, errors.New("pricing: empty curve")
+	}
+	ps := append([]Point(nil), points...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].X < ps[j].X })
+	c := &Curve{xs: make([]float64, len(ps)), ps: make([]float64, len(ps))}
+	for i, p := range ps {
+		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Price) || math.IsInf(p.Price, 0) {
+			return nil, fmt.Errorf("pricing: non-finite point (%v, %v)", p.X, p.Price)
+		}
+		if p.X <= 0 {
+			return nil, fmt.Errorf("pricing: inverse NCP must be positive, got %v", p.X)
+		}
+		if p.Price < 0 {
+			return nil, fmt.Errorf("pricing: negative price %v at x=%v", p.Price, p.X)
+		}
+		if i > 0 && p.X == ps[i-1].X {
+			return nil, fmt.Errorf("pricing: duplicate x = %v", p.X)
+		}
+		c.xs[i], c.ps[i] = p.X, p.Price
+	}
+	return c, nil
+}
+
+// Points returns a copy of the curve's defining points in increasing X.
+func (c *Curve) Points() []Point {
+	out := make([]Point, len(c.xs))
+	for i := range out {
+		out[i] = Point{X: c.xs[i], Price: c.ps[i]}
+	}
+	return out
+}
+
+// Price evaluates p̄(x) using the Proposition 1 extension. Price(0) = 0
+// (zero information costs nothing); negative x panics.
+func (c *Curve) Price(x float64) float64 {
+	if x < 0 || math.IsNaN(x) {
+		panic(fmt.Sprintf("pricing: invalid inverse NCP %v", x))
+	}
+	n := len(c.xs)
+	switch {
+	case x == 0:
+		return 0
+	case x <= c.xs[0]:
+		return c.ps[0] / c.xs[0] * x
+	case x >= c.xs[n-1]:
+		return c.ps[n-1]
+	}
+	// Binary search for the segment with xs[i] <= x < xs[i+1].
+	i := sort.SearchFloat64s(c.xs, x)
+	if c.xs[i] == x {
+		return c.ps[i]
+	}
+	i--
+	t := (x - c.xs[i]) / (c.xs[i+1] - c.xs[i])
+	return c.ps[i] + t*(c.ps[i+1]-c.ps[i])
+}
+
+// PriceForDelta evaluates the pricing function in δ-space:
+// p(δ) = p̄(1/δ). δ must be positive.
+func (c *Curve) PriceForDelta(delta float64) float64 {
+	if delta <= 0 || math.IsNaN(delta) {
+		panic(fmt.Sprintf("pricing: invalid NCP %v", delta))
+	}
+	return c.Price(1 / delta)
+}
+
+// MaxPrice returns the supremum of the curve (the price of the exact
+// model in the limit x → ∞).
+func (c *Curve) MaxPrice() float64 { return c.ps[len(c.ps)-1] }
+
+// tolerance for the feasibility certificates: violations smaller than
+// this relative slack are attributed to floating point.
+const certTol = 1e-9
+
+// CheckNonNegative verifies p̄ ≥ 0 (Definition 1). NewCurve already
+// enforces this; the method exists so Certify reads as the paper's
+// definition list.
+func (c *Curve) CheckNonNegative() error {
+	for i, p := range c.ps {
+		if p < 0 {
+			return fmt.Errorf("pricing: negative price %v at x=%v", p, c.xs[i])
+		}
+	}
+	return nil
+}
+
+// CheckMonotone verifies that prices are non-decreasing in x — less
+// noise never costs less (via Theorem 5 condition 2 / Definition 2).
+func (c *Curve) CheckMonotone() error {
+	for i := 1; i < len(c.ps); i++ {
+		if c.ps[i] < c.ps[i-1]*(1-certTol)-certTol {
+			return fmt.Errorf("pricing: price decreases from %v at x=%v to %v at x=%v",
+				c.ps[i-1], c.xs[i-1], c.ps[i], c.xs[i])
+		}
+	}
+	return nil
+}
+
+// CheckRatioDecreasing verifies the weakened subadditivity constraint
+// of program (3): p̄(x)/x non-increasing. Together with monotonicity
+// this implies subadditivity (Lemma 8) and is exactly the constraint
+// set the revenue optimizer searches over.
+func (c *Curve) CheckRatioDecreasing() error {
+	prev := math.Inf(1)
+	for i := range c.xs {
+		r := c.ps[i] / c.xs[i]
+		if r > prev*(1+certTol)+certTol {
+			return fmt.Errorf("pricing: price/x ratio increases to %v at x=%v", r, c.xs[i])
+		}
+		if r < prev {
+			prev = r
+		}
+	}
+	return nil
+}
+
+// CheckSubadditive verifies p̄(x+y) ≤ p̄(x) + p̄(y) exactly for the
+// piecewise-linear extension. The violation function
+// g(x, y) = p̄(x+y) − p̄(x) − p̄(y) is piecewise linear on the plane, so
+// its maximum is attained at a vertex of the induced subdivision:
+// points where two of {x, y, x+y} sit on breakpoints. Checking all
+// O(B²) such vertices is exact, not a sampling heuristic.
+func (c *Curve) CheckSubadditive() error {
+	// Breakpoints of the one-dimensional function.
+	bps := append([]float64{}, c.xs...)
+	viol := func(x, y float64) error {
+		if x <= 0 || y <= 0 {
+			return nil
+		}
+		px, py, pxy := c.Price(x), c.Price(y), c.Price(x+y)
+		if pxy > px+py+certTol*(1+px+py) {
+			return fmt.Errorf("pricing: subadditivity violated: p(%v)=%v > p(%v)+p(%v)=%v",
+				x+y, pxy, x, y, px+py)
+		}
+		return nil
+	}
+	for _, bi := range bps {
+		for _, bj := range bps {
+			// Vertex type 1: x and y both at breakpoints.
+			if err := viol(bi, bj); err != nil {
+				return err
+			}
+			// Vertex type 2: x at a breakpoint and x+y at a breakpoint.
+			if bj > bi {
+				if err := viol(bi, bj-bi); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Beyond the last breakpoint p̄ is constant; g can only decrease
+	// there, so no further vertices need checking.
+	return nil
+}
+
+// Certify checks the full well-behavedness certificate of Theorem 6:
+// non-negativity, monotonicity and subadditivity of p̄. A nil return
+// means the curve admits no arbitrage under the Gaussian mechanism.
+func (c *Curve) Certify() error {
+	if err := c.CheckNonNegative(); err != nil {
+		return err
+	}
+	if err := c.CheckMonotone(); err != nil {
+		return err
+	}
+	return c.CheckSubadditive()
+}

@@ -1,0 +1,45 @@
+package pricing_test
+
+import (
+	"fmt"
+
+	"github.com/datamarket/mbp/internal/pricing"
+)
+
+// ExampleCurve_Certify shows the Theorem 5/6 certificate in action: a
+// concave monotone curve passes, a convex one fails with the violating
+// combination.
+func ExampleCurve_Certify() {
+	good, _ := pricing.NewCurve([]pricing.Point{
+		{X: 1, Price: 10}, {X: 2, Price: 15}, {X: 4, Price: 20},
+	})
+	fmt.Println("concave curve:", good.Certify())
+
+	bad, _ := pricing.NewCurve([]pricing.Point{
+		{X: 1, Price: 10}, {X: 2, Price: 40},
+	})
+	fmt.Println("convex curve is arbitrage-free:", bad.Certify() == nil)
+	// Output:
+	// concave curve: <nil>
+	// convex curve is arbitrage-free: false
+}
+
+// ExampleCurve_Price demonstrates the Proposition 1 piecewise-linear
+// extension: linear through the origin below the first point, constant
+// beyond the last.
+func ExampleCurve_Price() {
+	c, _ := pricing.NewCurve([]pricing.Point{{X: 2, Price: 10}, {X: 4, Price: 14}})
+	fmt.Println(c.Price(0), c.Price(1), c.Price(2), c.Price(3), c.Price(4), c.Price(100))
+	// Output:
+	// 0 5 10 12 14 14
+}
+
+// ExampleTransform_DeltaForError shows the error-inverse map ϕ for the
+// square loss, where E[ϵ_s] = δ exactly (Lemma 3).
+func ExampleTransform_DeltaForError() {
+	tr, _ := pricing.Identity([]float64{1, 2, 4})
+	d, _ := tr.DeltaForError(3)
+	fmt.Println(d)
+	// Output:
+	// 3
+}

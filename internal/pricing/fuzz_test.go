@@ -1,0 +1,56 @@
+package pricing
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzCurveUnmarshal feeds arbitrary JSON to the curve decoder: it must
+// never panic, and any accepted curve must be internally consistent
+// (evaluable everywhere, certification must not panic either way).
+func FuzzCurveUnmarshal(f *testing.F) {
+	f.Add(`{"points":[{"X":1,"Price":10}]}`)
+	f.Add(`{"points":[{"X":1,"Price":10},{"X":2,"Price":40}]}`)
+	f.Add(`{"points":[{"X":-1,"Price":10}]}`)
+	f.Add(`{"points":[]}`)
+	f.Add(`{"points":[{"X":1e308,"Price":1e308}]}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, input string) {
+		var c Curve
+		if err := json.Unmarshal([]byte(input), &c); err != nil {
+			return
+		}
+		// Accepted curves are well-formed: evaluation and certification
+		// must run without panicking.
+		for _, x := range []float64{0, 0.5, 1, 3.7, 1e6} {
+			if p := c.Price(x); p < 0 {
+				t.Fatalf("negative price %v at x=%v", p, x)
+			}
+		}
+		_ = c.Certify()
+	})
+}
+
+// FuzzTransformUnmarshal does the same for the error transform.
+func FuzzTransformUnmarshal(f *testing.F) {
+	f.Add(`{"deltas":[0.5,1],"errors":[1,2]}`)
+	f.Add(`{"deltas":[1,0.5],"errors":[1,2]}`)
+	f.Add(`{"deltas":[],"errors":[]}`)
+	f.Add(`{"deltas":[1],"errors":[-1]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		var tr Transform
+		if err := json.Unmarshal([]byte(input), &tr); err != nil {
+			return
+		}
+		ds, es := tr.Grid()
+		if len(ds) == 0 || len(ds) != len(es) {
+			t.Fatalf("accepted inconsistent transform: %d/%d", len(ds), len(es))
+		}
+		// Evaluation must work across the grid and beyond.
+		_ = tr.ErrorForDelta(ds[0])
+		_ = tr.ErrorForDelta(ds[len(ds)-1] * 2)
+		if _, err := tr.DeltaForError(es[len(es)-1]); err != nil {
+			t.Fatalf("top-of-range inversion failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package pricing
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// curveJSON is the wire form of a Curve: just its defining points; the
+// Proposition 1 extension is reconstructed on load.
+type curveJSON struct {
+	Points []Point `json:"points"`
+}
+
+// MarshalJSON implements json.Marshaler. The broker uses it to persist
+// and publish price curves; the defining points fully determine the
+// piecewise-linear extension.
+func (c *Curve) MarshalJSON() ([]byte, error) {
+	return json.Marshal(curveJSON{Points: c.Points()})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, re-validating the points
+// exactly as NewCurve does.
+func (c *Curve) UnmarshalJSON(data []byte) error {
+	var cj curveJSON
+	if err := json.Unmarshal(data, &cj); err != nil {
+		return fmt.Errorf("pricing: decoding curve: %w", err)
+	}
+	nc, err := NewCurve(cj.Points)
+	if err != nil {
+		return err
+	}
+	*c = *nc
+	return nil
+}
+
+// transformJSON is the wire form of a Transform: the tabulated grid.
+type transformJSON struct {
+	Deltas []float64 `json:"deltas"`
+	Errors []float64 `json:"errors"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Transform) MarshalJSON() ([]byte, error) {
+	d, e := t.Grid()
+	return json.Marshal(transformJSON{Deltas: d, Errors: e})
+}
+
+// UnmarshalJSON implements json.Unmarshaler with full re-validation.
+func (t *Transform) UnmarshalJSON(data []byte) error {
+	var tj transformJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return fmt.Errorf("pricing: decoding transform: %w", err)
+	}
+	nt, err := newTransform(tj.Deltas, tj.Errors)
+	if err != nil {
+		return err
+	}
+	*t = *nt
+	return nil
+}

@@ -1,0 +1,71 @@
+package pricing
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCurveJSONRoundTrip(t *testing.T) {
+	orig := mustCurve(t, []Point{{1, 10}, {2, 15}, {4, 20}})
+	raw, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Curve
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.5, 1, 1.7, 3, 4, 100} {
+		if got.Price(x) != orig.Price(x) {
+			t.Fatalf("Price(%v) = %v, want %v", x, got.Price(x), orig.Price(x))
+		}
+	}
+}
+
+func TestCurveJSONRejectsInvalid(t *testing.T) {
+	var c Curve
+	cases := []string{
+		`{"points":[]}`,
+		`{"points":[{"X":-1,"Price":1}]}`,
+		`{"points":[{"X":1,"Price":-1}]}`,
+		`not json`,
+	}
+	for _, raw := range cases {
+		if err := json.Unmarshal([]byte(raw), &c); err == nil {
+			t.Errorf("accepted %q", raw)
+		}
+	}
+}
+
+func TestTransformJSONRoundTrip(t *testing.T) {
+	orig, err := Identity([]float64{0.5, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Transform
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ErrorForDelta(1.5) != orig.ErrorForDelta(1.5) {
+		t.Fatal("round trip changed the transform")
+	}
+}
+
+func TestTransformJSONRejectsInvalid(t *testing.T) {
+	var tr Transform
+	cases := []string{
+		`{"deltas":[1],"errors":[1,2]}`,
+		`{"deltas":[2,1],"errors":[1,2]}`,
+		`{"deltas":[1,2],"errors":[2,1]}`,
+		`oops`,
+	}
+	for _, raw := range cases {
+		if err := json.Unmarshal([]byte(raw), &tr); err == nil {
+			t.Errorf("accepted %q", raw)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package pricing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/datamarket/mbp/internal/curves"
+)
+
+// ErrorResearchPoint is one row of seller market research expressed in
+// the buyer-facing error domain (Figure 2a): at expected error E, the
+// buyers' valuation is V and the fraction B of buyers want that
+// accuracy.
+type ErrorResearchPoint struct {
+	// Error is the expected model error the row refers to.
+	Error float64
+	// Value is the buyer valuation at that error.
+	Value float64
+	// Demand is the (possibly unnormalized) buyer mass at that error.
+	Demand float64
+}
+
+// MarketFromErrorResearch performs the paper's Figure 2(a)→2(b) step:
+// it converts research curves given over model error into the market
+// instance over x = 1/NCP that the revenue optimizer consumes, using
+// the error-inverse transform ϕ (δ = ϕ(E), x = 1/δ).
+//
+// Rows whose error is below the transform's attainable minimum are
+// rejected — no offered noise level realizes them. Valuations must be
+// non-increasing in error (equivalently non-decreasing in accuracy);
+// demand is renormalized. Rows mapping to indistinguishable δ (flat
+// stretches of ϕ) are merged, accumulating their demand.
+func MarketFromErrorResearch(points []ErrorResearchPoint, t *Transform) (*curves.Market, error) {
+	if len(points) == 0 {
+		return nil, errors.New("pricing: empty research")
+	}
+	if t == nil {
+		return nil, errors.New("pricing: nil transform")
+	}
+	rows := append([]ErrorResearchPoint(nil), points...)
+	// Sort by decreasing error = increasing accuracy = increasing x.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Error > rows[j].Error })
+
+	type mapped struct {
+		x, v, b float64
+	}
+	var out []mapped
+	for i, p := range rows {
+		if p.Value < 0 {
+			return nil, fmt.Errorf("pricing: negative valuation %v", p.Value)
+		}
+		if p.Demand < 0 {
+			return nil, fmt.Errorf("pricing: negative demand %v", p.Demand)
+		}
+		if i > 0 && p.Value < rows[i-1].Value && p.Error < rows[i-1].Error {
+			return nil, fmt.Errorf("pricing: valuation must not decrease as error falls (at error %v)", p.Error)
+		}
+		delta, err := t.DeltaForError(p.Error)
+		if err != nil {
+			return nil, fmt.Errorf("pricing: research error %v unattainable: %w", p.Error, err)
+		}
+		x := 1 / delta
+		if n := len(out); n > 0 && x <= out[n-1].x*(1+1e-12) {
+			// Flat stretch of ϕ: merge into the previous version.
+			out[n-1].b += p.Demand
+			if p.Value > out[n-1].v {
+				out[n-1].v = p.Value
+			}
+			continue
+		}
+		out = append(out, mapped{x: x, v: p.Value, b: p.Demand})
+	}
+
+	m := &curves.Market{
+		A: make([]float64, len(out)),
+		V: make([]float64, len(out)),
+		B: make([]float64, len(out)),
+	}
+	var bsum float64
+	for i, r := range out {
+		m.A[i], m.V[i], m.B[i] = r.x, r.v, r.b
+		bsum += r.b
+	}
+	if bsum <= 0 {
+		return nil, errors.New("pricing: research demand sums to zero")
+	}
+	for i := range m.B {
+		m.B[i] /= bsum
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("pricing: transformed research invalid: %w", err)
+	}
+	return m, nil
+}

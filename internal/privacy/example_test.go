@@ -1,0 +1,26 @@
+package privacy_test
+
+import (
+	"fmt"
+
+	"github.com/datamarket/mbp/internal/privacy"
+)
+
+// ExampleEpsilonForNCP annotates an MBP noise level with its
+// differential-privacy cost.
+func ExampleEpsilonForNCP() {
+	// A 20-dimensional model with sensitivity 0.01 sold at NCP δ = 1.
+	eps, err := privacy.EpsilonForNCP(1, 20, 0.01, 1e-5)
+	fmt.Printf("ε = %.4f (err: %v)\n", eps, err)
+	// Output:
+	// ε = 0.2167 (err: <nil>)
+}
+
+// ExampleCompose shows that repeat purchases add privacy budgets, just
+// as inverse variances add in the arbitrage analysis.
+func ExampleCompose() {
+	eps, delta, _ := privacy.Compose(0.2, 1e-6, 5)
+	fmt.Printf("5 purchases: ε=%.1f δ=%.0e\n", eps, delta)
+	// Output:
+	// 5 purchases: ε=1.0 δ=5e-06
+}

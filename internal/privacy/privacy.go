@@ -1,0 +1,182 @@
+// Package privacy quantifies the differential-privacy side effect of
+// the MBP noise-injection mechanism — the connection the paper flags as
+// future work in Sections 2 and 7 ("if the Gaussian mechanism is
+// applied, then arbitrage-freeness may imply certain connections of the
+// privacy between different model instances").
+//
+// Selling ĥ = h*λ(D) + w with w ~ N(0, (δ/d)·I_d) is exactly output
+// perturbation: if the trained optimum has bounded L2 sensitivity Δ₂ —
+// the largest change of h*λ(D) when one training example changes — then
+// each sale is (ε, δ_DP)-differentially private with the classical
+// Gaussian-mechanism calibration
+//
+//	σ ≥ Δ₂·sqrt(2·ln(1.25/δ_DP)) / ε,   σ² = δ/d.
+//
+// The package provides that calibration in both directions, the
+// strong-convexity sensitivity bounds for the Table 2 objectives
+// (Chaudhuri & Monteleoni-style), and basic composition over repeated
+// purchases. The qualitative takeaway matches the paper's intuition:
+// cheaper (noisier) versions leak less — ε is monotone decreasing in
+// the NCP δ — so an arbitrage-free price curve is also a monotone
+// "privacy-loss price list".
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Epsilon returns the DP ε of a d-dimensional Gaussian mechanism with
+// per-coordinate variance sigma2, L2 sensitivity sensitivity, and
+// failure probability deltaDP ∈ (0, 1). It inverts the classical
+// calibration σ = Δ₂·sqrt(2·ln(1.25/δ_DP))/ε. The bound is only valid
+// for the returned ε ≤ 1; larger values are still returned (callers
+// compare regimes) but flagged by ErrWeakGuarantee.
+var ErrWeakGuarantee = errors.New("privacy: ε > 1, outside the classical Gaussian-mechanism regime")
+
+// Epsilon computes ε. See ErrWeakGuarantee for the validity caveat.
+func Epsilon(sigma2, sensitivity, deltaDP float64) (float64, error) {
+	if sigma2 <= 0 {
+		return 0, fmt.Errorf("privacy: non-positive noise variance %v", sigma2)
+	}
+	if sensitivity <= 0 {
+		return 0, fmt.Errorf("privacy: non-positive sensitivity %v", sensitivity)
+	}
+	if deltaDP <= 0 || deltaDP >= 1 {
+		return 0, fmt.Errorf("privacy: δ_DP %v outside (0,1)", deltaDP)
+	}
+	eps := sensitivity * math.Sqrt(2*math.Log(1.25/deltaDP)) / math.Sqrt(sigma2)
+	if eps > 1 {
+		return eps, ErrWeakGuarantee
+	}
+	return eps, nil
+}
+
+// NoiseVariance returns the per-coordinate variance σ² needed for an
+// (ε, δ_DP) guarantee at the given sensitivity.
+func NoiseVariance(epsilon, sensitivity, deltaDP float64) (float64, error) {
+	if epsilon <= 0 {
+		return 0, fmt.Errorf("privacy: non-positive ε %v", epsilon)
+	}
+	if sensitivity <= 0 {
+		return 0, fmt.Errorf("privacy: non-positive sensitivity %v", sensitivity)
+	}
+	if deltaDP <= 0 || deltaDP >= 1 {
+		return 0, fmt.Errorf("privacy: δ_DP %v outside (0,1)", deltaDP)
+	}
+	sigma := sensitivity * math.Sqrt(2*math.Log(1.25/deltaDP)) / epsilon
+	return sigma * sigma, nil
+}
+
+// EpsilonForNCP maps an MBP noise control parameter δ (total variance)
+// on a d-dimensional model to ε: per-coordinate variance is δ/d.
+func EpsilonForNCP(ncp float64, d int, sensitivity, deltaDP float64) (float64, error) {
+	if ncp <= 0 {
+		return 0, fmt.Errorf("privacy: non-positive NCP %v", ncp)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("privacy: non-positive dimension %d", d)
+	}
+	return Epsilon(ncp/float64(d), sensitivity, deltaDP)
+}
+
+// Compose returns the basic sequential-composition guarantee of k
+// independent (ε, δ_DP) releases: (k·ε, k·δ_DP). The arbitrage buyer
+// who purchases k instances pays k-fold privacy budget — mirroring the
+// Cramér–Rao argument in Theorem 5: inverse variances (and ε budgets)
+// add.
+func Compose(epsilon, deltaDP float64, k int) (float64, float64, error) {
+	if k <= 0 {
+		return 0, 0, fmt.Errorf("privacy: non-positive release count %d", k)
+	}
+	if epsilon < 0 || deltaDP < 0 {
+		return 0, 0, fmt.Errorf("privacy: negative parameters ε=%v δ=%v", epsilon, deltaDP)
+	}
+	return float64(k) * epsilon, float64(k) * deltaDP, nil
+}
+
+// SensitivityParams bound the data domain for the sensitivity bounds
+// below: every feature vector has ‖x‖₂ ≤ R and (for regression) every
+// target |y| ≤ B. The market enforces these by clipping at ingestion.
+type SensitivityParams struct {
+	// N is the number of training examples.
+	N int
+	// Mu is the L2 regularization strength μ > 0 (strong convexity).
+	Mu float64
+	// R bounds the feature norm ‖x‖₂.
+	R float64
+	// B bounds the regression target |y| (unused for classification).
+	B float64
+}
+
+func (p SensitivityParams) validate(needB bool) error {
+	if p.N <= 0 {
+		return fmt.Errorf("privacy: non-positive N %d", p.N)
+	}
+	if p.Mu <= 0 {
+		return fmt.Errorf("privacy: sensitivity bounds require μ > 0, got %v", p.Mu)
+	}
+	if p.R <= 0 {
+		return fmt.Errorf("privacy: non-positive feature bound R %v", p.R)
+	}
+	if needB && p.B <= 0 {
+		return fmt.Errorf("privacy: non-positive target bound B %v", p.B)
+	}
+	return nil
+}
+
+// LogisticSensitivity bounds the L2 sensitivity of the L2-regularized
+// logistic-regression optimum: the per-example log loss is R-Lipschitz
+// in w (|σ(·)| ≤ 1, ‖x‖ ≤ R), and the objective is μ-strongly convex,
+// giving the Chaudhuri–Monteleoni bound Δ₂ ≤ 2R/(N·μ).
+func LogisticSensitivity(p SensitivityParams) (float64, error) {
+	if err := p.validate(false); err != nil {
+		return 0, err
+	}
+	return 2 * p.R / (float64(p.N) * p.Mu), nil
+}
+
+// SVMSensitivity bounds the smoothed-hinge SVM identically: the
+// smoothed hinge has per-example Lipschitz constant at most R.
+func SVMSensitivity(p SensitivityParams) (float64, error) {
+	return LogisticSensitivity(p)
+}
+
+// RidgeSensitivity bounds the ridge-regression optimum. The minimizer
+// satisfies ‖w*‖ ≤ B/√μ (comparing the objective at w* against w = 0),
+// so each example's squared-loss gradient is Lipschitz-bounded by
+// G = R·(R·B/√μ + B), and strong convexity gives Δ₂ ≤ 2G/(N·μ).
+func RidgeSensitivity(p SensitivityParams) (float64, error) {
+	if err := p.validate(true); err != nil {
+		return 0, err
+	}
+	g := p.R * (p.R*p.B/math.Sqrt(p.Mu) + p.B)
+	return 2 * g / (float64(p.N) * p.Mu), nil
+}
+
+// PriceOfPrivacy tabulates ε against the NCP grid of a published menu:
+// the "privacy price list" view. Rows with ε > 1 are still reported
+// (the guarantee is vacuous there) with Weak = true.
+type PriceOfPrivacy struct {
+	// NCP is the noise control parameter δ.
+	NCP float64
+	// Epsilon is the per-sale DP ε.
+	Epsilon float64
+	// Weak marks ε > 1 (outside the classical calibration's validity).
+	Weak bool
+}
+
+// PrivacyCurve maps every NCP in deltas to its ε at the given model
+// dimension, sensitivity, and δ_DP.
+func PrivacyCurve(deltas []float64, d int, sensitivity, deltaDP float64) ([]PriceOfPrivacy, error) {
+	out := make([]PriceOfPrivacy, len(deltas))
+	for i, ncp := range deltas {
+		eps, err := EpsilonForNCP(ncp, d, sensitivity, deltaDP)
+		if err != nil && !errors.Is(err, ErrWeakGuarantee) {
+			return nil, err
+		}
+		out[i] = PriceOfPrivacy{NCP: ncp, Epsilon: eps, Weak: errors.Is(err, ErrWeakGuarantee)}
+	}
+	return out, nil
+}

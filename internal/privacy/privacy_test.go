@@ -1,0 +1,192 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestEpsilonRoundTrip(t *testing.T) {
+	const sens, deltaDP = 0.01, 1e-5
+	sigma2, err := NoiseVariance(0.5, sens, deltaDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := Epsilon(sigma2, sens, deltaDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eps-0.5) > 1e-12 {
+		t.Fatalf("round trip ε = %v, want 0.5", eps)
+	}
+}
+
+func TestEpsilonMonotoneInNoise(t *testing.T) {
+	const sens, deltaDP = 0.05, 1e-6
+	prev := math.Inf(1)
+	for _, sigma2 := range []float64{0.01, 0.1, 1, 10} {
+		eps, err := Epsilon(sigma2, sens, deltaDP)
+		if err != nil && !errors.Is(err, ErrWeakGuarantee) {
+			t.Fatal(err)
+		}
+		if eps >= prev {
+			t.Fatalf("ε not decreasing in noise: %v after %v", eps, prev)
+		}
+		prev = eps
+	}
+}
+
+func TestWeakGuaranteeFlag(t *testing.T) {
+	// Tiny noise vs large sensitivity: ε must exceed 1 and be flagged.
+	eps, err := Epsilon(1e-6, 1, 1e-5)
+	if !errors.Is(err, ErrWeakGuarantee) {
+		t.Fatalf("err = %v, want ErrWeakGuarantee", err)
+	}
+	if eps <= 1 {
+		t.Fatalf("ε = %v, expected > 1", eps)
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	if _, err := Epsilon(0, 1, 0.5); err == nil {
+		t.Fatal("zero variance accepted")
+	}
+	if _, err := Epsilon(1, 0, 0.5); err == nil {
+		t.Fatal("zero sensitivity accepted")
+	}
+	if _, err := Epsilon(1, 1, 0); err == nil {
+		t.Fatal("zero δ_DP accepted")
+	}
+	if _, err := Epsilon(1, 1, 1); err == nil {
+		t.Fatal("δ_DP = 1 accepted")
+	}
+	if _, err := NoiseVariance(0, 1, 0.5); err == nil {
+		t.Fatal("zero ε accepted")
+	}
+	if _, err := EpsilonForNCP(0, 5, 1, 0.5); err == nil {
+		t.Fatal("zero NCP accepted")
+	}
+	if _, err := EpsilonForNCP(1, 0, 1, 0.5); err == nil {
+		t.Fatal("zero dimension accepted")
+	}
+}
+
+func TestEpsilonForNCPUsesPerCoordinateVariance(t *testing.T) {
+	// NCP δ on d dims ⇒ σ² = δ/d: quadrupling d at fixed δ halves σ,
+	// doubling ε.
+	const sens, deltaDP = 0.001, 1e-5
+	e1, err := EpsilonForNCP(1, 4, sens, deltaDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := EpsilonForNCP(1, 16, sens, deltaDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e2/e1-2) > 1e-9 {
+		t.Fatalf("ε ratio = %v, want 2", e2/e1)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	eps, d, err := Compose(0.1, 1e-6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eps-0.5) > 1e-12 || math.Abs(d-5e-6) > 1e-18 {
+		t.Fatalf("compose = (%v, %v)", eps, d)
+	}
+	if _, _, err := Compose(0.1, 1e-6, 0); err == nil {
+		t.Fatal("zero releases accepted")
+	}
+	if _, _, err := Compose(-1, 1e-6, 1); err == nil {
+		t.Fatal("negative ε accepted")
+	}
+}
+
+func TestLogisticSensitivityShrinksWithData(t *testing.T) {
+	p := SensitivityParams{N: 1000, Mu: 0.01, R: 1}
+	s1, err := LogisticSensitivity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.N = 10000
+	s2, err := LogisticSensitivity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 >= s1 {
+		t.Fatalf("sensitivity did not shrink with more data: %v vs %v", s2, s1)
+	}
+	if math.Abs(s1-2*1/(1000*0.01)) > 1e-12 {
+		t.Fatalf("logistic sensitivity = %v, want 0.2", s1)
+	}
+}
+
+func TestSVMSensitivityMatchesLogistic(t *testing.T) {
+	p := SensitivityParams{N: 500, Mu: 0.1, R: 2}
+	a, err1 := LogisticSensitivity(p)
+	b, err2 := SVMSensitivity(p)
+	if err1 != nil || err2 != nil || a != b {
+		t.Fatalf("SVM %v vs logistic %v (%v, %v)", b, a, err1, err2)
+	}
+}
+
+func TestRidgeSensitivity(t *testing.T) {
+	p := SensitivityParams{N: 1000, Mu: 0.04, R: 1, B: 2}
+	s, err := RidgeSensitivity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// G = R(R·B/√μ + B) = 1·(2/0.2 + 2) = 12; Δ = 2·12/(1000·0.04) = 0.6.
+	if math.Abs(s-0.6) > 1e-12 {
+		t.Fatalf("ridge sensitivity = %v, want 0.6", s)
+	}
+	// Requires a target bound.
+	p.B = 0
+	if _, err := RidgeSensitivity(p); err == nil {
+		t.Fatal("missing B accepted")
+	}
+}
+
+func TestSensitivityValidation(t *testing.T) {
+	bad := []SensitivityParams{
+		{N: 0, Mu: 1, R: 1},
+		{N: 10, Mu: 0, R: 1},
+		{N: 10, Mu: 1, R: 0},
+	}
+	for i, p := range bad {
+		if _, err := LogisticSensitivity(p); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestPrivacyCurveMonotone ties the MBP market view to DP: cheaper
+// (noisier) versions leak strictly less — ε decreases as the NCP grows,
+// mirroring the arbitrage-free price curve's monotonicity.
+func TestPrivacyCurveMonotone(t *testing.T) {
+	deltas := []float64{0.01, 0.1, 1, 10, 100}
+	curve, err := PrivacyCurve(deltas, 20, 0.01, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != len(deltas) {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Epsilon >= curve[i-1].Epsilon {
+			t.Fatalf("ε not decreasing at %d: %+v", i, curve)
+		}
+	}
+	// The tightest version may exceed ε=1 and must be flagged.
+	if !curve[0].Weak && curve[0].Epsilon > 1 {
+		t.Fatal("weak guarantee not flagged")
+	}
+}
+
+func TestPrivacyCurvePropagatesErrors(t *testing.T) {
+	if _, err := PrivacyCurve([]float64{1, -1}, 5, 0.1, 1e-5); err == nil {
+		t.Fatal("negative NCP accepted")
+	}
+}

@@ -1,0 +1,92 @@
+package revopt
+
+import (
+	"sort"
+
+	"github.com/datamarket/mbp/internal/curves"
+)
+
+// Lin is the linear baseline of Section 6.2: prices proportional to
+// accuracy, anchored at the top of the value curve — the line through
+// the origin and (aₙ, vₙ). Linear pricing through the origin is always
+// well-behaved (monotone and exactly additive), and reproduces the
+// paper's qualitative behavior: on a convex value curve the line
+// overprices every mid-accuracy buyer and loses most of the market,
+// while on a concave curve it underprices but still sells broadly.
+func Lin(m *curves.Market) *Result {
+	n := len(m.A)
+	z := make([]float64, n)
+	slope := m.V[n-1] / m.A[n-1]
+	for j := range z {
+		z[j] = slope * m.A[j]
+	}
+	return newResult("Lin", m, z)
+}
+
+// constant builds a Result with a single price c for every version.
+// Constant positive pricing functions are always well-behaved: monotone
+// and subadditive (c ≤ c + c).
+func constant(name string, m *curves.Market, c float64) *Result {
+	z := make([]float64, len(m.A))
+	for j := range z {
+		z[j] = c
+	}
+	return newResult(name, m, z)
+}
+
+// MaxC charges every version the highest valuation in the market —
+// only the most eager buyers purchase.
+func MaxC(m *curves.Market) *Result {
+	var vmax float64
+	for _, v := range m.V {
+		if v > vmax {
+			vmax = v
+		}
+	}
+	return constant("MaxC", m, vmax)
+}
+
+// MedC charges the demand-weighted median valuation: the largest price
+// that at least half the buyer mass can afford. It explicitly optimizes
+// affordability, not revenue.
+func MedC(m *curves.Market) *Result {
+	type pair struct{ v, b float64 }
+	ps := make([]pair, len(m.V))
+	for j := range ps {
+		ps[j] = pair{m.V[j], m.B[j]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].v > ps[j].v })
+	var mass float64
+	price := 0.0
+	for _, p := range ps {
+		mass += p.b
+		price = p.v
+		if mass >= 0.5 {
+			break
+		}
+	}
+	return constant("MedC", m, price)
+}
+
+// OptC charges the revenue-optimal single price, found by scanning the
+// candidate prices {vⱼ}: charging c sells to every buyer with vⱼ ≥ c.
+func OptC(m *curves.Market) *Result {
+	best, bestRev := 0.0, -1.0
+	for _, c := range m.V {
+		var rev float64
+		for j := range m.V {
+			if m.V[j] >= c {
+				rev += m.B[j] * c
+			}
+		}
+		if rev > bestRev {
+			best, bestRev = c, rev
+		}
+	}
+	return constant("OptC", m, best)
+}
+
+// Baselines runs all four Section 6.2 baselines.
+func Baselines(m *curves.Market) []*Result {
+	return []*Result{Lin(m), MaxC(m), MedC(m), OptC(m)}
+}

@@ -1,0 +1,277 @@
+package revopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/datamarket/mbp/internal/curves"
+	"github.com/datamarket/mbp/internal/lp"
+	"github.com/datamarket/mbp/internal/milp"
+)
+
+// ErrTooManyCovers is returned when minimal-cover enumeration exceeds
+// its budget; exact optimization is only intended for the small n of
+// the runtime experiments (Figures 9–10 use n ≤ 10).
+var ErrTooManyCovers = errors.New("revopt: minimal cover enumeration exceeded budget")
+
+// maxCovers bounds the total number of generated cover constraints.
+const maxCovers = 200000
+
+// coverConstraints enumerates, for every point i, the minimal integer
+// covers of aᵢ by the other grid values: multisets k (k_i = 0) with
+// Σⱼ kⱼ·aⱼ ≥ aᵢ from which no element can be removed. The constraints
+//
+//	zᵢ ≤ Σⱼ kⱼ·zⱼ
+//
+// are exactly the conditions under which a monotone subadditive pricing
+// function interpolating the zⱼ exists (the µ-function construction in
+// the proof of Theorem 7), so they characterize exact arbitrage-free
+// feasibility of a price vector — not the weakened relaxation.
+//
+// Enumeration adds items in non-increasing value order and never
+// extends a multiset that already covers the target, which generates
+// each minimal cover exactly once.
+func coverConstraints(a []float64) ([]lp.Constraint, error) {
+	n := len(a)
+	var cons []lp.Constraint
+	counts := make([]float64, n)
+
+	var dfs func(target float64, i, maxJ int, sum float64) error
+	dfs = func(target float64, i, maxJ int, sum float64) error {
+		if sum >= target {
+			// Record: zᵢ − Σ kⱼ zⱼ ≤ 0. Skip the trivial single-item
+			// cover by i itself (excluded because counts[i] is never
+			// incremented).
+			co := make([]float64, n)
+			co[i] = 1
+			for j, k := range counts {
+				co[j] -= k
+			}
+			cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: 0})
+			if len(cons) > maxCovers {
+				return ErrTooManyCovers
+			}
+			return nil
+		}
+		for j := maxJ; j >= 0; j-- {
+			if j == i {
+				continue
+			}
+			counts[j]++
+			if err := dfs(target, i, j, sum+a[j]); err != nil {
+				return err
+			}
+			counts[j]--
+		}
+		return nil
+	}
+
+	for i := 0; i < n; i++ {
+		if err := dfs(a[i], i, n-1, 0); err != nil {
+			return nil, err
+		}
+	}
+	return cons, nil
+}
+
+// MaximizeRevenueExact computes the exact optimum of the revenue
+// program (2) by enumerating all 2ⁿ candidate sets of served buyers and
+// solving, for each, an LP that maximizes their revenue subject to the
+// complete minimal-cover constraints. Exponential by design: it is the
+// expensive reference the polynomial DP is compared against.
+func MaximizeRevenueExact(m *curves.Market) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(m.A)
+	covers, err := coverConstraints(m.A)
+	if err != nil {
+		return nil, err
+	}
+
+	var best *Result
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		cons := append([]lp.Constraint{}, covers...)
+		c := make([]float64, n)
+		for j := 0; j < n; j++ {
+			if mask&(1<<uint(j)) == 0 {
+				continue
+			}
+			c[j] = m.B[j]
+			co := make([]float64, j+1)
+			co[j] = 1
+			cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: m.V[j]})
+		}
+		sol, err := lp.Solve(&lp.Problem{C: c, Constraints: cons})
+		if errors.Is(err, lp.ErrInfeasible) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("revopt: exact subset LP: %w", err)
+		}
+		cand := newResult("Exact", m, sol.X)
+		if best == nil || cand.Revenue > best.Revenue {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, errors.New("revopt: no feasible subset found")
+	}
+	return best, nil
+}
+
+// MaximizeRevenueMILP computes the same exact optimum through a big-M
+// mixed 0/1 formulation solved by branch and bound — the literal "MILP"
+// of Figures 9–10. Variables are [z₁..zₙ, u₁..uₙ, y₁..yₙ]: y is the
+// binary sale indicator, u the collected revenue proxy.
+func MaximizeRevenueMILP(m *curves.Market, opts milp.Options) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(m.A)
+	covers, err := coverConstraints(m.A)
+	if err != nil {
+		return nil, err
+	}
+	var vmax float64
+	for _, v := range m.V {
+		if v > vmax {
+			vmax = v
+		}
+	}
+	if vmax == 0 {
+		// All valuations are zero; the zero price vector is optimal.
+		return newResult("MILP", m, make([]float64, n)), nil
+	}
+
+	zi := func(j int) int { return j }
+	ui := func(j int) int { return n + j }
+	yi := func(j int) int { return 2*n + j }
+
+	obj := make([]float64, 3*n)
+	var cons []lp.Constraint
+	cons = append(cons, covers...) // cover constraints touch only z
+
+	unit := func(idx int, val float64) []float64 {
+		co := make([]float64, idx+1)
+		co[idx] = val
+		return co
+	}
+	for j := 0; j < n; j++ {
+		obj[ui(j)] = m.B[j]
+		// Capping prices at vmax loses no revenue (min with a constant
+		// preserves subadditivity) and bounds the big-M terms.
+		cons = append(cons, lp.Constraint{Coeffs: unit(zi(j), 1), Op: lp.LE, RHS: vmax})
+		// u_j ≤ z_j.
+		co := make([]float64, ui(j)+1)
+		co[ui(j)] = 1
+		co[zi(j)] = -1
+		cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: 0})
+		// u_j ≤ v_j·y_j.
+		co = make([]float64, yi(j)+1)
+		co[ui(j)] = 1
+		co[yi(j)] = -m.V[j]
+		cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: 0})
+		// z_j + (vmax − v_j)·y_j ≤ vmax (forces z_j ≤ v_j when y_j = 1).
+		co = make([]float64, yi(j)+1)
+		co[zi(j)] = 1
+		co[yi(j)] = vmax - m.V[j]
+		cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: vmax})
+		// y_j ≤ 1.
+		cons = append(cons, lp.Constraint{Coeffs: unit(yi(j), 1), Op: lp.LE, RHS: 1})
+	}
+
+	ints := make([]int, n)
+	for j := range ints {
+		ints[j] = yi(j)
+	}
+	res, err := milp.Solve(&milp.Problem{LP: lp.Problem{C: obj, Constraints: cons}, Integer: ints}, opts)
+	if err != nil {
+		return nil, fmt.Errorf("revopt: MILP: %w", err)
+	}
+	z := make([]float64, n)
+	copy(z, res.X[:n])
+	out := newResult("MILP", m, z)
+	if out.Revenue+1e-6 < res.Objective-1e-6 {
+		return nil, fmt.Errorf("revopt: MILP objective %v exceeds realized revenue %v", res.Objective, out.Revenue)
+	}
+	return out, nil
+}
+
+// RevenueUpperBound computes a cheap upper bound on the exact optimum
+// of program (2): the LP relaxation of the big-M MILP formulation with
+// the sale indicators y relaxed to [0, 1]. One simplex solve instead of
+// branch and bound, so the bound brackets the DP's revenue from above
+// in polynomial time:
+//
+//	Revenue(DP) ≤ OPT(2) ≤ RevenueUpperBound.
+func RevenueUpperBound(m *curves.Market) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	n := len(m.A)
+	covers, err := coverConstraints(m.A)
+	if err != nil {
+		return 0, err
+	}
+	var vmax float64
+	for _, v := range m.V {
+		if v > vmax {
+			vmax = v
+		}
+	}
+	if vmax == 0 {
+		return 0, nil
+	}
+	obj := make([]float64, 3*n)
+	var cons []lp.Constraint
+	cons = append(cons, covers...)
+	unit := func(idx int, val float64) []float64 {
+		co := make([]float64, idx+1)
+		co[idx] = val
+		return co
+	}
+	for j := 0; j < n; j++ {
+		obj[n+j] = m.B[j]
+		cons = append(cons, lp.Constraint{Coeffs: unit(j, 1), Op: lp.LE, RHS: vmax})
+		co := make([]float64, n+j+1)
+		co[n+j] = 1
+		co[j] = -1
+		cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: 0})
+		co = make([]float64, 2*n+j+1)
+		co[n+j] = 1
+		co[2*n+j] = -m.V[j]
+		cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: 0})
+		co = make([]float64, 2*n+j+1)
+		co[j] = 1
+		co[2*n+j] = vmax - m.V[j]
+		cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: vmax})
+		cons = append(cons, lp.Constraint{Coeffs: unit(2*n+j, 1), Op: lp.LE, RHS: 1})
+	}
+	sol, err := lp.Solve(&lp.Problem{C: obj, Constraints: cons})
+	if err != nil {
+		return 0, fmt.Errorf("revopt: revenue upper bound LP: %w", err)
+	}
+	return sol.Objective, nil
+}
+
+// VerifyExactFeasibility checks a price vector against the full
+// minimal-cover constraint system (exact arbitrage-free interpolability,
+// not the weakened relaxation).
+func VerifyExactFeasibility(a, z []float64) error {
+	covers, err := coverConstraints(a)
+	if err != nil {
+		return err
+	}
+	for _, c := range covers {
+		var lhs float64
+		for j, co := range c.Coeffs {
+			lhs += co * z[j]
+		}
+		if lhs > 1e-7*(1+math.Abs(c.RHS)) {
+			return fmt.Errorf("revopt: cover constraint violated by %v", lhs)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package revopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/datamarket/mbp/internal/isotonic"
+	"github.com/datamarket/mbp/internal/lp"
+)
+
+// InterpolateL2 solves the T²pi price-interpolation problem: find the
+// feasible price vector (program (4): non-negative, monotone,
+// non-increasing ratio) minimizing Σⱼ (zⱼ − Pⱼ)², i.e. the Euclidean
+// projection of the target prices onto the feasibility cone.
+//
+// The cone is the intersection of three closed convex sets, each with a
+// cheap exact projector — the monotone cone (PAVA), the ratio cone
+// (weighted PAVA on zⱼ/aⱼ with weights aⱼ²), and the non-negative
+// orthant (clamp) — so Dykstra's alternating projection algorithm
+// converges to the exact projection.
+func InterpolateL2(a, target []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(target) != n {
+		return nil, fmt.Errorf("revopt: %d grid points with %d targets", n, len(target))
+	}
+	for i, v := range a {
+		if v <= 0 {
+			return nil, fmt.Errorf("revopt: non-positive grid point a[%d]=%v", i, v)
+		}
+		if i > 0 && a[i] <= a[i-1] {
+			return nil, fmt.Errorf("revopt: grid not strictly increasing at %d", i)
+		}
+	}
+
+	// Dykstra state: x is the iterate; p, q, r are the correction terms
+	// for the three sets.
+	x := append([]float64(nil), target...)
+	p := make([]float64, n)
+	q := make([]float64, n)
+	rr := make([]float64, n)
+	tmp := make([]float64, n)
+	w2 := make([]float64, n)
+	for i := range w2 {
+		w2[i] = a[i] * a[i]
+	}
+
+	const (
+		maxIter = 2000
+		tol     = 1e-10
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		maxChange := 0.0
+
+		// Set 1: monotone non-decreasing.
+		for i := range tmp {
+			tmp[i] = x[i] + p[i]
+		}
+		y, err := isotonic.Increasing(tmp, nil)
+		if err != nil {
+			return nil, err
+		}
+		for i := range x {
+			p[i] = tmp[i] - y[i]
+			if d := math.Abs(y[i] - x[i]); d > maxChange {
+				maxChange = d
+			}
+			x[i] = y[i]
+		}
+
+		// Set 2: non-increasing ratio zⱼ/aⱼ.
+		for i := range tmp {
+			tmp[i] = (x[i] + q[i]) / a[i]
+		}
+		rs, err := isotonic.Decreasing(tmp, w2)
+		if err != nil {
+			return nil, err
+		}
+		for i := range x {
+			yv := rs[i] * a[i]
+			q[i] = x[i] + q[i] - yv
+			if d := math.Abs(yv - x[i]); d > maxChange {
+				maxChange = d
+			}
+			x[i] = yv
+		}
+
+		// Set 3: non-negativity.
+		for i := range x {
+			v := x[i] + rr[i]
+			yv := math.Max(0, v)
+			rr[i] = v - yv
+			if d := math.Abs(yv - x[i]); d > maxChange {
+				maxChange = d
+			}
+			x[i] = yv
+		}
+
+		if maxChange < tol {
+			break
+		}
+	}
+
+	// Snap to exact feasibility: tiny Dykstra residuals can leave
+	// violations of order tol, which Repair removes without materially
+	// moving the solution.
+	out := Repair(a, x)
+	return out, nil
+}
+
+// InterpolateL1 solves the T∞pi objective of Section 5 — minimize
+// Σⱼ |zⱼ − Pⱼ| over the same feasible cone — as a linear program with
+// auxiliary deviation variables eⱼ ≥ |zⱼ − Pⱼ|.
+func InterpolateL1(a, target []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(target) != n {
+		return nil, fmt.Errorf("revopt: %d grid points with %d targets", n, len(target))
+	}
+	for i, v := range target {
+		if v < 0 {
+			return nil, fmt.Errorf("revopt: negative target price P[%d]=%v", i, v)
+		}
+	}
+	// Variables: z₀..zₙ₋₁, e₀..eₙ₋₁. Maximize −Σ eⱼ.
+	obj := make([]float64, 2*n)
+	for j := 0; j < n; j++ {
+		obj[n+j] = -1
+	}
+	var cons []lp.Constraint
+	for j := 0; j < n; j++ {
+		// zⱼ − eⱼ ≤ Pⱼ.
+		co := make([]float64, 2*n)
+		co[j] = 1
+		co[n+j] = -1
+		cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: target[j]})
+		// zⱼ + eⱼ ≥ Pⱼ.
+		co = make([]float64, 2*n)
+		co[j] = 1
+		co[n+j] = 1
+		cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.GE, RHS: target[j]})
+	}
+	for j := 0; j+1 < n; j++ {
+		// Monotone: zⱼ − zⱼ₊₁ ≤ 0.
+		co := make([]float64, 2*n)
+		co[j] = 1
+		co[j+1] = -1
+		cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: 0})
+		// Ratio: aⱼ·zⱼ₊₁ − aⱼ₊₁·zⱼ ≤ 0.
+		co = make([]float64, 2*n)
+		co[j+1] = a[j]
+		co[j] = -a[j+1]
+		cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: 0})
+	}
+	sol, err := lp.Solve(&lp.Problem{C: obj, Constraints: cons})
+	if err != nil {
+		if errors.Is(err, lp.ErrInfeasible) {
+			return nil, fmt.Errorf("revopt: interpolation LP unexpectedly infeasible: %w", err)
+		}
+		return nil, err
+	}
+	z := make([]float64, n)
+	copy(z, sol.X[:n])
+	return Repair(a, z), nil
+}

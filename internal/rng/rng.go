@@ -1,0 +1,221 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used throughout the model-based pricing (MBP) framework.
+//
+// Every randomized component of the marketplace — the synthetic dataset
+// generators, the noise-injection mechanisms, the Monte-Carlo error
+// estimators and the arbitrage attacker — draws from this package so that
+// experiments are exactly reproducible from a single seed.
+//
+// The core generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a
+// 64-bit counter-based generator with a strong output permutation. It is
+// not cryptographically secure, which is irrelevant here; what matters is
+// statistical quality, speed, and the ability to derive independent child
+// streams deterministically (Split), so that parallel experiment arms do
+// not share or race on generator state.
+package rng
+
+import "math"
+
+// golden is the 64-bit golden-ratio increment used by SplitMix64.
+const golden = 0x9e3779b97f4a7c15
+
+// RNG is a deterministic pseudo-random number generator. It is NOT safe
+// for concurrent use; derive per-goroutine generators with Split.
+type RNG struct {
+	state uint64
+
+	// spare holds the cached second variate of the Marsaglia polar
+	// method between calls to Normal.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a generator seeded with seed. Distinct seeds yield
+// independent-looking streams.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives a new, statistically independent generator from r,
+// advancing r's state. Successive calls return distinct streams.
+func (r *RNG) Split() *RNG {
+	// Mix the child seed through one extra permutation round so that
+	// Split(i) streams are decorrelated from the parent's own outputs.
+	return New(mix(r.Uint64() ^ 0x5851f42d4c957f2d))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += golden
+	return mix(r.state)
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform float64 in the open interval (0, 1).
+// It is used where a subsequent log() must not see zero.
+func (r *RNG) Float64Open() float64 {
+	for {
+		if f := r.Float64(); f > 0 {
+			return f
+		}
+	}
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul128(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo) where the
+// value is hi*2^64 + lo.
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+
+	t := aLo * bLo
+	lo = t & mask
+	carry := t >> 32
+
+	t = aHi*bLo + carry
+	mid1 := t & mask
+	hi = t >> 32
+
+	t = aLo*bHi + mid1
+	lo |= (t & mask) << 32
+	hi += t >> 32
+
+	hi += aHi * bHi
+	return hi, lo
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Normal returns a standard normal variate via the Marsaglia polar
+// method. The second variate of each pair is cached.
+func (r *RNG) Normal() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// Gaussian returns a normal variate with the given mean and standard
+// deviation. It panics if stddev is negative.
+func (r *RNG) Gaussian(mean, stddev float64) float64 {
+	if stddev < 0 {
+		panic("rng: negative standard deviation")
+	}
+	return mean + stddev*r.Normal()
+}
+
+// Exponential returns an exponential variate with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: non-positive exponential rate")
+	}
+	return -math.Log(r.Float64Open()) / rate
+}
+
+// Laplace returns a Laplace (double-exponential) variate with the given
+// mean and scale b (variance 2b²). It panics if scale <= 0.
+func (r *RNG) Laplace(mean, scale float64) float64 {
+	if scale <= 0 {
+		panic("rng: non-positive Laplace scale")
+	}
+	u := r.Float64() - 0.5
+	if u < 0 {
+		return mean + scale*math.Log(1+2*u)
+	}
+	return mean - scale*math.Log(1-2*u)
+}
+
+// NormalVector fills dst with independent standard normal variates and
+// returns it. If dst is nil a new slice of length n is allocated.
+func (r *RNG) NormalVector(dst []float64, n int) []float64 {
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = r.Normal()
+	}
+	return dst
+}
+
+// IsotropicGaussian returns a d-dimensional sample from N(0, variance·I_d),
+// i.e. each coordinate is an independent N(0, variance) draw. This is the
+// noise distribution W_δ of the paper's Gaussian mechanism with
+// variance = δ/d. It panics if variance is negative.
+func (r *RNG) IsotropicGaussian(d int, variance float64) []float64 {
+	if variance < 0 {
+		panic("rng: negative variance")
+	}
+	sd := math.Sqrt(variance)
+	out := make([]float64, d)
+	for i := range out {
+		out[i] = sd * r.Normal()
+	}
+	return out
+}
+
+// Shuffle pseudo-randomly permutes indices [0, n) reporting each swap to
+// swap, in the manner of sort.Slice. Fisher–Yates, deterministic in r.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

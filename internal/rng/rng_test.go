@@ -1,0 +1,341 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.state == c2.state {
+		t.Fatal("Split returned identical child states")
+	}
+	// Child streams must not collide with each other over a long run.
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			t.Fatalf("child streams collided at step %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 2000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(13)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("bucket %d count %d deviates >5%% from %v", i, c, want)
+		}
+	}
+}
+
+func TestMul128(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul128(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul128(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestMul128MatchesBigProperty(t *testing.T) {
+	// Cross-check hi against float approximation for random inputs.
+	f := func(a, b uint64) bool {
+		hi, lo := mul128(a, b)
+		// Verify via decomposition: (a*b) mod 2^64 must equal lo.
+		return a*b == lo && (a == 0 || hi == mulHiRef(a, b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// mulHiRef computes the high 64 bits by 32-bit schoolbook, independently
+// of the implementation under test.
+func mulHiRef(a, b uint64) uint64 {
+	a1, a0 := a>>32, a&0xffffffff
+	b1, b0 := b>>32, b&0xffffffff
+	mid := a1*b0 + (a0*b0)>>32
+	mid2 := a0*b1 + (mid & 0xffffffff)
+	return a1*b1 + (mid >> 32) + (mid2 >> 32)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(17)
+	const n = 300000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Normal()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	const wantMean, wantSD = 3.5, 2.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Gaussian(wantMean, wantSD)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-wantMean) > 0.02 {
+		t.Errorf("gaussian mean %v, want %v", mean, wantMean)
+	}
+	if math.Abs(variance-wantSD*wantSD) > 0.1 {
+		t.Errorf("gaussian variance %v, want %v", variance, wantSD*wantSD)
+	}
+}
+
+func TestGaussianNegativeSDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gaussian with negative stddev did not panic")
+		}
+	}()
+	New(1).Gaussian(0, -1)
+}
+
+func TestExponentialMoments(t *testing.T) {
+	r := New(23)
+	const n = 200000
+	const rate = 2.5
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Exponential(rate)
+		if x < 0 {
+			t.Fatalf("negative exponential variate %v", x)
+		}
+		sum += x
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Errorf("exponential mean %v, want %v", mean, 1/rate)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	r := New(29)
+	const n = 300000
+	const mu, b = 1.0, 0.7
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Laplace(mu, b)
+		sum += x
+		sumSq += (x - mu) * (x - mu)
+	}
+	mean := sum / n
+	variance := sumSq / n
+	if math.Abs(mean-mu) > 0.02 {
+		t.Errorf("laplace mean %v, want %v", mean, mu)
+	}
+	if math.Abs(variance-2*b*b) > 0.05 {
+		t.Errorf("laplace variance %v, want %v", variance, 2*b*b)
+	}
+}
+
+func TestIsotropicGaussianVariance(t *testing.T) {
+	r := New(31)
+	const d, variance = 8, 0.25
+	const n = 50000
+	sumSq := make([]float64, d)
+	for i := 0; i < n; i++ {
+		v := r.IsotropicGaussian(d, variance)
+		if len(v) != d {
+			t.Fatalf("dimension %d, want %d", len(v), d)
+		}
+		for j, x := range v {
+			sumSq[j] += x * x
+		}
+	}
+	for j := range sumSq {
+		got := sumSq[j] / n
+		if math.Abs(got-variance) > 0.02 {
+			t.Errorf("coordinate %d variance %v, want %v", j, got, variance)
+		}
+	}
+}
+
+func TestIsotropicGaussianZeroVariance(t *testing.T) {
+	v := New(1).IsotropicGaussian(5, 0)
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("coordinate %d = %v, want 0 under zero variance", i, x)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(37)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestNormalVectorReuse(t *testing.T) {
+	r := New(41)
+	buf := make([]float64, 16)
+	out := r.NormalVector(buf, 10)
+	if len(out) != 10 {
+		t.Fatalf("length %d, want 10", len(out))
+	}
+	if &out[0] != &buf[0] {
+		t.Fatal("NormalVector did not reuse provided buffer")
+	}
+	alloc := r.NormalVector(nil, 4)
+	if len(alloc) != 4 {
+		t.Fatalf("allocated length %d, want 4", len(alloc))
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(43)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(47)
+	const n = 100000
+	const p = 0.3
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-p) > 0.01 {
+		t.Errorf("Bernoulli(%v) frequency %v", p, got)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormal(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Normal()
+	}
+}
+
+func BenchmarkIsotropicGaussian(b *testing.B) {
+	r := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.IsotropicGaussian(64, 1)
+	}
+}

@@ -1,0 +1,23 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"github.com/datamarket/mbp/internal/stats"
+)
+
+// ExampleQuantile interpolates between order statistics.
+func ExampleQuantile() {
+	xs := []float64{3, 1, 2, 4}
+	fmt.Println(stats.Quantile(xs, 0.5), stats.Quantile(xs, 1))
+	// Output:
+	// 2.5 4
+}
+
+// ExampleSummarize reports the usual descriptive statistics.
+func ExampleSummarize() {
+	s := stats.Summarize([]float64{1, 2, 3, 4})
+	fmt.Println(s.N, s.Mean, s.Median, s.Min, s.Max)
+	// Output:
+	// 4 2.5 2.5 1 4
+}

@@ -1,0 +1,132 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness and tests rely on: summary statistics, quantiles, and
+// bootstrap confidence intervals for the Monte-Carlo estimates that
+// back every quoted expected error.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+	StdErr    float64 // Std/√N
+}
+
+// Summarize computes a Summary. It panics on an empty sample — callers
+// always control the sample size.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var sq float64
+	for _, v := range xs {
+		d := v - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(s.N))
+	s.StdErr = s.Std / math.Sqrt(float64(s.N))
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation on the sorted sample. The input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	f := pos - float64(lo)
+	return sorted[lo]*(1-f) + sorted[hi]*f
+}
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+	// Level is the nominal coverage, e.g. 0.95.
+	Level float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// BootstrapMeanCI returns a percentile-bootstrap confidence interval
+// for the mean of xs at the given level, using rounds resamples driven
+// by r. It panics on invalid arguments (empty sample, level outside
+// (0,1), non-positive rounds) — all caller-controlled.
+func BootstrapMeanCI(xs []float64, level float64, rounds int, r *rng.RNG) Interval {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	if level <= 0 || level >= 1 {
+		panic(fmt.Sprintf("stats: level %v outside (0,1)", level))
+	}
+	if rounds <= 0 {
+		panic(fmt.Sprintf("stats: non-positive rounds %d", rounds))
+	}
+	means := make([]float64, rounds)
+	n := len(xs)
+	for b := 0; b < rounds; b++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += xs[r.Intn(n)]
+		}
+		means[b] = sum / float64(n)
+	}
+	alpha := (1 - level) / 2
+	return Interval{
+		Lo:    Quantile(means, alpha),
+		Hi:    Quantile(means, 1-alpha),
+		Level: level,
+	}
+}
+
+// WelchT returns Welch's t statistic for the difference of two sample
+// means — used by tests comparing mechanism error levels.
+func WelchT(a, b []float64) float64 {
+	sa, sb := Summarize(a), Summarize(b)
+	va := sa.Std * sa.Std / float64(sa.N)
+	vb := sb.Std * sb.Std / float64(sb.N)
+	den := math.Sqrt(va + vb)
+	if den == 0 {
+		if sa.Mean == sb.Mean {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (sa.Mean - sb.Mean) / den
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Fatalf("summary %+v", s)
+	}
+	wantStd := math.Sqrt(1.25)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Fatalf("std %v, want %v", s.Std, wantStd)
+	}
+	if math.Abs(s.StdErr-wantStd/2) > 1e-12 {
+		t.Fatalf("stderr %v", s.StdErr)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input not modified (still unsorted).
+	if xs[0] != 3 {
+		t.Fatal("Quantile sorted the input in place")
+	}
+	if got := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Fatalf("single-element quantile %v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBootstrapCICoversTrueMean(t *testing.T) {
+	// Repeated experiments: the 95% CI must contain the true mean in
+	// roughly 95% of runs.
+	const trials = 200
+	covered := 0
+	meta := rng.New(42)
+	for trial := 0; trial < trials; trial++ {
+		r := meta.Split()
+		xs := make([]float64, 60)
+		for i := range xs {
+			xs[i] = r.Gaussian(3, 2)
+		}
+		iv := BootstrapMeanCI(xs, 0.95, 400, r)
+		if iv.Contains(3) {
+			covered++
+		}
+		if iv.Lo > iv.Hi {
+			t.Fatalf("inverted interval %+v", iv)
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.88 || rate > 1.0 {
+		t.Fatalf("coverage %v, want ≈0.95", rate)
+	}
+}
+
+func TestBootstrapPanics(t *testing.T) {
+	r := rng.New(1)
+	for _, f := range []func(){
+		func() { BootstrapMeanCI(nil, 0.95, 10, r) },
+		func() { BootstrapMeanCI([]float64{1}, 0, 10, r) },
+		func() { BootstrapMeanCI([]float64{1}, 1, 10, r) },
+		func() { BootstrapMeanCI([]float64{1}, 0.95, 0, r) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWelchT(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if got := WelchT(a, a); got != 0 {
+		t.Fatalf("identical samples t = %v", got)
+	}
+	b := []float64{11, 12, 13, 14, 15}
+	if got := WelchT(b, a); got < 5 {
+		t.Fatalf("separated samples t = %v, want large", got)
+	}
+	if got := WelchT(a, b); got > -5 {
+		t.Fatalf("sign wrong: %v", got)
+	}
+	// Degenerate zero-variance samples.
+	if got := WelchT([]float64{1, 1}, []float64{1, 1}); got != 0 {
+		t.Fatalf("degenerate equal t = %v", got)
+	}
+	if got := WelchT([]float64{2, 2}, []float64{1, 1}); !math.IsInf(got, 1) {
+		t.Fatalf("degenerate unequal t = %v", got)
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 2, Level: 0.9}
+	if !iv.Contains(1) || !iv.Contains(1.5) || !iv.Contains(2) {
+		t.Fatal("interior points rejected")
+	}
+	if iv.Contains(0.99) || iv.Contains(2.01) {
+		t.Fatal("exterior points accepted")
+	}
+}

@@ -1,0 +1,281 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/dataset"
+	"github.com/datamarket/mbp/internal/linalg"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+func TestCatalogMatchesTable3(t *testing.T) {
+	want := []struct {
+		name      string
+		task      dataset.Task
+		n1, n2, d int
+		surrogate bool
+	}{
+		{"Simulated1", dataset.Regression, 7500000, 2500000, 20, false},
+		{"YearMSD", dataset.Regression, 386509, 128836, 90, true},
+		{"CASP", dataset.Regression, 34298, 11433, 9, true},
+		{"Simulated2", dataset.Classification, 7500000, 2500000, 20, false},
+		{"CovType", dataset.Classification, 435759, 145253, 54, true},
+		{"SUSY", dataset.Classification, 3750000, 1250000, 18, true},
+	}
+	cat := Catalog()
+	if len(cat) != len(want) {
+		t.Fatalf("catalog has %d entries", len(cat))
+	}
+	for i, w := range want {
+		e := cat[i]
+		if e.Name != w.name || e.Task != w.task || e.FullTrain != w.n1 || e.FullTest != w.n2 || e.D != w.d || e.Surrogate != w.surrogate {
+			t.Errorf("entry %d = %+v, want %+v", i, e, w)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("SUSY"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestGenerateShapesAndDeterminism(t *testing.T) {
+	for _, e := range Catalog() {
+		sp, err := Generate(e.Name, 0.001, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if sp.Train.D() != e.D || sp.Test.D() != e.D {
+			t.Errorf("%s: d = %d/%d, want %d", e.Name, sp.Train.D(), sp.Test.D(), e.D)
+		}
+		if sp.Train.N() < e.D+1 || sp.Test.N() < 2 {
+			t.Errorf("%s: sizes %d/%d too small", e.Name, sp.Train.N(), sp.Test.N())
+		}
+		if sp.Train.Task != e.Task {
+			t.Errorf("%s: task %v", e.Name, sp.Train.Task)
+		}
+		// Determinism.
+		sp2, err := Generate(e.Name, 0.001, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < sp.Train.N(); i++ {
+			if sp.Train.Y[i] != sp2.Train.Y[i] {
+				t.Errorf("%s: generation not deterministic", e.Name)
+				break
+			}
+		}
+		// A different seed gives different data.
+		sp3, _ := Generate(e.Name, 0.001, 43)
+		same := true
+		for i := 0; i < sp.Train.N() && same; i++ {
+			if sp.Train.X.At(i, 0) != sp3.Train.X.At(i, 0) {
+				same = false
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical features", e.Name)
+		}
+	}
+}
+
+func TestGenerateArgumentErrors(t *testing.T) {
+	if _, err := Generate("nope", 0.5, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	for _, s := range []float64{0, -1, 1.0001} {
+		if _, err := Generate("CASP", s, 1); err == nil {
+			t.Fatalf("scale %v accepted", s)
+		}
+	}
+}
+
+func TestGenerateScaleSizes(t *testing.T) {
+	sp, err := Generate("CASP", 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Train.N() != 343 || sp.Test.N() != 115 {
+		t.Fatalf("scaled sizes %d/%d, want 343/115", sp.Train.N(), sp.Test.N())
+	}
+}
+
+func TestSimulated1IsExactlyLinear(t *testing.T) {
+	sp, err := Generate("Simulated1", 0.0001, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := hyperplane(20)
+	for i := 0; i < sp.Train.N(); i++ {
+		x, y := sp.Train.Row(i)
+		if math.Abs(linalg.Dot(x, w)-y) > 1e-9 {
+			t.Fatalf("row %d: target is not wᵀx", i)
+		}
+	}
+}
+
+func TestSimulated2LabelRule(t *testing.T) {
+	sp, err := Generate("Simulated2", 0.0005, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := hyperplane(20)
+	below, belowPos := 0, 0
+	above, abovePos := 0, 0
+	check := func(d *dataset.Dataset) {
+		for i := 0; i < d.N(); i++ {
+			x, y := d.Row(i)
+			if linalg.Dot(x, w) > 0 {
+				above++
+				if y == 1 {
+					abovePos++
+				}
+			} else {
+				below++
+				if y == 1 {
+					belowPos++
+				}
+			}
+		}
+	}
+	check(sp.Train)
+	check(sp.Test)
+	if belowPos != 0 {
+		t.Fatalf("%d/%d points below the hyperplane labeled +1", belowPos, below)
+	}
+	frac := float64(abovePos) / float64(above)
+	if math.Abs(frac-0.95) > 0.02 {
+		t.Fatalf("above-plane positive fraction %v, want ≈0.95", frac)
+	}
+}
+
+func TestClassBalance(t *testing.T) {
+	for _, name := range []string{"Simulated2", "CovType", "SUSY"} {
+		sp, err := Generate(name, 0.002, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sp.Train.Summarize()
+		if s.PosFrac < 0.2 || s.PosFrac > 0.8 {
+			t.Errorf("%s: severely imbalanced PosFrac %v", name, s.PosFrac)
+		}
+	}
+}
+
+func TestCovTypeOneHotStructure(t *testing.T) {
+	sp, err := Generate("CovType", 0.0001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sp.Train.N(); i++ {
+		x, _ := sp.Train.Row(i)
+		var wild, soil float64
+		for j := 10; j < 14; j++ {
+			wild += x[j]
+		}
+		for j := 14; j < 54; j++ {
+			soil += x[j]
+		}
+		if wild != 1 || soil != 1 {
+			t.Fatalf("row %d: one-hot sums %v/%v, want 1/1", i, wild, soil)
+		}
+	}
+}
+
+func TestCASPNonNegativeTarget(t *testing.T) {
+	sp, err := Generate("CASP", 0.005, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, y := range sp.Train.Y {
+		if y < 0 {
+			t.Fatalf("CASP target %d negative: %v", i, y)
+		}
+	}
+}
+
+func TestYearMSDTargetCentered(t *testing.T) {
+	sp, err := Generate("YearMSD", 0.001, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The target is the offset from the mean release year, so its mean
+	// must be near zero and its spread a few "years".
+	mean := linalg.Mean(sp.Train.Y)
+	if math.Abs(mean) > 2 {
+		t.Fatalf("YearMSD mean target %v, want ≈0 (centered)", mean)
+	}
+	var sq float64
+	for _, v := range sp.Train.Y {
+		sq += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(sq / float64(sp.Train.N()))
+	if std < 1 || std > 20 {
+		t.Fatalf("YearMSD target std %v outside plausible spread", std)
+	}
+}
+
+func TestSUSYOverlap(t *testing.T) {
+	// SUSY's two classes must overlap: a perfect linear separator must
+	// not exist. Check that the best direction (the known shift) still
+	// misclassifies a noticeable fraction.
+	sp, err := Generate("SUSY", 0.0005, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := hyperplane(18)
+	wrong := 0
+	for i := 0; i < sp.Train.N(); i++ {
+		x, y := sp.Train.Row(i)
+		pred := -1.0
+		if linalg.Dot(x, shift) > 0 {
+			pred = 1
+		}
+		if pred != y {
+			wrong++
+		}
+	}
+	frac := float64(wrong) / float64(sp.Train.N())
+	if frac < 0.1 || frac > 0.4 {
+		t.Fatalf("SUSY oracle error %v, want a moderate overlap (~0.21)", frac)
+	}
+}
+
+func TestHyperplaneDeterministic(t *testing.T) {
+	a, b := hyperplane(10), hyperplane(10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("hyperplane not deterministic")
+		}
+		if a[i] == 0 {
+			t.Fatal("hyperplane has zero coordinate")
+		}
+	}
+	if a[0] <= 0 || a[1] >= 0 {
+		t.Fatal("hyperplane sign pattern wrong")
+	}
+}
+
+func BenchmarkGenerateCASPFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate("CASP", 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateSimulated1Scaled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate("Simulated1", 0.001, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = rng.New // keep the import pinned for future fixtures
