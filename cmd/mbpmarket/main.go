@@ -9,12 +9,16 @@
 //	POST /buy                       — body: {"model": "...", and one of
 //	                                  "delta", "errorBudget", "priceBudget"}
 //	GET  /ledger                    — all completed transactions
+//	GET  /metrics                   — JSON metrics snapshot (disable: -metrics=false)
+//	GET  /healthz                   — liveness + uptime
+//	GET  /debug/pprof/              — profiling endpoints (enable: -pprof)
 //
 // Example:
 //
 //	mbpmarket -dataset CASP -addr 127.0.0.1:8080 &
 //	curl 'localhost:8080/curve?model=linear-regression'
 //	curl -d '{"model":"linear-regression","priceBudget":40}' localhost:8080/buy
+//	curl localhost:8080/metrics   # purchase counters, request latencies
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"github.com/datamarket/mbp/internal/core"
 	"github.com/datamarket/mbp/internal/httpapi"
 	"github.com/datamarket/mbp/internal/market"
+	"github.com/datamarket/mbp/internal/obs"
 )
 
 func main() {
@@ -40,11 +45,18 @@ func main() {
 		samples = flag.Int("samples", 200, "Monte-Carlo draws per grid point")
 		save    = flag.String("save", "", "after training, dump the offers to this file")
 		load    = flag.String("load", "", "warm-start: restore offers from a -save dump instead of retraining")
+		metrics = flag.Bool("metrics", true, "instrument requests and serve GET /metrics")
+		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
+	var opts []httpapi.Option
+	if !*metrics {
+		opts = append(opts, httpapi.WithoutMetrics())
+	}
+
 	if *dsList != "" {
-		serveExchange(*addr, strings.Split(*dsList, ","), *scale, *seed, *samples)
+		serveExchange(*addr, strings.Split(*dsList, ","), *scale, *seed, *samples, *pprofOn, opts)
 		return
 	}
 
@@ -67,13 +79,18 @@ func main() {
 		log.Printf("offers saved to %s", *save)
 	}
 
-	log.Printf("broker listening on %s (model %v, dataset %s)", *addr, mp.Model, *dsName)
-	log.Fatal(http.ListenAndServe(*addr, httpapi.New(mp.Broker).Mux()))
+	mux := httpapi.New(mp.Broker, opts...).Mux()
+	if *pprofOn {
+		obs.WirePprof(mux)
+	}
+	log.Printf("broker listening on %s (model %v, dataset %s, metrics=%v, pprof=%v)",
+		*addr, mp.Model, *dsName, *metrics, *pprofOn)
+	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
 // serveExchange trains one broker per dataset and serves them all as a
 // multi-seller marketplace.
-func serveExchange(addr string, names []string, scale float64, seed uint64, samples int) {
+func serveExchange(addr string, names []string, scale float64, seed uint64, samples int, pprofOn bool, opts []httpapi.Option) {
 	ex := market.NewExchange()
 	for i, raw := range names {
 		name := strings.TrimSpace(raw)
@@ -100,8 +117,12 @@ func serveExchange(addr string, names []string, scale float64, seed uint64, samp
 		fmt.Fprintln(os.Stderr, "mbpmarket: no datasets to list")
 		os.Exit(2)
 	}
+	mux := httpapi.NewExchange(ex, opts...).Mux()
+	if pprofOn {
+		obs.WirePprof(mux)
+	}
 	log.Printf("exchange listening on %s with listings %v", addr, ex.Listings())
-	log.Fatal(http.ListenAndServe(addr, httpapi.NewExchange(ex).Mux()))
+	log.Fatal(http.ListenAndServe(addr, mux))
 }
 
 // build either trains a fresh marketplace or warm-starts one from a

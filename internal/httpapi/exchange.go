@@ -11,15 +11,20 @@ import (
 // broker is reachable under /l/{listing}/..., with the same endpoint
 // semantics as the single-broker Server.
 type ExchangeServer struct {
-	ex *market.Exchange
+	ex  *market.Exchange
+	cfg config
 }
 
 // NewExchange wraps an exchange. It panics on nil — a wiring error.
-func NewExchange(ex *market.Exchange) *ExchangeServer {
+func NewExchange(ex *market.Exchange, opts ...Option) *ExchangeServer {
 	if ex == nil {
 		panic("httpapi: nil exchange")
 	}
-	return &ExchangeServer{ex: ex}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &ExchangeServer{ex: ex, cfg: cfg}
 }
 
 // ListingsResponse names the marketplace's listings.
@@ -27,20 +32,22 @@ type ListingsResponse struct {
 	Listings []string `json:"listings"`
 }
 
-// Mux returns the route table.
+// Mux returns the route table. Per-listing routes are labeled by their
+// pattern (one metric per route, not per listing) — per-listing traffic
+// shows up in the exchange's own lookup counters instead.
 func (s *ExchangeServer) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /listings", s.listings)
-	mux.HandleFunc("GET /l/{listing}/menu", s.perBroker((*Server).menu))
-	mux.HandleFunc("GET /l/{listing}/curve", s.perBroker((*Server).curve))
-	mux.HandleFunc("POST /l/{listing}/buy", s.perBroker((*Server).buy))
-	mux.HandleFunc("GET /l/{listing}/ledger", s.perBroker((*Server).ledger))
+	mux.HandleFunc("GET /listings", s.cfg.instrument("/listings", s.listings))
+	mux.HandleFunc("GET /l/{listing}/menu", s.cfg.instrument("/l/{listing}/menu", s.perBroker((*Server).menu)))
+	mux.HandleFunc("GET /l/{listing}/curve", s.cfg.instrument("/l/{listing}/curve", s.perBroker((*Server).curve)))
+	mux.HandleFunc("POST /l/{listing}/buy", s.cfg.instrument("/l/{listing}/buy", s.perBroker((*Server).buy)))
+	mux.HandleFunc("GET /l/{listing}/ledger", s.cfg.instrument("/l/{listing}/ledger", s.perBroker((*Server).ledger)))
+	s.cfg.mount(mux)
 	return mux
 }
 
 func (s *ExchangeServer) listings(w http.ResponseWriter, r *http.Request) {
-	srv := &Server{logf: func(string, ...any) {}}
-	srv.writeJSON(w, http.StatusOK, ListingsResponse{Listings: s.ex.Listings()})
+	writeJSON(w, http.StatusOK, ListingsResponse{Listings: s.ex.Listings()})
 }
 
 // perBroker resolves the listing path parameter and delegates to the
@@ -49,12 +56,11 @@ func (s *ExchangeServer) perBroker(h func(*Server, http.ResponseWriter, *http.Re
 	return func(w http.ResponseWriter, r *http.Request) {
 		b, err := s.ex.Broker(r.PathValue("listing"))
 		if err != nil {
-			srv := &Server{logf: func(string, ...any) {}}
 			status := http.StatusNotFound
 			if !errors.Is(err, market.ErrUnknownListing) {
 				status = http.StatusInternalServerError
 			}
-			srv.writeErr(w, status, err)
+			writeErr(w, status, err)
 			return
 		}
 		h(New(b), w, r)

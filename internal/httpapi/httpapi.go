@@ -36,34 +36,62 @@ type Server struct {
 	broker *market.Broker
 	// Logf receives diagnostic messages; nil uses log.Printf.
 	logf func(string, ...any)
+	cfg  config
 }
 
 // New wraps the broker. It panics on a nil broker — a wiring error.
-func New(b *market.Broker) *Server {
+// By default every route is instrumented on obs.Default and the mux
+// serves /metrics and /healthz; see WithRegistry and WithoutMetrics.
+func New(b *market.Broker, opts ...Option) *Server {
 	if b == nil {
 		panic("httpapi: nil broker")
 	}
-	return &Server{broker: b, logf: log.Printf}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Server{broker: b, logf: log.Printf, cfg: cfg}
 }
 
-// Mux returns the route table.
+// Mux returns the route table, each route wrapped in the request
+// metrics middleware, plus the observability endpoints.
 func (s *Server) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /menu", s.menu)
-	mux.HandleFunc("GET /epsilons", s.epsilons)
-	mux.HandleFunc("GET /curve", s.curve)
-	mux.HandleFunc("GET /quote", s.quote)
-	mux.HandleFunc("POST /buy", s.buy)
-	mux.HandleFunc("GET /ledger", s.ledger)
+	mux.HandleFunc("GET /menu", s.cfg.instrument("/menu", s.menu))
+	mux.HandleFunc("GET /epsilons", s.cfg.instrument("/epsilons", s.epsilons))
+	mux.HandleFunc("GET /curve", s.cfg.instrument("/curve", s.curve))
+	mux.HandleFunc("GET /quote", s.cfg.instrument("/quote", s.quote))
+	mux.HandleFunc("POST /buy", s.cfg.instrument("/buy", s.buy))
+	mux.HandleFunc("GET /ledger", s.cfg.instrument("/ledger", s.ledger))
+	s.cfg.mount(mux)
 	return mux
 }
 
-func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSONLog encodes v with the given status; encode failures go to
+// logf (nil means log.Printf). The package-level writeJSON/writeErr
+// pair is what handlers outside a Server (the exchange wrappers, the
+// middleware) use.
+func writeJSONLog(logf func(string, ...any), w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.logf("httpapi: encoding response: %v", err)
+		if logf == nil {
+			logf = log.Printf
+		}
+		logf("httpapi: encoding response: %v", err)
 	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	writeJSONLog(nil, w, status, v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	writeJSONLog(s.logf, w, status, v)
 }
 
 func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {

@@ -1,0 +1,74 @@
+package httpapi
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/datamarket/mbp/internal/obs"
+)
+
+// config carries the observability settings shared by Server and
+// ExchangeServer.
+type config struct {
+	reg     *obs.Registry
+	metrics bool
+}
+
+func defaultConfig() config { return config{reg: obs.Default, metrics: true} }
+
+// Option customizes a Server or ExchangeServer.
+type Option func(*config)
+
+// WithRegistry directs metrics at reg instead of the process-wide
+// obs.Default — tests use it to get isolated counters.
+func WithRegistry(reg *obs.Registry) Option { return func(c *config) { c.reg = reg } }
+
+// WithoutMetrics disables request instrumentation and the /metrics
+// endpoint. /healthz stays.
+func WithoutMetrics() Option { return func(c *config) { c.metrics = false } }
+
+// statusRecorder captures the status code a handler writes. Handlers
+// that never call WriteHeader implicitly send 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-route request metrics: one
+// counter per status class plus a latency histogram. Metric pointers
+// are resolved once here, at route registration, so each request costs
+// only atomic updates — no lock, no name formatting.
+func (c *config) instrument(route string, next http.HandlerFunc) http.HandlerFunc {
+	if !c.metrics {
+		return next
+	}
+	var classes [6]*obs.Counter
+	for i := 1; i < len(classes); i++ {
+		classes[i] = c.reg.Counter(obs.Name("http.requests_total",
+			"route", route, "status", strconv.Itoa(i)+"xx"))
+	}
+	latency := c.reg.Histogram(obs.Name("http.request_seconds", "route", route), obs.LatencyBuckets())
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next(rec, r)
+		latency.ObserveDuration(start)
+		if cl := rec.status / 100; cl >= 1 && cl < len(classes) {
+			classes[cl].Inc()
+		}
+	}
+}
+
+// mount adds the observability endpoints to a route table.
+func (c *config) mount(mux *http.ServeMux) {
+	if c.metrics {
+		mux.Handle("GET /metrics", c.reg.Handler())
+	}
+	mux.Handle("GET /healthz", c.reg.HealthzHandler())
+}

@@ -1,0 +1,129 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/core"
+	"github.com/datamarket/mbp/internal/obs"
+)
+
+// TestMetricsEndpointAfterBuy walks the acceptance path: one /buy, then
+// /metrics must show a non-zero purchase counter and a populated
+// request-latency histogram.
+func TestMetricsEndpointAfterBuy(t *testing.T) {
+	ts := newTestServer(t)
+
+	var before obs.Snapshot
+	getJSON(t, ts.URL+"/metrics", http.StatusOK, &before)
+
+	var curve CurveResponse
+	getJSON(t, ts.URL+"/curve?model=linear-regression", http.StatusOK, &curve)
+	postJSON(t, ts.URL+"/buy", BuyRequest{Model: "linear-regression", Delta: f(curve.Curve[0].Delta)}, http.StatusOK, nil)
+
+	var after obs.Snapshot
+	getJSON(t, ts.URL+"/metrics", http.StatusOK, &after)
+
+	if after.Counters["market.purchases_total"] == 0 {
+		t.Fatal("purchase counter still zero after /buy")
+	}
+	if got, want := after.Counters["market.purchases_total"], before.Counters["market.purchases_total"]+1; got != want {
+		t.Fatalf("purchases = %d, want %d", got, want)
+	}
+	if after.Gauges["market.revenue_total"] <= before.Gauges["market.revenue_total"] {
+		t.Fatal("revenue gauge did not grow")
+	}
+	buyLat := after.Histograms[obs.Name("http.request_seconds", "route", "/buy")]
+	if buyLat.Count == 0 || buyLat.Sum <= 0 {
+		t.Fatalf("request-latency histogram empty: %+v", buyLat)
+	}
+	if after.Counters[obs.Name("http.requests_total", "route", "/buy", "status", "2xx")] == 0 {
+		t.Fatal("2xx counter for /buy still zero")
+	}
+	// The publish step ran at startup, so the curve-optimization and DP
+	// histograms are already populated.
+	if after.Histograms["market.curve_optimize_seconds"].Count == 0 {
+		t.Fatal("curve-optimization histogram empty")
+	}
+	if after.Histograms["revopt.dp_solve_seconds"].Count == 0 {
+		t.Fatal("DP solve histogram empty")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	var health map[string]any
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %+v", health)
+	}
+}
+
+// TestMiddlewareStatusClasses drives one marketplace through two
+// servers — instrumented on an isolated registry, and uninstrumented —
+// checking status-class bucketing and the WithoutMetrics escape hatch.
+func TestMiddlewareStatusClasses(t *testing.T) {
+	mp, err := core.New(core.Config{Dataset: "CASP", Scale: 0.005, Seed: 5, MCSamples: 40, GridPoints: 8, XMax: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(New(mp.Broker, WithRegistry(reg)).Mux())
+	defer ts.Close()
+
+	getJSON(t, ts.URL+"/menu", http.StatusOK, nil)
+	getJSON(t, ts.URL+"/menu", http.StatusOK, nil)
+	getJSON(t, ts.URL+"/curve?model=nope", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/curve?model=linear-svm", http.StatusNotFound, nil)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.Name("http.requests_total", "route", "/menu", "status", "2xx")]; got != 2 {
+		t.Fatalf("/menu 2xx = %d", got)
+	}
+	if got := snap.Counters[obs.Name("http.requests_total", "route", "/curve", "status", "4xx")]; got != 2 {
+		t.Fatalf("/curve 4xx = %d", got)
+	}
+	if got := snap.Histograms[obs.Name("http.request_seconds", "route", "/menu")].Count; got != 2 {
+		t.Fatalf("/menu latency count = %d", got)
+	}
+
+	// WithoutMetrics: no /metrics route, healthz still served.
+	ts2 := httptest.NewServer(New(mp.Broker, WithoutMetrics()).Mux())
+	defer ts2.Close()
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/metrics without metrics: status %d", resp.StatusCode)
+	}
+	getJSON(t, ts2.URL+"/healthz", http.StatusOK, nil)
+}
+
+// TestExchangeMetrics checks the exchange mux serves /metrics and that
+// per-listing lookup counters move with traffic.
+func TestExchangeMetrics(t *testing.T) {
+	ts := newExchangeServer(t)
+
+	var before obs.Snapshot
+	getJSON(t, ts.URL+"/metrics", http.StatusOK, &before)
+	getJSON(t, ts.URL+"/l/casp-a/menu", http.StatusOK, nil)
+	getJSON(t, ts.URL+"/l/casp-a/menu", http.StatusOK, nil)
+	var after obs.Snapshot
+	getJSON(t, ts.URL+"/metrics", http.StatusOK, &after)
+
+	name := obs.Name("exchange.listing_lookups_total", "listing", "casp-a")
+	if got, want := after.Counters[name], before.Counters[name]+2; got != want {
+		t.Fatalf("casp-a lookups = %d, want %d", got, want)
+	}
+	route := obs.Name("http.requests_total", "route", "/l/{listing}/menu", "status", "2xx")
+	if after.Counters[route] < 2 {
+		t.Fatalf("per-route counter = %d", after.Counters[route])
+	}
+	if after.Gauges["exchange.listings"] < 2 {
+		t.Fatalf("listings gauge = %v", after.Gauges["exchange.listings"])
+	}
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, nil)
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"github.com/datamarket/mbp/internal/obs"
 )
 
 // Exchange is the full data marketplace of Figure 1 scaled out: many
@@ -39,6 +41,7 @@ func (e *Exchange) List(name string, b *Broker) error {
 		return fmt.Errorf("market: listing %q already exists", name)
 	}
 	e.listings[name] = b
+	metListings.Add(1)
 	return nil
 }
 
@@ -50,10 +53,13 @@ func (e *Exchange) Delist(name string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownListing, name)
 	}
 	delete(e.listings, name)
+	metListings.Add(-1)
 	return nil
 }
 
-// Broker returns the broker behind a listing.
+// Broker returns the broker behind a listing. Each successful
+// resolution counts toward the listing's lookup metric, so /metrics
+// shows per-listing traffic on a multi-seller exchange.
 func (e *Exchange) Broker(name string) (*Broker, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -61,6 +67,7 @@ func (e *Exchange) Broker(name string) (*Broker, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownListing, name)
 	}
+	obs.Default.Counter(obs.Name("exchange.listing_lookups_total", "listing", name)).Inc()
 	return b, nil
 }
 

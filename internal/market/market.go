@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/datamarket/mbp/internal/curves"
 	"github.com/datamarket/mbp/internal/dataset"
@@ -235,6 +236,7 @@ func (b *Broker) AddModel(m ml.Model, opts AddModelOptions) error {
 // optimizeCurve runs the revenue DP over a market instance and returns
 // the certified arbitrage-free price curve through its solution.
 func optimizeCurve(research *curves.Market) (*pricing.Curve, error) {
+	defer metCurveOpt.ObserveDuration(time.Now())
 	res, err := revopt.MaximizeRevenueDP(research)
 	if err != nil {
 		return nil, fmt.Errorf("market: revenue optimization: %w", err)
@@ -383,14 +385,17 @@ func (b *Broker) BuyWithErrorBudgetFor(m ml.Model, epsName string, maxErr float6
 	defer b.mu.Unlock()
 	off, ok := b.offers[m]
 	if !ok {
+		metRejected.Inc()
 		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
 	}
 	tr, err := off.transformFor(epsName)
 	if err != nil {
+		metRejected.Inc()
 		return nil, err
 	}
 	delta, err := tr.DeltaForError(maxErr)
 	if err != nil {
+		metRejected.Inc()
 		return nil, fmt.Errorf("%w (requested %v under ϵ=%q)", ErrErrorBudgetTooTight, maxErr, epsName)
 	}
 	// Clamp to the offered range of the default grid (identical grids
@@ -440,10 +445,12 @@ func (b *Broker) BuyAtPoint(m ml.Model, delta float64) (*Purchase, error) {
 	defer b.mu.Unlock()
 	off, ok := b.offers[m]
 	if !ok {
+		metRejected.Inc()
 		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
 	}
 	lo, hi := off.deltaBounds()
 	if delta < lo || delta > hi || math.IsNaN(delta) {
+		metRejected.Inc()
 		return nil, fmt.Errorf("market: δ=%v outside offered range [%v, %v]", delta, lo, hi)
 	}
 	return b.sellLocked(m, off, delta), nil
@@ -463,10 +470,12 @@ func (b *Broker) BuyWithErrorBudget(m ml.Model, maxErr float64) (*Purchase, erro
 	defer b.mu.Unlock()
 	off, ok := b.offers[m]
 	if !ok {
+		metRejected.Inc()
 		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
 	}
 	delta, err := off.transform.DeltaForError(maxErr)
 	if err != nil {
+		metRejected.Inc()
 		return nil, fmt.Errorf("%w (requested %v)", ErrErrorBudgetTooTight, maxErr)
 	}
 	return b.sellLocked(m, off, delta), nil
@@ -479,10 +488,12 @@ func (b *Broker) BuyWithPriceBudget(m ml.Model, budget float64) (*Purchase, erro
 	defer b.mu.Unlock()
 	off, ok := b.offers[m]
 	if !ok {
+		metRejected.Inc()
 		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
 	}
 	lo, hi := off.deltaBounds()
 	if budget < off.curve.Price(1/hi) {
+		metRejected.Inc()
 		return nil, fmt.Errorf("%w: %v < %v", ErrBudgetTooSmall, budget, off.curve.Price(1/hi))
 	}
 	// The price is non-increasing in δ; binary-search the smallest δ
@@ -512,6 +523,7 @@ func (b *Broker) Quote(m ml.Model, delta float64) (price, expectedError float64,
 	if delta < lo || delta > hi || math.IsNaN(delta) {
 		return 0, 0, fmt.Errorf("market: δ=%v outside offered range [%v, %v]", delta, lo, hi)
 	}
+	metQuotes.Inc()
 	return off.curve.Price(1 / delta), off.transform.ErrorForDelta(delta), nil
 }
 
@@ -533,6 +545,8 @@ func (b *Broker) sellLocked(m ml.Model, off *offer, delta float64) *Purchase {
 		Price:         price,
 		ExpectedError: p.ExpectedError,
 	})
+	metPurchases.Inc()
+	metRevenue.Add(price)
 	return p
 }
 

@@ -1,0 +1,25 @@
+package market
+
+import "github.com/datamarket/mbp/internal/obs"
+
+// Serving-path metrics, registered on the process-wide registry so
+// cmd/mbpmarket's /metrics endpoint surfaces broker activity without
+// any extra wiring. Counters aggregate across brokers; per-listing
+// resolution counts live on the Exchange (see exchange.go).
+var (
+	// metQuotes counts successful price previews (no sale).
+	metQuotes = obs.Default.Counter("market.quotes_total")
+	// metPurchases counts executed sales across all buy options.
+	metPurchases = obs.Default.Counter("market.purchases_total")
+	// metRejected counts buy attempts refused for any reason (unknown
+	// model, out-of-range δ, budget too small/tight, unknown ϵ).
+	metRejected = obs.Default.Counter("market.buys_rejected_total")
+	// metRevenue is gross revenue across all brokers, before the
+	// commission split.
+	metRevenue = obs.Default.Gauge("market.revenue_total")
+	// metCurveOpt times the full publish step: revenue DP plus curve
+	// construction and arbitrage-freeness certification.
+	metCurveOpt = obs.Default.Histogram("market.curve_optimize_seconds", obs.LatencyBuckets())
+	// metListings is the number of listings currently on the exchange.
+	metListings = obs.Default.Gauge("exchange.listings")
+)

@@ -7,7 +7,17 @@ import (
 	"sync"
 
 	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/obs"
 	"github.com/datamarket/mbp/internal/rng"
+)
+
+// Fan-out metrics: how many Monte-Carlo draws the estimator has cost
+// and how wide the last fan-out was, surfaced on /metrics next to the
+// request-path latencies they sit under.
+var (
+	metParCalls   = obs.Default.Counter("noise.parallel_calls_total")
+	metParSamples = obs.Default.Counter("noise.parallel_samples_total")
+	metParWorkers = obs.Default.Gauge("noise.parallel_workers")
 )
 
 // ExpectedErrorParallel is ExpectedError fanned out over worker
@@ -26,6 +36,9 @@ func ExpectedErrorParallel(k Mechanism, optimal *ml.Instance, delta float64, sam
 	if workers > samples {
 		workers = samples
 	}
+	metParCalls.Inc()
+	metParSamples.Add(uint64(samples))
+	metParWorkers.Set(float64(workers))
 
 	// Deterministic partition: worker i runs base(+1) samples with its
 	// own split stream.

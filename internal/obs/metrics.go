@@ -1,0 +1,193 @@
+// Package obs is a small stdlib-only observability layer for the
+// marketplace's serving stack: named counters, gauges, and fixed-bucket
+// latency histograms, all updated with atomic operations so the hot
+// path (a purchase, a quote, an HTTP request) never takes a lock. A
+// Registry names the metrics and exports a JSON snapshot, which
+// internal/httpapi serves as GET /metrics and cmd/mbpmarket enables
+// with -metrics.
+//
+// The paper's Section 6 runtime study measures DP-vs-exact solver
+// latency offline; this package surfaces the same quantities (and the
+// request-path latencies around them) continuously on a live broker.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can move in both directions (a level:
+// revenue to date, listings online, last fan-out width). Updates are
+// lock-free CAS loops on the float's bit pattern.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the value by d (d may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Observe is
+// lock-free: one atomic add into the bucket, one into the total count,
+// and a CAS loop on the running sum. Bounds are upper bucket edges in
+// increasing order; values above the last bound land in an implicit
+// +Inf bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    Gauge
+}
+
+// NewHistogram builds a histogram over the given upper bounds. It
+// panics on unsorted or empty bounds — a wiring error, like a nil
+// broker.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be sorted")
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records the seconds elapsed since start:
+//
+//	defer h.ObserveDuration(time.Now())
+func (h *Histogram) ObserveDuration(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Time runs f and records its duration.
+func (h *Histogram) Time(f func()) {
+	defer h.ObserveDuration(time.Now())
+	f()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Quantile estimates the q-quantile (q ∈ [0, 1]) by linear
+// interpolation inside the bucket holding the q·count-th observation.
+// With no observations it returns 0. The +Inf bucket is reported as the
+// last finite bound (the estimate is a floor, not a mean).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen float64
+	lower := 0.0
+	if h.bounds[0] < 0 {
+		lower = math.Inf(-1)
+	}
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if i == len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		upper := h.bounds[i]
+		if seen+n >= rank {
+			if n == 0 || math.IsInf(lower, -1) {
+				return upper
+			}
+			return lower + (upper-lower)*(rank-seen)/n
+		}
+		seen += n
+		lower = upper
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// ExpBuckets returns n bounds growing geometrically from start by
+// factor: {start, start·factor, …}. It panics on non-positive start,
+// factor ≤ 1, or n < 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: bad ExpBuckets(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// LatencyBuckets are the default duration bounds in seconds, 100µs to
+// ~13s in powers of √10·2 — wide enough for both a noise draw and a
+// full DP solve.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 13,
+	}
+}
+
+// Name renders a metric name with labels in a fixed, readable form:
+//
+//	Name("http.requests_total", "route", "/buy", "status", "2xx")
+//	→ `http.requests_total{route=/buy,status=2xx}`
+//
+// kv must alternate key, value; it panics on an odd count (a wiring
+// error).
+func Name(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: Name needs alternating key, value pairs")
+	}
+	s := base + "{"
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			s += ","
+		}
+		s += kv[i] + "=" + kv[i+1]
+	}
+	return s + "}"
+}

@@ -3,8 +3,19 @@ package revopt
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/datamarket/mbp/internal/curves"
+	"github.com/datamarket/mbp/internal/obs"
+)
+
+// DP metrics: the paper's Section 6 runtime study compares this solver
+// against the exact MILP offline; these surface the same latency (and
+// the instance size driving it) continuously on a live broker.
+var (
+	metDPSolves  = obs.Default.Counter("revopt.dp_solves_total")
+	metDPSeconds = obs.Default.Histogram("revopt.dp_solve_seconds", obs.LatencyBuckets())
+	metDPGrid    = obs.Default.Gauge("revopt.dp_grid_points")
 )
 
 // MaximizeRevenueDP solves the relaxed revenue-maximization program (4)
@@ -22,7 +33,10 @@ func MaximizeRevenueDP(m *curves.Market) (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	defer metDPSeconds.ObserveDuration(time.Now())
+	metDPSolves.Inc()
 	n := len(m.A)
+	metDPGrid.Set(float64(n))
 	a, v, b := m.A, m.V, m.B
 
 	// capVal[c] for c in 0..n−1 is vⱼ/aⱼ; capVal[n] = +∞.
