@@ -10,29 +10,40 @@
 //	                                  "delta", "errorBudget", "priceBudget"}
 //	GET  /ledger                    — all completed transactions
 //	GET  /metrics                   — JSON metrics snapshot (disable: -metrics=false)
+//	GET  /debug/traces              — recent purchase span trees (disable: -traces=false)
 //	GET  /healthz                   — liveness + uptime
 //	GET  /debug/pprof/              — profiling endpoints (enable: -pprof)
+//
+// Logs are JSON (log/slog); lines emitted while serving a request carry
+// the request's trace_id and span_id, joining them to /debug/traces.
 //
 // Example:
 //
 //	mbpmarket -dataset CASP -addr 127.0.0.1:8080 &
 //	curl 'localhost:8080/curve?model=linear-regression'
 //	curl -d '{"model":"linear-regression","priceBudget":40}' localhost:8080/buy
-//	curl localhost:8080/metrics   # purchase counters, request latencies
+//	curl localhost:8080/metrics       # purchase counters, request latencies
+//	curl localhost:8080/debug/traces  # span trees for recent purchases
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/datamarket/mbp/internal/core"
 	"github.com/datamarket/mbp/internal/httpapi"
 	"github.com/datamarket/mbp/internal/market"
 	"github.com/datamarket/mbp/internal/obs"
+	"github.com/datamarket/mbp/internal/obs/trace"
 )
 
 func main() {
@@ -46,58 +57,117 @@ func main() {
 		save    = flag.String("save", "", "after training, dump the offers to this file")
 		load    = flag.String("load", "", "warm-start: restore offers from a -save dump instead of retraining")
 		metrics = flag.Bool("metrics", true, "instrument requests and serve GET /metrics")
+		traces  = flag.Bool("traces", true, "record request span trees and serve GET /debug/traces")
 		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	// JSON logs, with trace_id/span_id lifted off the request context so
+	// every line a request emits can be joined to its /debug/traces tree.
+	logger := slog.New(trace.NewLogHandler(slog.NewJSONHandler(os.Stderr, nil)))
+	slog.SetDefault(logger)
 
 	var opts []httpapi.Option
 	if !*metrics {
 		opts = append(opts, httpapi.WithoutMetrics())
 	}
+	if !*traces {
+		opts = append(opts, httpapi.WithoutTracing())
+	}
 
 	if *dsList != "" {
-		serveExchange(*addr, strings.Split(*dsList, ","), *scale, *seed, *samples, *pprofOn, opts)
+		serveExchange(logger, *addr, strings.Split(*dsList, ","), *scale, *seed, *samples, *pprofOn, opts)
 		return
 	}
 
-	mp, err := build(*dsName, *scale, *seed, *samples, *load)
+	mp, err := build(logger, *dsName, *scale, *seed, *samples, *load)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mbpmarket:", err)
-		os.Exit(1)
+		fatal(logger, err)
 	}
 	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mbpmarket:", err)
-			os.Exit(1)
+		if err := saveOffers(mp, *save); err != nil {
+			fatal(logger, err)
 		}
-		if err := mp.Broker.SaveOffers(f); err != nil {
-			fmt.Fprintln(os.Stderr, "mbpmarket: saving offers:", err)
-			os.Exit(1)
-		}
-		f.Close()
-		log.Printf("offers saved to %s", *save)
+		logger.Info("offers saved", "path", *save)
 	}
 
 	mux := httpapi.New(mp.Broker, opts...).Mux()
 	if *pprofOn {
 		obs.WirePprof(mux)
 	}
-	log.Printf("broker listening on %s (model %v, dataset %s, metrics=%v, pprof=%v)",
-		*addr, mp.Model, *dsName, *metrics, *pprofOn)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	logger.Info("broker listening",
+		"addr", *addr, "model", mp.Model.String(), "dataset", *dsName,
+		"metrics", *metrics, "traces", *traces, "pprof", *pprofOn)
+	serve(logger, *addr, mux)
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", "err", err.Error())
+	os.Exit(1)
+}
+
+// saveOffers dumps the broker's offers, reporting Close errors too: the
+// dump is the warm-start input, so a short write (ENOSPC surfacing at
+// close) must fail loudly rather than leave a truncated file behind.
+func saveOffers(mp *core.Marketplace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := mp.Broker.SaveOffers(f); err != nil {
+		f.Close()
+		return fmt.Errorf("saving offers: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("saving offers: %w", err)
+	}
+	return nil
+}
+
+// serve runs an http.Server with sane timeouts and drains it gracefully
+// on SIGINT/SIGTERM: in-flight purchases finish (and their traces
+// flush) before the process exits.
+func serve(logger *slog.Logger, addr string, handler http.Handler) {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(logger, err)
+		}
+	case sig := <-sigc:
+		logger.Info("shutting down", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Error("shutdown incomplete", "err", err.Error())
+			os.Exit(1)
+		}
+		logger.Info("drained, exiting")
+	}
 }
 
 // serveExchange trains one broker per dataset and serves them all as a
 // multi-seller marketplace.
-func serveExchange(addr string, names []string, scale float64, seed uint64, samples int, pprofOn bool, opts []httpapi.Option) {
+func serveExchange(logger *slog.Logger, addr string, names []string, scale float64, seed uint64, samples int, pprofOn bool, opts []httpapi.Option) {
 	ex := market.NewExchange()
 	for i, raw := range names {
 		name := strings.TrimSpace(raw)
 		if name == "" {
 			continue
 		}
-		log.Printf("training %s (%d/%d)...", name, i+1, len(names))
+		logger.Info("training listing", "dataset", name, "index", i+1, "of", len(names))
 		mp, err := core.New(core.Config{
 			Dataset:   name,
 			Scale:     scale,
@@ -105,31 +175,29 @@ func serveExchange(addr string, names []string, scale float64, seed uint64, samp
 			MCSamples: samples,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mbpmarket:", err)
-			os.Exit(1)
+			fatal(logger, err)
 		}
 		if err := ex.List(name, mp.Broker); err != nil {
-			fmt.Fprintln(os.Stderr, "mbpmarket:", err)
-			os.Exit(1)
+			fatal(logger, err)
 		}
 	}
 	if len(ex.Listings()) == 0 {
-		fmt.Fprintln(os.Stderr, "mbpmarket: no datasets to list")
+		logger.Error("no datasets to list")
 		os.Exit(2)
 	}
 	mux := httpapi.NewExchange(ex, opts...).Mux()
 	if pprofOn {
 		obs.WirePprof(mux)
 	}
-	log.Printf("exchange listening on %s with listings %v", addr, ex.Listings())
-	log.Fatal(http.ListenAndServe(addr, mux))
+	logger.Info("exchange listening", "addr", addr, "listings", strings.Join(ex.Listings(), ","))
+	serve(logger, addr, mux)
 }
 
 // build either trains a fresh marketplace or warm-starts one from a
 // saved offer dump (skipping the one-time training cost entirely).
-func build(dsName string, scale float64, seed uint64, samples int, load string) (*core.Marketplace, error) {
+func build(logger *slog.Logger, dsName string, scale float64, seed uint64, samples int, load string) (*core.Marketplace, error) {
 	if load == "" {
-		log.Printf("training optimal model on %s (one-time broker cost)...", dsName)
+		logger.Info("training optimal model (one-time broker cost)", "dataset", dsName)
 		return core.New(core.Config{
 			Dataset:   dsName,
 			Scale:     scale,
@@ -137,7 +205,7 @@ func build(dsName string, scale float64, seed uint64, samples int, load string) 
 			MCSamples: samples,
 		})
 	}
-	log.Printf("warm-starting from %s (no training)...", load)
+	logger.Info("warm-starting, no training", "path", load)
 	mp, err := core.NewUntrained(core.Config{Dataset: dsName, Scale: scale, Seed: seed})
 	if err != nil {
 		return nil, err

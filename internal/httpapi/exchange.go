@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"github.com/datamarket/mbp/internal/market"
+	"github.com/datamarket/mbp/internal/obs/trace"
 )
 
 // ExchangeServer serves a multi-seller marketplace: every listing's
@@ -47,22 +48,26 @@ func (s *ExchangeServer) Mux() *http.ServeMux {
 }
 
 func (s *ExchangeServer) listings(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, ListingsResponse{Listings: s.ex.Listings()})
+	writeJSON(r.Context(), s.cfg.log(), w, http.StatusOK, ListingsResponse{Listings: s.ex.Listings()})
 }
 
 // perBroker resolves the listing path parameter and delegates to the
-// single-broker handler.
+// single-broker handler. The delegated request carries the exchange
+// span's traceparent header, so the exchange→broker hop stitches into
+// one trace even if the broker handler later moves out of process.
 func (s *ExchangeServer) perBroker(h func(*Server, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		b, err := s.ex.Broker(r.PathValue("listing"))
+		ctx := r.Context()
+		b, err := s.ex.BrokerContext(ctx, r.PathValue("listing"))
 		if err != nil {
 			status := http.StatusNotFound
 			if !errors.Is(err, market.ErrUnknownListing) {
 				status = http.StatusInternalServerError
 			}
-			writeErr(w, status, err)
+			writeErr(ctx, s.cfg.log(), w, status, err)
 			return
 		}
-		h(New(b), w, r)
+		trace.Inject(ctx, r.Header)
+		h(&Server{broker: b, cfg: s.cfg}, w, r)
 	}
 }

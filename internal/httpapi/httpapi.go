@@ -14,15 +14,20 @@
 //	                                     optional "epsilon"}
 //	GET  /ledger                       — transactions and revenue split
 //
+// Every route runs inside a server span (continuing any inbound W3C
+// traceparent), so a purchase shows up at /debug/traces as a span tree
+// covering pricing, noise injection and the ledger append.
+//
 // cmd/mbpmarket wraps this package in a binary; tests drive it through
 // net/http/httptest.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 
@@ -34,14 +39,14 @@ import (
 // Server adapts a broker to HTTP.
 type Server struct {
 	broker *market.Broker
-	// Logf receives diagnostic messages; nil uses log.Printf.
-	logf func(string, ...any)
-	cfg  config
+	cfg    config
 }
 
 // New wraps the broker. It panics on a nil broker — a wiring error.
-// By default every route is instrumented on obs.Default and the mux
-// serves /metrics and /healthz; see WithRegistry and WithoutMetrics.
+// By default every route is instrumented on obs.Default, traced on
+// trace.Default, and the mux serves /metrics, /debug/traces and
+// /healthz; see WithRegistry, WithTracer, WithLogger and the
+// Without* options.
 func New(b *market.Broker, opts ...Option) *Server {
 	if b == nil {
 		panic("httpapi: nil broker")
@@ -50,11 +55,11 @@ func New(b *market.Broker, opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return &Server{broker: b, logf: log.Printf, cfg: cfg}
+	return &Server{broker: b, cfg: cfg}
 }
 
-// Mux returns the route table, each route wrapped in the request
-// metrics middleware, plus the observability endpoints.
+// Mux returns the route table, each route wrapped in the tracing and
+// request-metrics middleware, plus the observability endpoints.
 func (s *Server) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /menu", s.cfg.instrument("/menu", s.menu))
@@ -67,35 +72,27 @@ func (s *Server) Mux() *http.ServeMux {
 	return mux
 }
 
-// writeJSONLog encodes v with the given status; encode failures go to
-// logf (nil means log.Printf). The package-level writeJSON/writeErr
-// pair is what handlers outside a Server (the exchange wrappers, the
-// middleware) use.
-func writeJSONLog(logf func(string, ...any), w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v with the given status; encode failures are
+// logged on lg with the request context, so the error line carries the
+// request's trace_id.
+func writeJSON(ctx context.Context, lg *slog.Logger, w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		if logf == nil {
-			logf = log.Printf
-		}
-		logf("httpapi: encoding response: %v", err)
+		lg.ErrorContext(ctx, "encoding response", slog.String("err", err.Error()))
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	writeJSONLog(nil, w, status, v)
+func writeErr(ctx context.Context, lg *slog.Logger, w http.ResponseWriter, status int, err error) {
+	writeJSON(ctx, lg, w, status, map[string]string{"error": err.Error()})
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Server) writeJSON(r *http.Request, w http.ResponseWriter, status int, v any) {
+	writeJSON(r.Context(), s.cfg.log(), w, status, v)
 }
 
-func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	writeJSONLog(s.logf, w, status, v)
-}
-
-func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Server) writeErr(r *http.Request, w http.ResponseWriter, status int, err error) {
+	writeErr(r.Context(), s.cfg.log(), w, status, err)
 }
 
 // MenuResponse lists the offered models.
@@ -109,7 +106,7 @@ func (s *Server) menu(w http.ResponseWriter, r *http.Request) {
 	for i, m := range models {
 		names[i] = m.String()
 	}
-	s.writeJSON(w, http.StatusOK, MenuResponse{Models: names})
+	s.writeJSON(r, w, http.StatusOK, MenuResponse{Models: names})
 }
 
 // ModelByName resolves a model's string form.
@@ -131,16 +128,16 @@ type CurveResponse struct {
 func (s *Server) curve(w http.ResponseWriter, r *http.Request) {
 	m, err := ModelByName(r.URL.Query().Get("model"))
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(r, w, http.StatusBadRequest, err)
 		return
 	}
 	// An optional epsilon query parameter selects the error scale.
 	menu, err := s.broker.PriceErrorCurveFor(m, r.URL.Query().Get("epsilon"))
 	if err != nil {
-		s.writeErr(w, statusFor(err), err)
+		s.writeErr(r, w, statusFor(err), err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, CurveResponse{Model: m.String(), Curve: menu})
+	s.writeJSON(r, w, http.StatusOK, CurveResponse{Model: m.String(), Curve: menu})
 }
 
 // EpsilonsResponse lists the error functions offered for a model,
@@ -153,15 +150,15 @@ type EpsilonsResponse struct {
 func (s *Server) epsilons(w http.ResponseWriter, r *http.Request) {
 	m, err := ModelByName(r.URL.Query().Get("model"))
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(r, w, http.StatusBadRequest, err)
 		return
 	}
 	names, err := s.broker.Epsilons(m)
 	if err != nil {
-		s.writeErr(w, statusFor(err), err)
+		s.writeErr(r, w, statusFor(err), err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, EpsilonsResponse{Model: m.String(), Epsilons: names})
+	s.writeJSON(r, w, http.StatusOK, EpsilonsResponse{Model: m.String(), Epsilons: names})
 }
 
 // QuoteResponse previews one version without buying it.
@@ -175,20 +172,20 @@ type QuoteResponse struct {
 func (s *Server) quote(w http.ResponseWriter, r *http.Request) {
 	m, err := ModelByName(r.URL.Query().Get("model"))
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(r, w, http.StatusBadRequest, err)
 		return
 	}
 	delta, err := strconv.ParseFloat(r.URL.Query().Get("delta"), 64)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad delta: %w", err))
+		s.writeErr(r, w, http.StatusBadRequest, fmt.Errorf("bad delta: %w", err))
 		return
 	}
-	price, expErr, err := s.broker.Quote(m, delta)
+	price, expErr, err := s.broker.QuoteContext(r.Context(), m, delta)
 	if err != nil {
-		s.writeErr(w, statusFor(err), err)
+		s.writeErr(r, w, statusFor(err), err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, QuoteResponse{Model: m.String(), Delta: delta, Price: price, ExpectedError: expErr})
+	s.writeJSON(r, w, http.StatusOK, QuoteResponse{Model: m.String(), Delta: delta, Price: price, ExpectedError: expErr})
 }
 
 // BuyRequest selects exactly one of the three purchase options of
@@ -215,12 +212,12 @@ type BuyResponse struct {
 func (s *Server) buy(w http.ResponseWriter, r *http.Request) {
 	var req BuyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.writeErr(r, w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	m, err := ModelByName(req.Model)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(r, w, http.StatusBadRequest, err)
 		return
 	}
 	set := 0
@@ -230,23 +227,24 @@ func (s *Server) buy(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if set != 1 {
-		s.writeErr(w, http.StatusBadRequest, errors.New("set exactly one of delta, errorBudget, priceBudget"))
+		s.writeErr(r, w, http.StatusBadRequest, errors.New("set exactly one of delta, errorBudget, priceBudget"))
 		return
 	}
+	ctx := r.Context()
 	var p *market.Purchase
 	switch {
 	case req.Delta != nil:
-		p, err = s.broker.BuyAtPoint(m, *req.Delta)
+		p, err = s.broker.BuyAtPointContext(ctx, m, *req.Delta)
 	case req.ErrorBudget != nil:
-		p, err = s.broker.BuyWithErrorBudgetFor(m, req.Epsilon, *req.ErrorBudget)
+		p, err = s.broker.BuyWithErrorBudgetForContext(ctx, m, req.Epsilon, *req.ErrorBudget)
 	default:
-		p, err = s.broker.BuyWithPriceBudget(m, *req.PriceBudget)
+		p, err = s.broker.BuyWithPriceBudgetContext(ctx, m, *req.PriceBudget)
 	}
 	if err != nil {
-		s.writeErr(w, statusFor(err), err)
+		s.writeErr(r, w, statusFor(err), err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, BuyResponse{
+	s.writeJSON(r, w, http.StatusOK, BuyResponse{
 		Model:         p.Model.String(),
 		Delta:         p.Delta,
 		ExpectedError: p.ExpectedError,
@@ -264,7 +262,7 @@ type LedgerResponse struct {
 
 func (s *Server) ledger(w http.ResponseWriter, r *http.Request) {
 	seller, broker := s.broker.RevenueSplit()
-	s.writeJSON(w, http.StatusOK, LedgerResponse{
+	s.writeJSON(r, w, http.StatusOK, LedgerResponse{
 		Transactions: s.broker.Ledger(),
 		SellerShare:  seller,
 		BrokerShare:  broker,

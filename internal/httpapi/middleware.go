@@ -1,11 +1,14 @@
 package httpapi
 
 import (
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
 
 	"github.com/datamarket/mbp/internal/obs"
+	"github.com/datamarket/mbp/internal/obs/trace"
 )
 
 // config carries the observability settings shared by Server and
@@ -13,9 +16,23 @@ import (
 type config struct {
 	reg     *obs.Registry
 	metrics bool
+	tracer  *trace.Tracer
+	logger  *slog.Logger
 }
 
-func defaultConfig() config { return config{reg: obs.Default, metrics: true} }
+func defaultConfig() config {
+	return config{reg: obs.Default, metrics: true, tracer: trace.Default}
+}
+
+// log returns the configured logger, defaulting to slog.Default() so
+// cmd/mbpmarket's slog.SetDefault (a JSON handler wrapped in
+// trace.NewLogHandler) is picked up without extra wiring.
+func (c *config) log() *slog.Logger {
+	if c.logger != nil {
+		return c.logger
+	}
+	return slog.Default()
+}
 
 // Option customizes a Server or ExchangeServer.
 type Option func(*config)
@@ -25,8 +42,20 @@ type Option func(*config)
 func WithRegistry(reg *obs.Registry) Option { return func(c *config) { c.reg = reg } }
 
 // WithoutMetrics disables request instrumentation and the /metrics
-// endpoint. /healthz stays.
+// endpoint. /healthz and tracing stay.
 func WithoutMetrics() Option { return func(c *config) { c.metrics = false } }
+
+// WithTracer records request traces on t instead of the process-wide
+// trace.Default — tests use it to get an isolated ring buffer.
+func WithTracer(t *trace.Tracer) Option { return func(c *config) { c.tracer = t } }
+
+// WithoutTracing disables span creation and the /debug/traces
+// endpoint.
+func WithoutTracing() Option { return func(c *config) { c.tracer = nil } }
+
+// WithLogger directs request logs (and handler diagnostics) at l
+// instead of slog.Default().
+func WithLogger(l *slog.Logger) Option { return func(c *config) { c.logger = l } }
 
 // statusRecorder captures the status code a handler writes. Handlers
 // that never call WriteHeader implicitly send 200.
@@ -40,28 +69,87 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with per-route request metrics: one
-// counter per status class plus a latency histogram. Metric pointers
-// are resolved once here, at route registration, so each request costs
-// only atomic updates — no lock, no name formatting.
+// The wrapper variants below re-expose the optional interfaces the
+// underlying ResponseWriter actually implements, so wrapping doesn't
+// silently drop streaming (http.Flusher) or the sendfile fast path
+// (io.ReaderFrom). wrapWriter picks the shape at request time.
+
+type flushRecorder struct{ *statusRecorder }
+
+func (r flushRecorder) Flush() { r.ResponseWriter.(http.Flusher).Flush() }
+
+type readerFromRecorder struct{ *statusRecorder }
+
+func (r readerFromRecorder) ReadFrom(src io.Reader) (int64, error) {
+	return r.ResponseWriter.(io.ReaderFrom).ReadFrom(src)
+}
+
+type flushReaderFromRecorder struct{ *statusRecorder }
+
+func (r flushReaderFromRecorder) Flush() { r.ResponseWriter.(http.Flusher).Flush() }
+
+func (r flushReaderFromRecorder) ReadFrom(src io.Reader) (int64, error) {
+	return r.ResponseWriter.(io.ReaderFrom).ReadFrom(src)
+}
+
+// wrapWriter returns a status-capturing ResponseWriter that still
+// implements exactly the optional interfaces w does, plus the
+// underlying recorder for reading the captured status.
+func wrapWriter(w http.ResponseWriter) (http.ResponseWriter, *statusRecorder) {
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	_, fl := w.(http.Flusher)
+	_, rf := w.(io.ReaderFrom)
+	switch {
+	case fl && rf:
+		return flushReaderFromRecorder{rec}, rec
+	case fl:
+		return flushRecorder{rec}, rec
+	case rf:
+		return readerFromRecorder{rec}, rec
+	}
+	return rec, rec
+}
+
+// instrument wraps a handler with the per-request observability stack:
+// a server span continuing any inbound traceparent, per-route request
+// metrics (resolved once here, at route registration, so each request
+// costs only atomic updates), and one structured access-log line
+// correlated to the span by trace_id.
 func (c *config) instrument(route string, next http.HandlerFunc) http.HandlerFunc {
-	if !c.metrics {
-		return next
-	}
 	var classes [6]*obs.Counter
-	for i := 1; i < len(classes); i++ {
-		classes[i] = c.reg.Counter(obs.Name("http.requests_total",
-			"route", route, "status", strconv.Itoa(i)+"xx"))
+	var latency *obs.Histogram
+	if c.metrics {
+		for i := 1; i < len(classes); i++ {
+			classes[i] = c.reg.Counter(obs.Name("http.requests_total",
+				"route", route, "status", strconv.Itoa(i)+"xx"))
+		}
+		latency = c.reg.Histogram(obs.Name("http.request_seconds", "route", route), obs.LatencyBuckets())
 	}
-	latency := c.reg.Histogram(obs.Name("http.request_seconds", "route", route), obs.LatencyBuckets())
+	tracer := c.tracer
+	logCfg := c // capture for the late slog.Default() resolution
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next(rec, r)
-		latency.ObserveDuration(start)
-		if cl := rec.status / 100; cl >= 1 && cl < len(classes) {
-			classes[cl].Inc()
+		ctx := r.Context()
+		if sc, ok := trace.Extract(r.Header); ok {
+			ctx = trace.ContextWithRemote(ctx, sc)
 		}
+		ctx, span := tracer.Start(ctx, r.Method+" "+route, "route", route, "method", r.Method)
+		rw, rec := wrapWriter(w)
+		next(rw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		span.SetAttr("status", strconv.Itoa(rec.status))
+		span.End()
+		if latency != nil {
+			latency.Observe(elapsed.Seconds())
+			if cl := rec.status / 100; cl >= 1 && cl < len(classes) {
+				classes[cl].Inc()
+			}
+		}
+		logCfg.log().LogAttrs(ctx, slog.LevelInfo, "http request",
+			slog.String("route", route),
+			slog.String("method", r.Method),
+			slog.Int("status", rec.status),
+			slog.Duration("duration", elapsed))
 	}
 }
 
@@ -69,6 +157,9 @@ func (c *config) instrument(route string, next http.HandlerFunc) http.HandlerFun
 func (c *config) mount(mux *http.ServeMux) {
 	if c.metrics {
 		mux.Handle("GET /metrics", c.reg.Handler())
+	}
+	if c.tracer != nil {
+		mux.Handle("GET /debug/traces", c.tracer.Handler())
 	}
 	mux.Handle("GET /healthz", c.reg.HealthzHandler())
 }

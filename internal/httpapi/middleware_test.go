@@ -1,8 +1,10 @@
 package httpapi
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"github.com/datamarket/mbp/internal/core"
@@ -126,4 +128,76 @@ func TestExchangeMetrics(t *testing.T) {
 		t.Fatalf("listings gauge = %v", after.Gauges["exchange.listings"])
 	}
 	getJSON(t, ts.URL+"/healthz", http.StatusOK, nil)
+}
+
+// plainWriter hides every optional interface of the writer it fronts.
+type plainWriter struct{ inner http.ResponseWriter }
+
+func (w plainWriter) Header() http.Header         { return w.inner.Header() }
+func (w plainWriter) Write(p []byte) (int, error) { return w.inner.Write(p) }
+func (w plainWriter) WriteHeader(code int)        { w.inner.WriteHeader(code) }
+
+// flushReadFromWriter adds Flush and ReadFrom, recording that they ran.
+type flushReadFromWriter struct {
+	plainWriter
+	flushed  bool
+	readFrom bool
+}
+
+func (w *flushReadFromWriter) Flush() { w.flushed = true }
+
+func (w *flushReadFromWriter) ReadFrom(src io.Reader) (int64, error) {
+	w.readFrom = true
+	return io.Copy(w.plainWriter, src)
+}
+
+// TestWrapWriterForwardsOptionalInterfaces checks the status recorder
+// exposes exactly the optional interfaces its underlying writer has:
+// wrapping must not advertise Flush on a writer that cannot flush, nor
+// hide the sendfile fast path (io.ReaderFrom) on one that has it.
+func TestWrapWriterForwardsOptionalInterfaces(t *testing.T) {
+	// A bare writer: the wrapper must expose neither interface.
+	rw, rec := wrapWriter(plainWriter{httptest.NewRecorder()})
+	if _, ok := rw.(http.Flusher); ok {
+		t.Fatal("wrapper invented http.Flusher")
+	}
+	if _, ok := rw.(io.ReaderFrom); ok {
+		t.Fatal("wrapper invented io.ReaderFrom")
+	}
+	rw.WriteHeader(http.StatusTeapot)
+	if rec.status != http.StatusTeapot {
+		t.Fatalf("recorded status %d", rec.status)
+	}
+
+	// httptest's recorder implements Flusher but not ReaderFrom.
+	hrec := httptest.NewRecorder()
+	rw, _ = wrapWriter(hrec)
+	fl, ok := rw.(http.Flusher)
+	if !ok {
+		t.Fatal("wrapper dropped http.Flusher")
+	}
+	if _, ok := rw.(io.ReaderFrom); ok {
+		t.Fatal("wrapper invented io.ReaderFrom")
+	}
+	fl.Flush()
+	if !hrec.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+
+	// Both interfaces present: both must survive and delegate.
+	both := &flushReadFromWriter{plainWriter: plainWriter{httptest.NewRecorder()}}
+	rw, rec = wrapWriter(both)
+	rw.(http.Flusher).Flush()
+	if !both.flushed {
+		t.Fatal("Flush did not delegate")
+	}
+	if n, err := rw.(io.ReaderFrom).ReadFrom(strings.NewReader("body")); err != nil || n != 4 {
+		t.Fatalf("ReadFrom = %d, %v", n, err)
+	}
+	if !both.readFrom {
+		t.Fatal("ReadFrom did not delegate")
+	}
+	if rec.status != http.StatusOK {
+		t.Fatalf("default status %d", rec.status)
+	}
 }

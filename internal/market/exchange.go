@@ -1,12 +1,14 @@
 package market
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"github.com/datamarket/mbp/internal/obs"
+	"github.com/datamarket/mbp/internal/obs/trace"
 )
 
 // Exchange is the full data marketplace of Figure 1 scaled out: many
@@ -61,10 +63,20 @@ func (e *Exchange) Delist(name string) error {
 // resolution counts toward the listing's lookup metric, so /metrics
 // shows per-listing traffic on a multi-seller exchange.
 func (e *Exchange) Broker(name string) (*Broker, error) {
+	return e.BrokerContext(context.Background(), name)
+}
+
+// BrokerContext is Broker with the per-listing dispatch recorded as an
+// "exchange.resolve_listing" span, so a multi-seller trace shows which
+// listing the request routed to and what the lookup cost.
+func (e *Exchange) BrokerContext(ctx context.Context, name string) (*Broker, error) {
+	_, span := trace.Start(ctx, "exchange.resolve_listing", "listing", name)
+	defer span.End()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	b, ok := e.listings[name]
 	if !ok {
+		span.SetAttr("outcome", "unknown")
 		return nil, fmt.Errorf("%w: %q", ErrUnknownListing, name)
 	}
 	obs.Default.Counter(obs.Name("exchange.listing_lookups_total", "listing", name)).Inc()

@@ -13,10 +13,12 @@
 package market
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -25,6 +27,7 @@ import (
 	"github.com/datamarket/mbp/internal/loss"
 	"github.com/datamarket/mbp/internal/ml"
 	"github.com/datamarket/mbp/internal/noise"
+	"github.com/datamarket/mbp/internal/obs/trace"
 	"github.com/datamarket/mbp/internal/pricing"
 	"github.com/datamarket/mbp/internal/revopt"
 	"github.com/datamarket/mbp/internal/rng"
@@ -157,6 +160,11 @@ type AddModelOptions struct {
 // revenue optimization, and publishes the resulting price curve.
 // It requires the seller to have provided market research.
 func (b *Broker) AddModel(m ml.Model, opts AddModelOptions) error {
+	// The publish pipeline roots its own trace: /debug/traces shows the
+	// one-time broker cost (train → transform → DP) next to the cheap
+	// per-request trees it enables.
+	ctx, span := trace.Start(context.Background(), "market.add_model", "model", m.String())
+	defer span.End()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if _, dup := b.offers[m]; dup {
@@ -178,7 +186,9 @@ func (b *Broker) AddModel(m ml.Model, opts AddModelOptions) error {
 		mc = 200
 	}
 
+	_, trainSpan := trace.Start(ctx, "ml.train", "model", m.String())
 	optimal, err := ml.Train(m, b.seller.Data.Train, opts.Train)
+	trainSpan.End()
 	if err != nil {
 		return fmt.Errorf("market: training optimal instance: %w", err)
 	}
@@ -195,13 +205,17 @@ func (b *Broker) AddModel(m ml.Model, opts AddModelOptions) error {
 	var tr *pricing.Transform
 	_, isSquare := eps.(loss.Square)
 	_, isGaussian := b.mech.(noise.Gaussian)
+	_, xformSpan := trace.Start(ctx, "pricing.build_transform", "epsilon", eps.Name())
 	if isSquare && isGaussian && m == ml.LinearRegression && !opts.ForceEmpirical {
 		// Exact affine transform — no Monte-Carlo needed (Lemma 3's
 		// trace identity; see pricing.AnalyticSquareTransform).
+		xformSpan.SetAttr("kind", "analytic")
 		tr, err = pricing.AnalyticSquareTransform(optimal, evalOn, deltas)
 	} else {
+		xformSpan.SetAttr("kind", "empirical")
 		tr, err = pricing.NewEmpirical(b.mech, optimal, eps, evalOn, deltas, mc, b.r.Split())
 	}
+	xformSpan.End()
 	if err != nil {
 		return fmt.Errorf("market: building error transform: %w", err)
 	}
@@ -225,7 +239,7 @@ func (b *Broker) AddModel(m ml.Model, opts AddModelOptions) error {
 		extras[name] = etr
 	}
 
-	curve, err := optimizeCurve(b.seller.Research)
+	curve, err := optimizeCurve(ctx, b.seller.Research)
 	if err != nil {
 		return err
 	}
@@ -235,9 +249,11 @@ func (b *Broker) AddModel(m ml.Model, opts AddModelOptions) error {
 
 // optimizeCurve runs the revenue DP over a market instance and returns
 // the certified arbitrage-free price curve through its solution.
-func optimizeCurve(research *curves.Market) (*pricing.Curve, error) {
+func optimizeCurve(ctx context.Context, research *curves.Market) (*pricing.Curve, error) {
+	ctx, span := trace.Start(ctx, "market.optimize_curve")
+	defer span.End()
 	defer metCurveOpt.ObserveDuration(time.Now())
-	res, err := revopt.MaximizeRevenueDP(research)
+	res, err := revopt.MaximizeRevenueDPContext(ctx, research)
 	if err != nil {
 		return nil, fmt.Errorf("market: revenue optimization: %w", err)
 	}
@@ -265,6 +281,8 @@ func optimizeCurve(research *curves.Market) (*pricing.Curve, error) {
 // Unlike AddModel, this path does not use the seller's pre-transformed
 // Research field, so SimulateBuyers is unavailable for such offers.
 func (b *Broker) AddModelFromErrorResearch(m ml.Model, opts AddModelOptions, research []pricing.ErrorResearchPoint, deltaGrid []float64) error {
+	ctx, span := trace.Start(context.Background(), "market.add_model", "model", m.String(), "research", "error-domain")
+	defer span.End()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if _, dup := b.offers[m]; dup {
@@ -289,7 +307,9 @@ func (b *Broker) AddModelFromErrorResearch(m ml.Model, opts AddModelOptions, res
 		mc = 200
 	}
 
+	_, trainSpan := trace.Start(ctx, "ml.train", "model", m.String())
 	optimal, err := ml.Train(m, b.seller.Data.Train, opts.Train)
+	trainSpan.End()
 	if err != nil {
 		return fmt.Errorf("market: training optimal instance: %w", err)
 	}
@@ -303,11 +323,13 @@ func (b *Broker) AddModelFromErrorResearch(m ml.Model, opts AddModelOptions, res
 	var tr *pricing.Transform
 	_, isSquare := eps.(loss.Square)
 	_, isGaussian := b.mech.(noise.Gaussian)
+	_, xformSpan := trace.Start(ctx, "pricing.build_transform", "epsilon", eps.Name())
 	if isSquare && isGaussian && m == ml.LinearRegression && !opts.ForceEmpirical {
 		tr, err = pricing.AnalyticSquareTransform(optimal, evalOn, deltas)
 	} else {
 		tr, err = pricing.NewEmpirical(b.mech, optimal, eps, evalOn, deltas, mc, b.r.Split())
 	}
+	xformSpan.End()
 	if err != nil {
 		return fmt.Errorf("market: building error transform: %w", err)
 	}
@@ -316,7 +338,7 @@ func (b *Broker) AddModelFromErrorResearch(m ml.Model, opts AddModelOptions, res
 	if err != nil {
 		return fmt.Errorf("market: transforming research (Fig. 2a→2b): %w", err)
 	}
-	curve, err := optimizeCurve(market)
+	curve, err := optimizeCurve(ctx, market)
 	if err != nil {
 		return err
 	}
@@ -381,6 +403,14 @@ func (b *Broker) PriceErrorCurveFor(m ml.Model, epsName string) ([]pricing.Price
 // function's scale: cheapest version whose expected ϵ is at most
 // maxErr.
 func (b *Broker) BuyWithErrorBudgetFor(m ml.Model, epsName string, maxErr float64) (*Purchase, error) {
+	return b.BuyWithErrorBudgetForContext(context.Background(), m, epsName, maxErr)
+}
+
+// BuyWithErrorBudgetForContext is BuyWithErrorBudgetFor traced on the
+// caller's context (empty epsName selects the offer's default ϵ).
+func (b *Broker) BuyWithErrorBudgetForContext(ctx context.Context, m ml.Model, epsName string, maxErr float64) (*Purchase, error) {
+	ctx, span := trace.Start(ctx, "market.buy", "option", "error_budget", "model", m.String())
+	defer span.End()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	off, ok := b.offers[m]
@@ -402,7 +432,7 @@ func (b *Broker) BuyWithErrorBudgetFor(m ml.Model, epsName string, maxErr float6
 	// by construction, but guard against numerical drift).
 	lo, hi := off.deltaBounds()
 	delta = math.Min(math.Max(delta, lo), hi)
-	return b.sellLocked(m, off, delta), nil
+	return b.sellLocked(ctx, m, off, delta), nil
 }
 
 // Models lists the offered models (the menu M).
@@ -441,6 +471,15 @@ func (o *offer) deltaBounds() (float64, float64) {
 
 // BuyAtPoint executes option 1: the buyer picks an NCP δ directly.
 func (b *Broker) BuyAtPoint(m ml.Model, delta float64) (*Purchase, error) {
+	return b.BuyAtPointContext(context.Background(), m, delta)
+}
+
+// BuyAtPointContext is BuyAtPoint traced on the caller's context: the
+// sale's price lookup, noise injection, and ledger append each become
+// child spans of the request that triggered them.
+func (b *Broker) BuyAtPointContext(ctx context.Context, m ml.Model, delta float64) (*Purchase, error) {
+	ctx, span := trace.Start(ctx, "market.buy", "option", "point", "model", m.String())
+	defer span.End()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	off, ok := b.offers[m]
@@ -453,7 +492,7 @@ func (b *Broker) BuyAtPoint(m ml.Model, delta float64) (*Purchase, error) {
 		metRejected.Inc()
 		return nil, fmt.Errorf("market: δ=%v outside offered range [%v, %v]", delta, lo, hi)
 	}
-	return b.sellLocked(m, off, delta), nil
+	return b.sellLocked(ctx, m, off, delta), nil
 }
 
 // ErrBudgetTooSmall is returned when no offered version fits the budget.
@@ -464,26 +503,22 @@ var ErrBudgetTooSmall = errors.New("market: budget below the cheapest offered ve
 var ErrErrorBudgetTooTight = errors.New("market: error budget below the most accurate offered version")
 
 // BuyWithErrorBudget executes option 2: cheapest version whose expected
-// error is at most maxErr.
+// error is at most maxErr (under the offer's default ϵ).
 func (b *Broker) BuyWithErrorBudget(m ml.Model, maxErr float64) (*Purchase, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	off, ok := b.offers[m]
-	if !ok {
-		metRejected.Inc()
-		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
-	}
-	delta, err := off.transform.DeltaForError(maxErr)
-	if err != nil {
-		metRejected.Inc()
-		return nil, fmt.Errorf("%w (requested %v)", ErrErrorBudgetTooTight, maxErr)
-	}
-	return b.sellLocked(m, off, delta), nil
+	return b.BuyWithErrorBudgetForContext(context.Background(), m, "", maxErr)
 }
 
 // BuyWithPriceBudget executes option 3: the most accurate version whose
 // price is within budget.
 func (b *Broker) BuyWithPriceBudget(m ml.Model, budget float64) (*Purchase, error) {
+	return b.BuyWithPriceBudgetContext(context.Background(), m, budget)
+}
+
+// BuyWithPriceBudgetContext is BuyWithPriceBudget traced on the
+// caller's context.
+func (b *Broker) BuyWithPriceBudgetContext(ctx context.Context, m ml.Model, budget float64) (*Purchase, error) {
+	ctx, span := trace.Start(ctx, "market.buy", "option", "price_budget", "model", m.String())
+	defer span.End()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	off, ok := b.offers[m]
@@ -498,6 +533,7 @@ func (b *Broker) BuyWithPriceBudget(m ml.Model, budget float64) (*Purchase, erro
 	}
 	// The price is non-increasing in δ; binary-search the smallest δ
 	// (most accurate version) still within budget.
+	_, search := trace.Start(ctx, "pricing.budget_search", "budget", strconv.FormatFloat(budget, 'g', -1, 64))
 	loD, hiD := lo, hi
 	for i := 0; i < 200 && hiD-loD > 1e-12*(1+hiD); i++ {
 		mid := (loD + hiD) / 2
@@ -507,12 +543,20 @@ func (b *Broker) BuyWithPriceBudget(m ml.Model, budget float64) (*Purchase, erro
 			loD = mid
 		}
 	}
-	return b.sellLocked(m, off, hiD), nil
+	search.End()
+	return b.sellLocked(ctx, m, off, hiD), nil
 }
 
 // Quote previews the price and expected error of the version at NCP δ
 // without executing a sale (no noise drawn, no ledger entry).
 func (b *Broker) Quote(m ml.Model, delta float64) (price, expectedError float64, err error) {
+	return b.QuoteContext(context.Background(), m, delta)
+}
+
+// QuoteContext is Quote traced on the caller's context.
+func (b *Broker) QuoteContext(ctx context.Context, m ml.Model, delta float64) (price, expectedError float64, err error) {
+	ctx, span := trace.Start(ctx, "market.quote", "model", m.String())
+	defer span.End()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	off, ok := b.offers[m]
@@ -524,20 +568,28 @@ func (b *Broker) Quote(m ml.Model, delta float64) (price, expectedError float64,
 		return 0, 0, fmt.Errorf("market: δ=%v outside offered range [%v, %v]", delta, lo, hi)
 	}
 	metQuotes.Inc()
+	_, eval := trace.Start(ctx, "pricing.curve_eval", "delta", strconv.FormatFloat(delta, 'g', -1, 64))
+	defer eval.End()
 	return off.curve.Price(1 / delta), off.transform.ErrorForDelta(delta), nil
 }
 
-// sellLocked performs the sale. Callers hold b.mu.
-func (b *Broker) sellLocked(m ml.Model, off *offer, delta float64) *Purchase {
+// sellLocked performs the sale. Callers hold b.mu. The three steps of
+// Figure 1C's delivery — price-function evaluation, noise injection,
+// ledger append — each record a child span on the caller's trace.
+func (b *Broker) sellLocked(ctx context.Context, m ml.Model, off *offer, delta float64) *Purchase {
+	_, eval := trace.Start(ctx, "pricing.curve_eval", "delta", strconv.FormatFloat(delta, 'g', -1, 64))
 	price := off.curve.Price(1 / delta)
-	instance := b.mech.Perturb(off.optimal, delta, b.r)
+	expErr := off.transform.ErrorForDelta(delta)
+	eval.End()
+	instance := noise.PerturbContext(ctx, b.mech, off.optimal, delta, b.r)
 	p := &Purchase{
 		Instance:      instance,
 		Model:         m,
 		Delta:         delta,
-		ExpectedError: off.transform.ErrorForDelta(delta),
+		ExpectedError: expErr,
 		Price:         price,
 	}
+	_, ledger := trace.Start(ctx, "market.ledger_append", "seq", strconv.Itoa(len(b.ledger)+1))
 	b.ledger = append(b.ledger, Transaction{
 		Seq:           len(b.ledger) + 1,
 		Model:         m,
@@ -547,6 +599,7 @@ func (b *Broker) sellLocked(m ml.Model, off *offer, delta float64) *Purchase {
 	})
 	metPurchases.Inc()
 	metRevenue.Add(price)
+	ledger.End()
 	return p
 }
 

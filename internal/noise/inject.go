@@ -1,0 +1,24 @@
+package noise
+
+import (
+	"context"
+	"strconv"
+
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/obs/trace"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+// PerturbContext draws one noisy model instance under a
+// "noise.perturb" span — the per-sale noise-injection step (Thms. 5/6)
+// made visible in a purchase's trace. The broker's sell path uses this
+// instead of calling Mechanism.Perturb directly so every /buy span
+// tree shows what the injection cost.
+func PerturbContext(ctx context.Context, k Mechanism, optimal *ml.Instance, delta float64, r *rng.RNG) *ml.Instance {
+	_, span := trace.Start(ctx, "noise.perturb",
+		"mechanism", k.Name(),
+		"delta", strconv.FormatFloat(delta, 'g', -1, 64),
+		"dims", strconv.Itoa(len(optimal.W)))
+	defer span.End()
+	return k.Perturb(optimal, delta, r)
+}

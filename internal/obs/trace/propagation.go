@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"context"
+	"net/http"
+	"strings"
+)
+
+// TraceparentHeader is the W3C trace-context header name
+// (https://www.w3.org/TR/trace-context/).
+const TraceparentHeader = "traceparent"
+
+// FormatTraceparent renders a span context as a version-00 traceparent
+// value with the sampled flag set:
+//
+//	00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01
+func FormatTraceparent(sc SpanContext) string {
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-01"
+}
+
+// ParseTraceparent parses a traceparent value. Unknown future versions
+// are accepted as long as the first four fields are well formed (per
+// the spec's forward-compatibility rule); version ff, zero IDs, and
+// malformed fields are rejected.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 {
+		return SpanContext{}, false
+	}
+	version := parts[0]
+	if len(version) != 2 || !isHex(version) || version == "ff" {
+		return SpanContext{}, false
+	}
+	if version == "00" && len(parts) != 4 {
+		return SpanContext{}, false
+	}
+	traceID, err := ParseTraceID(parts[1])
+	if err != nil {
+		return SpanContext{}, false
+	}
+	spanID, err := ParseSpanID(parts[2])
+	if err != nil {
+		return SpanContext{}, false
+	}
+	if len(parts[3]) != 2 || !isHex(parts[3]) {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: traceID, SpanID: spanID}, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// Inject writes the current span's identity into h as a traceparent
+// header — the outbound half of a hop. No span in ctx leaves h alone.
+func Inject(ctx context.Context, h http.Header) {
+	if s := FromContext(ctx); s != nil {
+		h.Set(TraceparentHeader, FormatTraceparent(s.Context()))
+	}
+}
+
+// Extract reads an inbound traceparent header — the receiving half of
+// a hop. Callers store the result with ContextWithRemote so the next
+// Start stitches onto the caller's trace.
+func Extract(h http.Header) (SpanContext, bool) {
+	raw := h.Get(TraceparentHeader)
+	if raw == "" {
+		return SpanContext{}, false
+	}
+	return ParseTraceparent(raw)
+}

@@ -1,0 +1,314 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Sizing. A trace is flushed to the ring when its last open span ends;
+// until then its finished spans wait in a pending bucket. The caps
+// below bound memory against leaked (never-Ended) spans and runaway
+// instrumentation loops — overflow is counted, never silently ignored.
+const (
+	// DefaultCapacity is the ring size of NewTracer(0) and Default:
+	// enough recent traffic to debug a latency spike, small enough
+	// (~a few MB worst case) to leave on in production.
+	DefaultCapacity = 256
+	// maxSpansPerTrace bounds one trace's span count; beyond it spans
+	// still close but their records are dropped.
+	maxSpansPerTrace = 512
+	// maxPendingTraces bounds the in-flight trace table.
+	maxPendingTraces = 1024
+)
+
+// SpanRecord is the immutable, JSON-ready form of a completed span.
+type SpanRecord struct {
+	TraceID         string            `json:"traceId"`
+	SpanID          string            `json:"spanId"`
+	ParentID        string            `json:"parentId,omitempty"`
+	RemoteParent    bool              `json:"remoteParent,omitempty"`
+	Name            string            `json:"name"`
+	Start           time.Time         `json:"start"`
+	DurationSeconds float64           `json:"durationSeconds"`
+	Attrs           map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceRecord is one completed trace: every span that closed before
+// the trace's last open span ended, in completion order.
+type TraceRecord struct {
+	TraceID         string       `json:"traceId"`
+	Root            string       `json:"root"`
+	Start           time.Time    `json:"start"`
+	DurationSeconds float64      `json:"durationSeconds"`
+	TruncatedSpans  int          `json:"truncatedSpans,omitempty"`
+	Spans           []SpanRecord `json:"spans"`
+}
+
+// SpanNode is a span with its children attached — the explorer's tree
+// view of a TraceRecord.
+type SpanNode struct {
+	SpanRecord
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree nests spans under their parents, children ordered by start
+// time. Spans whose parent is absent from the set (the local root
+// under a remote traceparent, or a span that outlived a truncated
+// parent) become roots.
+func Tree(spans []SpanRecord) []*SpanNode {
+	nodes := make(map[string]*SpanNode, len(spans))
+	for _, s := range spans {
+		nodes[s.SpanID] = &SpanNode{SpanRecord: s}
+	}
+	var roots []*SpanNode
+	for _, s := range spans {
+		n := nodes[s.SpanID]
+		if p, ok := nodes[s.ParentID]; ok && s.ParentID != s.SpanID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	byStart := func(ns []*SpanNode) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Start.Before(ns[j].Start) })
+	}
+	byStart(roots)
+	for _, n := range nodes {
+		byStart(n.Children)
+	}
+	return roots
+}
+
+// Tracer assigns IDs, collects finished spans per trace, and keeps the
+// most recent completed traces in a fixed-size ring.
+type Tracer struct {
+	mu      sync.Mutex
+	cap     int
+	pending map[TraceID]*bucket
+	ring    []*TraceRecord
+	next    int // next write slot
+	stored  int
+	evicted uint64 // completed traces overwritten by newer ones
+	dropped uint64 // spans or traces refused by the pending caps
+}
+
+type bucket struct {
+	open      int
+	spans     []SpanRecord
+	truncated int
+}
+
+// NewTracer returns a tracer keeping the last capacity completed
+// traces (capacity <= 0 selects DefaultCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{
+		cap:     capacity,
+		pending: make(map[TraceID]*bucket),
+		ring:    make([]*TraceRecord, capacity),
+	}
+}
+
+// Default is the process-wide tracer, mirroring obs.Default: the
+// instrumented packages start spans on it unless a request arrived
+// through a mux configured with a custom tracer.
+var Default = NewTracer(DefaultCapacity)
+
+// register opens one more span under the trace, creating its pending
+// bucket on first use. It reports false when the pending table is full
+// and the span should not record.
+func (t *Tracer) register(id TraceID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.pending[id]
+	if b == nil {
+		if len(t.pending) >= maxPendingTraces {
+			t.dropped++
+			return false
+		}
+		b = &bucket{}
+		t.pending[id] = b
+	}
+	b.open++
+	return true
+}
+
+// finish files one completed span; when it was the trace's last open
+// span, the whole trace moves to the ring.
+func (t *Tracer) finish(id TraceID, rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.pending[id]
+	if b == nil {
+		return
+	}
+	if len(b.spans) < maxSpansPerTrace {
+		b.spans = append(b.spans, rec)
+	} else {
+		b.truncated++
+		t.dropped++
+	}
+	if b.open--; b.open <= 0 {
+		delete(t.pending, id)
+		t.storeLocked(buildRecord(id, b))
+	}
+}
+
+// buildRecord assembles the flushed trace: start is the earliest span
+// start, duration spans to the latest span end, and the root is the
+// earliest span without a local parent.
+func buildRecord(id TraceID, b *bucket) *TraceRecord {
+	rec := &TraceRecord{
+		TraceID:        id.String(),
+		TruncatedSpans: b.truncated,
+		Spans:          b.spans,
+	}
+	if len(b.spans) == 0 {
+		return rec
+	}
+	local := make(map[string]bool, len(b.spans))
+	for _, s := range b.spans {
+		local[s.SpanID] = true
+	}
+	start := b.spans[0].Start
+	var end time.Time
+	rootStart := time.Time{}
+	for _, s := range b.spans {
+		if s.Start.Before(start) {
+			start = s.Start
+		}
+		if e := s.Start.Add(time.Duration(s.DurationSeconds * float64(time.Second))); e.After(end) {
+			end = e
+		}
+		if s.ParentID == "" || !local[s.ParentID] {
+			if rootStart.IsZero() || s.Start.Before(rootStart) {
+				rec.Root = s.Name
+				rootStart = s.Start
+			}
+		}
+	}
+	rec.Start = start
+	rec.DurationSeconds = end.Sub(start).Seconds()
+	return rec
+}
+
+func (t *Tracer) storeLocked(rec *TraceRecord) {
+	if t.ring[t.next] != nil {
+		t.evicted++
+	}
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % t.cap
+	if t.stored < t.cap {
+		t.stored++
+	}
+}
+
+// Stats summarizes the ring's occupancy and loss counters.
+type Stats struct {
+	Capacity int    `json:"capacity"`
+	Stored   int    `json:"stored"`
+	Pending  int    `json:"pending"`
+	Evicted  uint64 `json:"evicted"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// Stats returns the current counters.
+func (t *Tracer) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{Capacity: t.cap, Stored: t.stored, Pending: len(t.pending), Evicted: t.evicted, Dropped: t.dropped}
+}
+
+// Traces returns up to limit completed traces, newest first (limit <= 0
+// means all stored).
+func (t *Tracer) Traces(limit int) []*TraceRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if limit <= 0 || limit > t.stored {
+		limit = t.stored
+	}
+	out := make([]*TraceRecord, 0, limit)
+	for i := 1; i <= limit; i++ {
+		out = append(out, t.ring[((t.next-i)%t.cap+t.cap)%t.cap])
+	}
+	return out
+}
+
+// Lookup returns the newest completed trace with the given ID.
+func (t *Tracer) Lookup(id TraceID) (*TraceRecord, bool) {
+	want := id.String()
+	for _, rec := range t.Traces(0) {
+		if rec.TraceID == want {
+			return rec, true
+		}
+	}
+	return nil, false
+}
+
+// TraceSummary is one row of the explorer's list view.
+type TraceSummary struct {
+	TraceID         string    `json:"traceId"`
+	Root            string    `json:"root"`
+	Start           time.Time `json:"start"`
+	DurationSeconds float64   `json:"durationSeconds"`
+	Spans           int       `json:"spans"`
+}
+
+// Handler serves the trace explorer:
+//
+//	GET /debug/traces                 — ring stats + summaries, newest first
+//	GET /debug/traces?limit=N         — at most N summaries
+//	GET /debug/traces?trace_id=<hex>  — one trace in full, with a nested tree
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if q := req.URL.Query().Get("trace_id"); q != "" {
+			id, err := ParseTraceID(q)
+			if err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				enc.Encode(map[string]string{"error": err.Error()})
+				return
+			}
+			rec, ok := t.Lookup(id)
+			if !ok {
+				w.WriteHeader(http.StatusNotFound)
+				enc.Encode(map[string]string{"error": "trace " + q + " not in the ring (completed traces only; the ring holds the newest " + strconv.Itoa(t.cap) + ")"})
+				return
+			}
+			enc.Encode(struct {
+				*TraceRecord
+				Tree []*SpanNode `json:"tree"`
+			}{rec, Tree(rec.Spans)})
+			return
+		}
+		limit := 50
+		if raw := req.URL.Query().Get("limit"); raw != "" {
+			if n, err := strconv.Atoi(raw); err == nil {
+				limit = n
+			}
+		}
+		recs := t.Traces(limit)
+		summaries := make([]TraceSummary, len(recs))
+		for i, rec := range recs {
+			summaries[i] = TraceSummary{
+				TraceID:         rec.TraceID,
+				Root:            rec.Root,
+				Start:           rec.Start,
+				DurationSeconds: rec.DurationSeconds,
+				Spans:           len(rec.Spans),
+			}
+		}
+		enc.Encode(struct {
+			Stats
+			Traces []TraceSummary `json:"traces"`
+		}{t.Stats(), summaries})
+	})
+}

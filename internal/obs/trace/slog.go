@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+)
+
+// NewLogHandler wraps inner so every record logged with a
+// span-carrying context also carries trace_id and span_id attributes —
+// the field contract that lets logs, metrics, and traces correlate on
+// one ID. cmd/mbpmarket installs it over a JSON handler as the default
+// logger:
+//
+//	slog.SetDefault(slog.New(trace.NewLogHandler(
+//		slog.NewJSONHandler(os.Stderr, nil))))
+func NewLogHandler(inner slog.Handler) slog.Handler {
+	return logHandler{inner: inner}
+}
+
+type logHandler struct {
+	inner slog.Handler
+}
+
+func (h logHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h logHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if s := FromContext(ctx); s != nil {
+		sc := s.Context()
+		rec.AddAttrs(
+			slog.String("trace_id", sc.TraceID.String()),
+			slog.String("span_id", sc.SpanID.String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return logHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h logHandler) WithGroup(name string) slog.Handler {
+	return logHandler{inner: h.inner.WithGroup(name)}
+}

@@ -1,0 +1,315 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func TestSpanTreeFlushesToRing(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.Start(context.Background(), "root", "route", "/buy")
+	cctx, child := Start(ctx, "child", "k", "v")
+	_, grand := Start(cctx, "grandchild")
+	grand.End()
+	child.End()
+
+	// The trace must not flush while the root is open.
+	if _, ok := tr.Lookup(root.Context().TraceID); ok {
+		t.Fatal("trace flushed before the root span ended")
+	}
+	root.SetAttr("status", "200")
+	root.End()
+
+	rec, ok := tr.Lookup(root.Context().TraceID)
+	if !ok {
+		t.Fatal("trace not in the ring after root end")
+	}
+	if len(rec.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(rec.Spans))
+	}
+	if rec.Root != "root" {
+		t.Fatalf("root = %q", rec.Root)
+	}
+	if rec.DurationSeconds < 0 {
+		t.Fatalf("duration = %v", rec.DurationSeconds)
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range rec.Spans {
+		if s.TraceID != root.Context().TraceID.String() {
+			t.Fatalf("span %q on trace %s", s.Name, s.TraceID)
+		}
+		byName[s.Name] = s
+	}
+	if byName["child"].ParentID != root.Context().SpanID.String() {
+		t.Fatalf("child parent = %q", byName["child"].ParentID)
+	}
+	if byName["child"].Attrs["k"] != "v" {
+		t.Fatalf("child attrs = %v", byName["child"].Attrs)
+	}
+	if byName["root"].Attrs["route"] != "/buy" || byName["root"].Attrs["status"] != "200" {
+		t.Fatalf("root attrs = %v", byName["root"].Attrs)
+	}
+
+	tree := Tree(rec.Spans)
+	if len(tree) != 1 || tree[0].Name != "root" {
+		t.Fatalf("tree roots = %+v", tree)
+	}
+	if len(tree[0].Children) != 1 || tree[0].Children[0].Name != "child" {
+		t.Fatalf("root children = %+v", tree[0].Children)
+	}
+	if len(tree[0].Children[0].Children) != 1 || tree[0].Children[0].Children[0].Name != "grandchild" {
+		t.Fatal("grandchild not nested under child")
+	}
+}
+
+func TestRemoteParentStitching(t *testing.T) {
+	tr := NewTracer(4)
+	remote := SpanContext{TraceID: mustTraceID(t, "0af7651916cd43dd8448eb211c80319c"), SpanID: mustSpanID(t, "b7ad6b7169203331")}
+	ctx := ContextWithRemote(context.Background(), remote)
+	_, span := tr.Start(ctx, "server")
+	if span.Context().TraceID != remote.TraceID {
+		t.Fatalf("trace id = %v, want inbound %v", span.Context().TraceID, remote.TraceID)
+	}
+	span.End()
+	rec, ok := tr.Lookup(remote.TraceID)
+	if !ok {
+		t.Fatal("stitched trace not stored")
+	}
+	if got := rec.Spans[0]; got.ParentID != remote.SpanID.String() || !got.RemoteParent {
+		t.Fatalf("span = %+v, want remote parent %s", got, remote.SpanID)
+	}
+	if rec.Root != "server" {
+		t.Fatalf("root = %q", rec.Root)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, span := tr.Start(context.Background(), "client")
+	defer span.End()
+	h := http.Header{}
+	Inject(ctx, h)
+	sc, ok := Extract(h)
+	if !ok {
+		t.Fatalf("extract failed on %q", h.Get(TraceparentHeader))
+	}
+	if sc != span.Context() {
+		t.Fatalf("round trip: %+v != %+v", sc, span.Context())
+	}
+	// No span in ctx: nothing injected.
+	h2 := http.Header{}
+	Inject(context.Background(), h2)
+	if h2.Get(TraceparentHeader) != "" {
+		t.Fatal("inject without a span wrote a header")
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	if sc, ok := ParseTraceparent(valid); !ok || sc.TraceID.String() != "0af7651916cd43dd8448eb211c80319c" || sc.SpanID.String() != "b7ad6b7169203331" {
+		t.Fatalf("valid header rejected: %v %v", sc, ok)
+	}
+	// Future version with extra fields is accepted.
+	if _, ok := ParseTraceparent("42-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); !ok {
+		t.Fatal("future version rejected")
+	}
+	for _, bad := range []string{
+		"",
+		"junk",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",         // missing flags
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",      // forbidden version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",      // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",      // zero span id
+		"00-0af7651916cd43dd8448eb211c80319z-b7ad6b7169203331-01",      // non-hex
+		"00-0af7651916cd43dd8448eb211c8031-b7ad6b7169203331-01",        // short trace id
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b71692033-01",        // short span id
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-tail", // version 00 with extras
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-zz",      // bad flags
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Fatalf("accepted malformed traceparent %q", bad)
+		}
+	}
+}
+
+func TestRingEvictionAndStats(t *testing.T) {
+	tr := NewTracer(2)
+	var ids []TraceID
+	for i := 0; i < 3; i++ {
+		_, span := tr.Start(context.Background(), "t"+strconv.Itoa(i))
+		ids = append(ids, span.Context().TraceID)
+		span.End()
+	}
+	st := tr.Stats()
+	if st.Capacity != 2 || st.Stored != 2 || st.Evicted != 1 || st.Pending != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	recs := tr.Traces(0)
+	if len(recs) != 2 || recs[0].Root != "t2" || recs[1].Root != "t1" {
+		t.Fatalf("traces = %+v", recs)
+	}
+	if _, ok := tr.Lookup(ids[0]); ok {
+		t.Fatal("evicted trace still found")
+	}
+	if got := tr.Traces(1); len(got) != 1 || got[0].Root != "t2" {
+		t.Fatalf("limit=1 → %+v", got)
+	}
+}
+
+func TestNilTracerAndNilSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	ctx, span := tr.Start(context.Background(), "ignored")
+	if span != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	span.SetAttr("k", "v")
+	span.End()
+	span.End()
+	if span.Context().IsValid() {
+		t.Fatal("nil span has a valid context")
+	}
+	// Children of a nil span fall through to a fresh trace on the
+	// callee tracer, not a crash.
+	tr2 := NewTracer(2)
+	_, child := tr2.Start(ctx, "child")
+	if child == nil {
+		t.Fatal("real tracer refused a span")
+	}
+	child.End()
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	tr := NewTracer(2)
+	_, span := tr.Start(context.Background(), "once")
+	span.End()
+	span.End()
+	rec, ok := tr.Lookup(span.Context().TraceID)
+	if !ok || len(rec.Spans) != 1 {
+		t.Fatalf("spans after double end: %+v, %v", rec, ok)
+	}
+	if tr.Stats().Pending != 0 {
+		t.Fatal("pending bucket leaked")
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.Start(context.Background(), "root")
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, s := Start(ctx, "worker", "i", strconv.Itoa(i))
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	rec, ok := tr.Lookup(root.Context().TraceID)
+	if !ok || len(rec.Spans) != n+1 {
+		t.Fatalf("spans = %d, want %d", len(rec.Spans), n+1)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, root := tr.Start(context.Background(), "GET /curve")
+	_, child := Start(ctx, "market.quote")
+	child.End()
+	root.End()
+	ts := httptest.NewServer(tr.Handler())
+	defer ts.Close()
+
+	var list struct {
+		Stats
+		Traces []TraceSummary `json:"traces"`
+	}
+	getJSON(t, ts.URL, http.StatusOK, &list)
+	if list.Stored != 1 || len(list.Traces) != 1 || list.Traces[0].Spans != 2 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	var full struct {
+		TraceRecord
+		Tree []*SpanNode `json:"tree"`
+	}
+	getJSON(t, ts.URL+"?trace_id="+root.Context().TraceID.String(), http.StatusOK, &full)
+	if len(full.Spans) != 2 || len(full.Tree) != 1 || full.Tree[0].Name != "GET /curve" {
+		t.Fatalf("full = %+v", full)
+	}
+
+	getJSON(t, ts.URL+"?trace_id=zzz", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"?trace_id=0af7651916cd43dd8448eb211c80319c", http.StatusNotFound, nil)
+}
+
+func TestLogHandlerCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(NewLogHandler(slog.NewJSONHandler(&buf, nil)))
+	tr := NewTracer(2)
+	ctx, span := tr.Start(context.Background(), "op")
+	logger.InfoContext(ctx, "inside span", "route", "/buy")
+	logger.Info("outside span")
+	span.End()
+
+	dec := json.NewDecoder(&buf)
+	var inside, outside map[string]any
+	if err := dec.Decode(&inside); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&outside); err != nil {
+		t.Fatal(err)
+	}
+	if inside["trace_id"] != span.Context().TraceID.String() || inside["span_id"] != span.Context().SpanID.String() {
+		t.Fatalf("correlated record = %v", inside)
+	}
+	if inside["route"] != "/buy" {
+		t.Fatalf("user attrs lost: %v", inside)
+	}
+	if _, ok := outside["trace_id"]; ok {
+		t.Fatalf("record without span carries trace_id: %v", outside)
+	}
+}
+
+func mustTraceID(t *testing.T, s string) TraceID {
+	t.Helper()
+	id, err := ParseTraceID(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func mustSpanID(t *testing.T, s string) SpanID {
+	t.Helper()
+	id, err := ParseSpanID(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

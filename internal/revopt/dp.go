@@ -1,12 +1,15 @@
 package revopt
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"github.com/datamarket/mbp/internal/curves"
 	"github.com/datamarket/mbp/internal/obs"
+	"github.com/datamarket/mbp/internal/obs/trace"
 )
 
 // DP metrics: the paper's Section 6 runtime study compares this solver
@@ -30,12 +33,21 @@ var (
 // feasible for the weakened constraints, hence arbitrage-free
 // (Lemma 8).
 func MaximizeRevenueDP(m *curves.Market) (*Result, error) {
+	return MaximizeRevenueDPContext(context.Background(), m)
+}
+
+// MaximizeRevenueDPContext is MaximizeRevenueDP with the solve
+// recorded as a "revopt.dp_solve" span on the caller's trace, so a
+// live republish shows up inside the request that triggered it.
+func MaximizeRevenueDPContext(ctx context.Context, m *curves.Market) (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	n := len(m.A)
+	_, span := trace.Start(ctx, "revopt.dp_solve", "n", strconv.Itoa(n))
+	defer span.End()
 	defer metDPSeconds.ObserveDuration(time.Now())
 	metDPSolves.Inc()
-	n := len(m.A)
 	metDPGrid.Set(float64(n))
 	a, v, b := m.A, m.V, m.B
 
