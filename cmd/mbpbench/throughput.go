@@ -1,0 +1,161 @@
+package main
+
+// The -throughput mode measures the broker's serving hot path end to
+// end — the ops/sec a single process sustains on Quote and BuyAtPoint
+// — and emits the numbers as JSON (BENCH_throughput.json in CI). Each
+// op count pairs a single-goroutine baseline ("before": what a
+// serialized broker could do at best) with a GOMAXPROCS-wide run
+// ("after": what the lock-free snapshot/stream/sharded-ledger design
+// sustains); the speedup columns are the ratio. On a single-core
+// machine the ratio degrades to ~1 by construction — the interesting
+// number there is that contention adds no cliff.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/datamarket/mbp/internal/market"
+	"github.com/datamarket/mbp/internal/market/markettest"
+)
+
+// throughputPhase is one measured (operation, worker-count) cell.
+type throughputPhase struct {
+	Op        string  `json:"op"`
+	Workers   int     `json:"workers"`
+	Ops       uint64  `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"opsPerSec"`
+}
+
+// throughputReport is the BENCH_throughput.json schema.
+type throughputReport struct {
+	GOMAXPROCS   int               `json:"gomaxprocs"`
+	NumCPU       int               `json:"numCpu"`
+	Fixture      string            `json:"fixture"`
+	Phases       []throughputPhase `json:"phases"`
+	BuySpeedup   float64           `json:"buySpeedup"`
+	QuoteSpeedup float64           `json:"quoteSpeedup"`
+}
+
+// measureThroughput drives op from workers goroutines for roughly d and
+// returns the completed-op count and elapsed wall time.
+func measureThroughput(workers int, d time.Duration, op func() error) (uint64, float64, error) {
+	var (
+		ops  atomic.Uint64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		errc = make(chan error, workers)
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if err := op(); err != nil {
+					errc <- err
+					return
+				}
+				ops.Add(1)
+			}
+		}()
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(errc)
+	for err := range errc {
+		return 0, 0, err
+	}
+	return ops.Load(), elapsed, nil
+}
+
+// runThroughput executes the serial-vs-parallel sweep and writes the
+// JSON report to out ("-" = stdout).
+func runThroughput(out string, d time.Duration, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := throughputReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Fixture:    "markettest CASP linear-regression, mid-menu δ",
+	}
+
+	type cell struct {
+		op      string
+		workers int
+		run     func(b *market.Broker, delta float64) func() error
+	}
+	buy := func(b *market.Broker, delta float64) func() error {
+		return func() error {
+			_, err := b.BuyAtPoint(markettest.Model, delta)
+			return err
+		}
+	}
+	quote := func(b *market.Broker, delta float64) func() error {
+		return func() error {
+			_, _, err := b.Quote(markettest.Model, delta)
+			return err
+		}
+	}
+	cells := []cell{
+		{"buy", 1, buy},
+		{"buy", workers, buy},
+		{"quote", 1, quote},
+		{"quote", workers, quote},
+	}
+	perSec := make(map[string]map[int]float64)
+	for _, c := range cells {
+		// A fresh broker per cell isolates the ledgers.
+		b, err := markettest.New(1)
+		if err != nil {
+			return err
+		}
+		menu, err := b.PriceErrorCurve(markettest.Model)
+		if err != nil {
+			return err
+		}
+		delta := menu[len(menu)/2].Delta
+		ops, secs, err := measureThroughput(c.workers, d, c.run(b, delta))
+		if err != nil {
+			return err
+		}
+		ph := throughputPhase{Op: c.op, Workers: c.workers, Ops: ops, Seconds: secs, OpsPerSec: float64(ops) / secs}
+		rep.Phases = append(rep.Phases, ph)
+		if perSec[c.op] == nil {
+			perSec[c.op] = make(map[int]float64)
+		}
+		perSec[c.op][c.workers] = ph.OpsPerSec
+	}
+	if base := perSec["buy"][1]; base > 0 {
+		rep.BuySpeedup = perSec["buy"][workers] / base
+	}
+	if base := perSec["quote"][1]; base > 0 {
+		rep.QuoteSpeedup = perSec["quote"][workers] / base
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if out == "" || out == "-" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("throughput: buy %.0f → %.0f ops/s (×%.2f), quote %.0f → %.0f ops/s (×%.2f) at %d workers → %s\n",
+		perSec["buy"][1], perSec["buy"][workers], rep.BuySpeedup,
+		perSec["quote"][1], perSec["quote"][workers], rep.QuoteSpeedup,
+		workers, out)
+	return nil
+}

@@ -5,19 +5,15 @@ import (
 	"net/http/httptest"
 	"testing"
 
-	"github.com/datamarket/mbp/internal/core"
 	"github.com/datamarket/mbp/internal/market"
+	"github.com/datamarket/mbp/internal/market/markettest"
 )
 
 func newExchangeServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	ex := market.NewExchange()
 	for i, name := range []string{"casp-a", "casp-b"} {
-		mp, err := core.New(core.Config{Dataset: "CASP", Scale: 0.005, Seed: uint64(i + 1), MCSamples: 40, GridPoints: 8, XMax: 40})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := ex.List(name, mp.Broker); err != nil {
+		if err := ex.List(name, markettest.Broker(t, uint64(i+1))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -44,8 +40,8 @@ func TestExchangePerListingEndpoints(t *testing.T) {
 	}
 	var curve CurveResponse
 	getJSON(t, ts.URL+"/l/casp-b/curve?model=linear-regression", http.StatusOK, &curve)
-	if len(curve.Curve) != 8 {
-		t.Fatalf("curve rows %d", len(curve.Curve))
+	if len(curve.Curve) != markettest.GridPoints {
+		t.Fatalf("curve rows %d, want %d", len(curve.Curve), markettest.GridPoints)
 	}
 	var buy BuyResponse
 	postJSON(t, ts.URL+"/l/casp-a/buy", BuyRequest{Model: "linear-regression", Delta: f(curve.Curve[0].Delta)}, http.StatusOK, &buy)

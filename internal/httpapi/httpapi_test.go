@@ -11,18 +11,17 @@ import (
 	"github.com/datamarket/mbp/internal/core"
 	"github.com/datamarket/mbp/internal/loss"
 	"github.com/datamarket/mbp/internal/market"
+	"github.com/datamarket/mbp/internal/market/markettest"
 	"github.com/datamarket/mbp/internal/ml"
 )
 
-// newTestServer builds a marketplace once per test binary (training is
-// the expensive part) and serves it via httptest.
+// newTestServer serves a markettest fixture broker via httptest. The
+// expensive publish (training, Monte-Carlo, revenue DP) happens once
+// per test binary inside markettest; each server gets its own broker
+// and ledger.
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	mp, err := core.New(core.Config{Dataset: "CASP", Scale: 0.005, Seed: 3, MCSamples: 50, GridPoints: 10, XMax: 50})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(New(mp.Broker).Mux())
+	ts := httptest.NewServer(New(markettest.Broker(t, 3)).Mux())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -78,8 +77,8 @@ func TestCurve(t *testing.T) {
 	ts := newTestServer(t)
 	var curve CurveResponse
 	getJSON(t, ts.URL+"/curve?model=linear-regression", http.StatusOK, &curve)
-	if len(curve.Curve) != 10 {
-		t.Fatalf("curve rows %d", len(curve.Curve))
+	if len(curve.Curve) != markettest.GridPoints {
+		t.Fatalf("curve rows %d, want %d", len(curve.Curve), markettest.GridPoints)
 	}
 	for i := 1; i < len(curve.Curve); i++ {
 		if curve.Curve[i].Price < curve.Curve[i-1].Price-1e-9 {

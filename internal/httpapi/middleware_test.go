@@ -7,7 +7,7 @@ import (
 	"strings"
 	"testing"
 
-	"github.com/datamarket/mbp/internal/core"
+	"github.com/datamarket/mbp/internal/market/markettest"
 	"github.com/datamarket/mbp/internal/obs"
 )
 
@@ -66,12 +66,9 @@ func TestHealthz(t *testing.T) {
 // servers — instrumented on an isolated registry, and uninstrumented —
 // checking status-class bucketing and the WithoutMetrics escape hatch.
 func TestMiddlewareStatusClasses(t *testing.T) {
-	mp, err := core.New(core.Config{Dataset: "CASP", Scale: 0.005, Seed: 5, MCSamples: 40, GridPoints: 8, XMax: 40})
-	if err != nil {
-		t.Fatal(err)
-	}
+	broker := markettest.Broker(t, 5)
 	reg := obs.NewRegistry()
-	ts := httptest.NewServer(New(mp.Broker, WithRegistry(reg)).Mux())
+	ts := httptest.NewServer(New(broker, WithRegistry(reg)).Mux())
 	defer ts.Close()
 
 	getJSON(t, ts.URL+"/menu", http.StatusOK, nil)
@@ -91,7 +88,7 @@ func TestMiddlewareStatusClasses(t *testing.T) {
 	}
 
 	// WithoutMetrics: no /metrics route, healthz still served.
-	ts2 := httptest.NewServer(New(mp.Broker, WithoutMetrics()).Mux())
+	ts2 := httptest.NewServer(New(broker, WithoutMetrics()).Mux())
 	defer ts2.Close()
 	resp, err := http.Get(ts2.URL + "/metrics")
 	if err != nil {

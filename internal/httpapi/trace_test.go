@@ -10,8 +10,8 @@ import (
 	"testing"
 	"time"
 
-	"github.com/datamarket/mbp/internal/core"
 	"github.com/datamarket/mbp/internal/market"
+	"github.com/datamarket/mbp/internal/market/markettest"
 	"github.com/datamarket/mbp/internal/obs"
 	"github.com/datamarket/mbp/internal/obs/trace"
 
@@ -55,12 +55,8 @@ type tracedTree struct {
 // exchange→broker hop, and reaching down to the noise-injection leaf —
 // with the access-log line carrying the same trace_id.
 func TestExchangeBuyTracePropagation(t *testing.T) {
-	mp, err := core.New(core.Config{Dataset: "CASP", Scale: 0.005, Seed: 3, MCSamples: 40, GridPoints: 8, XMax: 40})
-	if err != nil {
-		t.Fatal(err)
-	}
 	ex := market.NewExchange()
-	if err := ex.List("casp", mp.Broker); err != nil {
+	if err := ex.List("casp", markettest.Broker(t, 3)); err != nil {
 		t.Fatal(err)
 	}
 	tr := trace.NewTracer(16)
@@ -168,11 +164,7 @@ func TestExchangeBuyTracePropagation(t *testing.T) {
 // TestWithoutTracing checks the escape hatch: no spans recorded, no
 // /debug/traces route, requests still served.
 func TestWithoutTracing(t *testing.T) {
-	mp, err := core.New(core.Config{Dataset: "CASP", Scale: 0.005, Seed: 4, MCSamples: 40, GridPoints: 8, XMax: 40})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(New(mp.Broker,
+	ts := httptest.NewServer(New(markettest.Broker(t, 4),
 		WithRegistry(obs.NewRegistry()),
 		WithoutTracing(),
 	).Mux())

@@ -1,0 +1,88 @@
+package market
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ledgerShardCount is the number of independent ledger stripes. Sales
+// contend only on the stripe their sequence number hashes to, so up to
+// this many appends proceed in parallel; a power of two keeps the
+// modulo a mask.
+const ledgerShardCount = 16
+
+// shardedLedger records transactions with one atomic sequence counter
+// and per-shard mutexes. Allocating a sequence number is a single
+// atomic add; filing the row locks only its stripe. Readers merge the
+// stripes back into Seq order on demand — the write-heavy purchase path
+// pays O(1), the read-side Ledger() pays the sort.
+type shardedLedger struct {
+	seq    atomic.Uint64
+	shards [ledgerShardCount]ledgerShard
+}
+
+// ledgerShard is one stripe, padded out to its own cache line so the
+// stripe locks do not false-share.
+type ledgerShard struct {
+	mu    sync.Mutex
+	txs   []Transaction
+	total float64
+	_     [24]byte
+}
+
+// nextSeq allocates the next 1-based sequence number. The number is
+// both the row's ledger position and the id of the RNG stream that
+// draws the sale's noise (see Broker.sell).
+func (l *shardedLedger) nextSeq() uint64 {
+	return l.seq.Add(1)
+}
+
+// record files a transaction under its sequence number's stripe.
+func (l *shardedLedger) record(tx Transaction) {
+	sh := &l.shards[uint64(tx.Seq)%ledgerShardCount]
+	sh.mu.Lock()
+	sh.txs = append(sh.txs, tx)
+	sh.total += tx.Price
+	sh.mu.Unlock()
+}
+
+// snapshot merges the stripes into one slice ordered by Seq. Sequence
+// numbers whose sale is still in flight (allocated but not yet
+// recorded) are absent; once writers quiesce the result is contiguous
+// 1..n.
+func (l *shardedLedger) snapshot() []Transaction {
+	out := make([]Transaction, 0, l.count())
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.txs...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// count returns the number of recorded transactions.
+func (l *shardedLedger) count() int {
+	n := 0
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		n += len(sh.txs)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// grossRevenue returns the sum of recorded prices across stripes.
+func (l *shardedLedger) grossRevenue() float64 {
+	var total float64
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		total += sh.total
+		sh.mu.Unlock()
+	}
+	return total
+}

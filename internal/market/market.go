@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/datamarket/mbp/internal/curves"
@@ -56,6 +57,11 @@ type Purchase struct {
 	ExpectedError float64
 	// Price is what the buyer paid.
 	Price float64
+	// Seq is the sale's ledger sequence number, which doubles as the
+	// id of the RNG stream that drew the instance's noise: a purchase
+	// is deterministic in (broker seed, Seq, δ), regardless of which
+	// goroutine executed it.
+	Seq int
 }
 
 // Transaction is a ledger row.
@@ -95,14 +101,59 @@ func (o *offer) transformFor(epsName string) (*pricing.Transform, error) {
 
 // Broker mediates between a seller and buyers (Figure 1B). It charges
 // the seller a commission rate on every sale.
+//
+// The serving hot path — Quote, the Buy* options, and the menu readers
+// — is lock-free: published offers live in an immutable snapshot
+// behind an atomic pointer, each sale draws its noise from an
+// independent seed-derived RNG stream (stream id = ledger sequence
+// number), and the ledger is sharded so concurrent appends contend
+// only per stripe. Only offer publication (AddModel and friends)
+// serializes, under b.mu, via copy-on-write on the snapshot.
 type Broker struct {
+	// mu serializes offer publication: writers copy the current offer
+	// table, extend it, and atomically install the new snapshot. It
+	// also guards r, the publish-time Monte-Carlo randomness. The
+	// serving path never takes it.
 	mu         sync.Mutex
 	seller     *Seller
 	mech       noise.Mechanism
 	r          *rng.RNG
+	saleSeed   uint64
 	commission float64
-	offers     map[ml.Model]*offer
-	ledger     []Transaction
+	offers     atomic.Pointer[offerTable]
+	ledger     shardedLedger
+}
+
+// offerTable is an immutable snapshot of the published offers. Readers
+// load it atomically and navigate without coordination; writers never
+// mutate a published table, they replace it wholesale.
+type offerTable struct {
+	offers map[ml.Model]*offer
+}
+
+// table returns the current offer snapshot's map (never nil).
+func (b *Broker) table() map[ml.Model]*offer {
+	return b.offers.Load().offers
+}
+
+// lookup resolves model m in the current snapshot without locking.
+func (b *Broker) lookup(m ml.Model) (*offer, bool) {
+	off, ok := b.table()[m]
+	return off, ok
+}
+
+// publishLocked installs off under m via copy-on-write. Callers hold
+// b.mu, which serializes concurrent publishers; readers keep serving
+// the previous snapshot until the Store and never observe a torn
+// table.
+func (b *Broker) publishLocked(m ml.Model, off *offer) {
+	old := b.table()
+	next := make(map[ml.Model]*offer, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[m] = off
+	b.offers.Store(&offerTable{offers: next})
 }
 
 // NewBroker creates a broker for the seller using the given noise
@@ -122,13 +173,15 @@ func NewBroker(seller *Seller, mech noise.Mechanism, seed uint64, commission flo
 	if commission < 0 || commission >= 1 {
 		return nil, fmt.Errorf("market: commission %v outside [0, 1)", commission)
 	}
-	return &Broker{
+	b := &Broker{
 		seller:     seller,
 		mech:       mech,
 		r:          rng.New(seed),
+		saleSeed:   seed,
 		commission: commission,
-		offers:     make(map[ml.Model]*offer),
-	}, nil
+	}
+	b.offers.Store(&offerTable{offers: make(map[ml.Model]*offer)})
+	return b, nil
 }
 
 // AddModelOptions configure offer construction.
@@ -167,7 +220,7 @@ func (b *Broker) AddModel(m ml.Model, opts AddModelOptions) error {
 	defer span.End()
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if _, dup := b.offers[m]; dup {
+	if _, dup := b.lookup(m); dup {
 		return fmt.Errorf("market: model %v already offered", m)
 	}
 	if b.seller.Research == nil {
@@ -243,7 +296,7 @@ func (b *Broker) AddModel(m ml.Model, opts AddModelOptions) error {
 	if err != nil {
 		return err
 	}
-	b.offers[m] = &offer{optimal: optimal, transform: tr, curve: curve, epsilon: eps, evalOn: evalOn, extras: extras}
+	b.publishLocked(m, &offer{optimal: optimal, transform: tr, curve: curve, epsilon: eps, evalOn: evalOn, extras: extras})
 	return nil
 }
 
@@ -285,7 +338,7 @@ func (b *Broker) AddModelFromErrorResearch(m ml.Model, opts AddModelOptions, res
 	defer span.End()
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if _, dup := b.offers[m]; dup {
+	if _, dup := b.lookup(m); dup {
 		return fmt.Errorf("market: model %v already offered", m)
 	}
 	if len(research) == 0 {
@@ -342,7 +395,7 @@ func (b *Broker) AddModelFromErrorResearch(m ml.Model, opts AddModelOptions, res
 	if err != nil {
 		return err
 	}
-	b.offers[m] = &offer{optimal: optimal, transform: tr, curve: curve, epsilon: eps, evalOn: evalOn}
+	b.publishLocked(m, &offer{optimal: optimal, transform: tr, curve: curve, epsilon: eps, evalOn: evalOn})
 	return nil
 }
 
@@ -366,11 +419,9 @@ func defaultEpsilon(m ml.Model) (loss.Loss, error) {
 var ErrUnknownEpsilon = errors.New("market: unsupported error function")
 
 // Epsilons lists the error functions supported for model m, default
-// first.
+// first. Lock-free: it reads the current offer snapshot.
 func (b *Broker) Epsilons(m ml.Model) ([]string, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	off, ok := b.offers[m]
+	off, ok := b.lookup(m)
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
 	}
@@ -384,11 +435,10 @@ func (b *Broker) Epsilons(m ml.Model) ([]string, error) {
 }
 
 // PriceErrorCurveFor returns the buyer-facing menu measured under the
-// named error function (empty = the offer's default).
+// named error function (empty = the offer's default). Lock-free: the
+// menu comes off the immutable offer snapshot.
 func (b *Broker) PriceErrorCurveFor(m ml.Model, epsName string) ([]pricing.PriceError, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	off, ok := b.offers[m]
+	off, ok := b.lookup(m)
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
 	}
@@ -411,9 +461,7 @@ func (b *Broker) BuyWithErrorBudgetFor(m ml.Model, epsName string, maxErr float6
 func (b *Broker) BuyWithErrorBudgetForContext(ctx context.Context, m ml.Model, epsName string, maxErr float64) (*Purchase, error) {
 	ctx, span := trace.Start(ctx, "market.buy", "option", "error_budget", "model", m.String())
 	defer span.End()
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	off, ok := b.offers[m]
+	off, ok := b.lookup(m)
 	if !ok {
 		metRejected.Inc()
 		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
@@ -432,15 +480,14 @@ func (b *Broker) BuyWithErrorBudgetForContext(ctx context.Context, m ml.Model, e
 	// by construction, but guard against numerical drift).
 	lo, hi := off.deltaBounds()
 	delta = math.Min(math.Max(delta, lo), hi)
-	return b.sellLocked(ctx, m, off, delta), nil
+	return b.sell(ctx, m, off, delta), nil
 }
 
-// Models lists the offered models (the menu M).
+// Models lists the offered models (the menu M). Lock-free.
 func (b *Broker) Models() []ml.Model {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]ml.Model, 0, len(b.offers))
-	for m := range b.offers {
+	offers := b.table()
+	out := make([]ml.Model, 0, len(offers))
+	for m := range offers {
 		out = append(out, m)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -451,11 +498,9 @@ func (b *Broker) Models() []ml.Model {
 var ErrUnknownModel = errors.New("market: model not offered")
 
 // PriceErrorCurve returns the buyer-facing menu of (δ, expected error,
-// price) rows for model m (Figure 1C, step 2).
+// price) rows for model m (Figure 1C, step 2). Lock-free.
 func (b *Broker) PriceErrorCurve(m ml.Model) ([]pricing.PriceError, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	off, ok := b.offers[m]
+	off, ok := b.lookup(m)
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
 	}
@@ -480,9 +525,7 @@ func (b *Broker) BuyAtPoint(m ml.Model, delta float64) (*Purchase, error) {
 func (b *Broker) BuyAtPointContext(ctx context.Context, m ml.Model, delta float64) (*Purchase, error) {
 	ctx, span := trace.Start(ctx, "market.buy", "option", "point", "model", m.String())
 	defer span.End()
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	off, ok := b.offers[m]
+	off, ok := b.lookup(m)
 	if !ok {
 		metRejected.Inc()
 		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
@@ -492,7 +535,7 @@ func (b *Broker) BuyAtPointContext(ctx context.Context, m ml.Model, delta float6
 		metRejected.Inc()
 		return nil, fmt.Errorf("market: δ=%v outside offered range [%v, %v]", delta, lo, hi)
 	}
-	return b.sellLocked(ctx, m, off, delta), nil
+	return b.sell(ctx, m, off, delta), nil
 }
 
 // ErrBudgetTooSmall is returned when no offered version fits the budget.
@@ -519,9 +562,7 @@ func (b *Broker) BuyWithPriceBudget(m ml.Model, budget float64) (*Purchase, erro
 func (b *Broker) BuyWithPriceBudgetContext(ctx context.Context, m ml.Model, budget float64) (*Purchase, error) {
 	ctx, span := trace.Start(ctx, "market.buy", "option", "price_budget", "model", m.String())
 	defer span.End()
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	off, ok := b.offers[m]
+	off, ok := b.lookup(m)
 	if !ok {
 		metRejected.Inc()
 		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
@@ -544,7 +585,7 @@ func (b *Broker) BuyWithPriceBudgetContext(ctx context.Context, m ml.Model, budg
 		}
 	}
 	search.End()
-	return b.sellLocked(ctx, m, off, hiD), nil
+	return b.sell(ctx, m, off, hiD), nil
 }
 
 // Quote previews the price and expected error of the version at NCP δ
@@ -553,13 +594,13 @@ func (b *Broker) Quote(m ml.Model, delta float64) (price, expectedError float64,
 	return b.QuoteContext(context.Background(), m, delta)
 }
 
-// QuoteContext is Quote traced on the caller's context.
+// QuoteContext is Quote traced on the caller's context. Lock-free: the
+// quote is evaluated on the immutable offer snapshot, so quotes keep
+// flowing while a slow AddModel holds Broker.mu.
 func (b *Broker) QuoteContext(ctx context.Context, m ml.Model, delta float64) (price, expectedError float64, err error) {
 	ctx, span := trace.Start(ctx, "market.quote", "model", m.String())
 	defer span.End()
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	off, ok := b.offers[m]
+	off, ok := b.lookup(m)
 	if !ok {
 		return 0, 0, fmt.Errorf("%w: %v", ErrUnknownModel, m)
 	}
@@ -568,30 +609,41 @@ func (b *Broker) QuoteContext(ctx context.Context, m ml.Model, delta float64) (p
 		return 0, 0, fmt.Errorf("market: δ=%v outside offered range [%v, %v]", delta, lo, hi)
 	}
 	metQuotes.Inc()
+	// End the span explicitly around the evaluation (a deferred End
+	// would run after the return expression and time nothing).
 	_, eval := trace.Start(ctx, "pricing.curve_eval", "delta", strconv.FormatFloat(delta, 'g', -1, 64))
-	defer eval.End()
-	return off.curve.Price(1 / delta), off.transform.ErrorForDelta(delta), nil
+	price = off.curve.Price(1 / delta)
+	expectedError = off.transform.ErrorForDelta(delta)
+	eval.End()
+	return price, expectedError, nil
 }
 
-// sellLocked performs the sale. Callers hold b.mu. The three steps of
+// sell performs the sale without taking Broker.mu. The three steps of
 // Figure 1C's delivery — price-function evaluation, noise injection,
 // ledger append — each record a child span on the caller's trace.
-func (b *Broker) sellLocked(ctx context.Context, m ml.Model, off *offer, delta float64) *Purchase {
+// Price and expected error come off the immutable offer snapshot; the
+// noise draw runs on the sale's own seed-derived RNG stream, whose
+// stream id is the ledger sequence number (replaying stream s
+// reproduces sale s exactly, regardless of which goroutine executed
+// it); and the ledger append locks only one shard.
+func (b *Broker) sell(ctx context.Context, m ml.Model, off *offer, delta float64) *Purchase {
 	_, eval := trace.Start(ctx, "pricing.curve_eval", "delta", strconv.FormatFloat(delta, 'g', -1, 64))
 	price := off.curve.Price(1 / delta)
 	expErr := off.transform.ErrorForDelta(delta)
 	eval.End()
-	instance := noise.PerturbContext(ctx, b.mech, off.optimal, delta, b.r)
+	seq := b.ledger.nextSeq()
+	instance := noise.PerturbContext(ctx, b.mech, off.optimal, delta, rng.Stream(b.saleSeed, seq))
 	p := &Purchase{
 		Instance:      instance,
 		Model:         m,
 		Delta:         delta,
 		ExpectedError: expErr,
 		Price:         price,
+		Seq:           int(seq),
 	}
-	_, ledger := trace.Start(ctx, "market.ledger_append", "seq", strconv.Itoa(len(b.ledger)+1))
-	b.ledger = append(b.ledger, Transaction{
-		Seq:           len(b.ledger) + 1,
+	_, ledger := trace.Start(ctx, "market.ledger_append", "seq", strconv.FormatUint(seq, 10))
+	b.ledger.record(Transaction{
+		Seq:           int(seq),
 		Model:         m,
 		Delta:         delta,
 		Price:         price,
@@ -603,30 +655,21 @@ func (b *Broker) sellLocked(ctx context.Context, m ml.Model, off *offer, delta f
 	return p
 }
 
-// Ledger returns a copy of all transactions.
+// Ledger returns a copy of all recorded transactions in Seq order.
 func (b *Broker) Ledger() []Transaction {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return append([]Transaction(nil), b.ledger...)
+	return b.ledger.snapshot()
 }
 
 // RevenueSplit returns the seller's and broker's cumulative shares.
 func (b *Broker) RevenueSplit() (sellerShare, brokerShare float64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	var total float64
-	for _, t := range b.ledger {
-		total += t.Price
-	}
+	total := b.ledger.grossRevenue()
 	return total * (1 - b.commission), total * b.commission
 }
 
 // Optimal exposes the trained optimum for experiment harnesses; the
 // production market never hands it to buyers.
 func (b *Broker) Optimal(m ml.Model) (*ml.Instance, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	off, ok := b.offers[m]
+	off, ok := b.lookup(m)
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
 	}
@@ -635,9 +678,7 @@ func (b *Broker) Optimal(m ml.Model) (*ml.Instance, error) {
 
 // Curve exposes the published pricing curve for model m.
 func (b *Broker) Curve(m ml.Model) (*pricing.Curve, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	off, ok := b.offers[m]
+	off, ok := b.lookup(m)
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
 	}

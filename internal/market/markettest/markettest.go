@@ -1,0 +1,111 @@
+// Package markettest provides cheap, deterministic broker fixtures for
+// tests and benchmarks.
+//
+// The first fixture built in a process pays the full publish cost —
+// dataset generation, training, the Monte-Carlo/analytic error
+// transform, and the revenue DP. Its pricing artifacts are then cached
+// as an offer snapshot, so every further fixture is a NewBroker plus a
+// snapshot restore: fast enough to hand a fresh, isolated broker to
+// each test or benchmark iteration. Because restored offers are
+// bit-identical and purchases draw from seed-derived RNG streams,
+// brokers constructed with the same seed are interchangeable replicas:
+// same menu, same per-stream noise draws.
+package markettest
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/core"
+	"github.com/datamarket/mbp/internal/market"
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/noise"
+	"github.com/datamarket/mbp/internal/pricing"
+)
+
+// Model is the hypothesis space every fixture offers.
+const Model = ml.LinearRegression
+
+// ModelName is Model's wire name, for HTTP-layer tests.
+const ModelName = "linear-regression"
+
+// GridPoints is the number of menu rows every fixture publishes.
+const GridPoints = 20
+
+// Commission is every fixture broker's cut of each sale.
+const Commission = 0.1
+
+var fixture struct {
+	once   sync.Once
+	seller *market.Seller // dataset + research, shared read-only
+	offers []byte         // SaveOffers output of the canonical broker
+	err    error
+}
+
+func build() {
+	mp, err := core.New(core.Config{
+		Dataset:    "CASP",
+		Scale:      0.005,
+		Seed:       1,
+		MCSamples:  60,
+		GridPoints: GridPoints,
+		XMax:       50,
+		Commission: Commission,
+	})
+	if err != nil {
+		fixture.err = err
+		return
+	}
+	var buf bytes.Buffer
+	if err := mp.Broker.SaveOffers(&buf); err != nil {
+		fixture.err = err
+		return
+	}
+	fixture.seller, fixture.offers = mp.Seller, buf.Bytes()
+}
+
+// New returns a fresh broker with the canonical CASP linear-regression
+// offer published. The dataset and market research are shared
+// (read-only) across fixtures; the broker's ledger and RNG streams are
+// its own, seeded with seed.
+func New(seed uint64) (*market.Broker, error) {
+	fixture.once.Do(build)
+	if fixture.err != nil {
+		return nil, fixture.err
+	}
+	seller := &market.Seller{
+		Name:     "markettest",
+		Data:     fixture.seller.Data,
+		Research: fixture.seller.Research,
+	}
+	b, err := market.NewBroker(seller, noise.Gaussian{}, seed, Commission)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.LoadOffers(bytes.NewReader(fixture.offers)); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Broker is New for tests: it fails tb on error.
+func Broker(tb testing.TB, seed uint64) *market.Broker {
+	tb.Helper()
+	b, err := New(seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+// Menu returns the fixture's published price–error menu, failing tb on
+// error. Rows are ordered cheapest (noisiest) first.
+func Menu(tb testing.TB, b *market.Broker) []pricing.PriceError {
+	tb.Helper()
+	menu, err := b.PriceErrorCurve(Model)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return menu
+}

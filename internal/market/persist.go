@@ -34,9 +34,7 @@ type OfferSnapshot struct {
 
 // SnapshotOffer exports the state of an offered model.
 func (b *Broker) SnapshotOffer(m ml.Model) (*OfferSnapshot, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	off, ok := b.offers[m]
+	off, ok := b.lookup(m)
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, m)
 	}
@@ -88,13 +86,13 @@ func (b *Broker) RestoreOffer(s *OfferSnapshot) error {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if _, dup := b.offers[s.Model]; dup {
+	if _, dup := b.lookup(s.Model); dup {
 		return fmt.Errorf("market: model %v already offered", s.Model)
 	}
 	if d := b.seller.Data.Train.D(); len(s.Weights) != d {
 		return fmt.Errorf("market: snapshot has %d weights but the dataset has %d features", len(s.Weights), d)
 	}
-	b.offers[s.Model] = &offer{
+	b.publishLocked(s.Model, &offer{
 		optimal: &ml.Instance{
 			Model:     s.Model,
 			W:         append([]float64(nil), s.Weights...),
@@ -107,7 +105,7 @@ func (b *Broker) RestoreOffer(s *OfferSnapshot) error {
 		epsilon:   eps,
 		evalOn:    b.seller.Data.Test,
 		extras:    s.Extras,
-	}
+	})
 	return nil
 }
 

@@ -29,10 +29,8 @@ func (b *Broker) SimulateBuyers(m ml.Model, nBuyers int, seed uint64) (Simulatio
 	if nBuyers <= 0 {
 		return SimulationSummary{}, fmt.Errorf("market: non-positive buyer count %d", nBuyers)
 	}
-	b.mu.Lock()
-	off, ok := b.offers[m]
+	off, ok := b.lookup(m)
 	research := b.seller.Research
-	b.mu.Unlock()
 	if !ok {
 		return SimulationSummary{}, fmt.Errorf("%w: %v", ErrUnknownModel, m)
 	}

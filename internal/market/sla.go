@@ -57,10 +57,8 @@ func (b *Broker) VerifySLA(m ml.Model, samples int, seed uint64) (SLAReport, err
 	if samples <= 0 {
 		return SLAReport{}, fmt.Errorf("market: non-positive sample count %d", samples)
 	}
-	b.mu.Lock()
-	off, ok := b.offers[m]
+	off, ok := b.lookup(m)
 	mech := b.mech
-	b.mu.Unlock()
 	if !ok {
 		return SLAReport{}, fmt.Errorf("%w: %v", ErrUnknownModel, m)
 	}
@@ -76,10 +74,8 @@ func (b *Broker) VerifySLA(m ml.Model, samples int, seed uint64) (SLAReport, err
 
 // ExportLedger writes the transaction ledger and revenue split as JSON.
 func (b *Broker) ExportLedger(w io.Writer) error {
-	b.mu.Lock()
-	txs := append([]Transaction(nil), b.ledger...)
+	txs := b.ledger.snapshot()
 	commission := b.commission
-	b.mu.Unlock()
 	var total float64
 	for _, t := range txs {
 		total += t.Price

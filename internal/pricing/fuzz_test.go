@@ -1,7 +1,10 @@
 package pricing
 
 import (
+	"encoding/binary"
 	"encoding/json"
+	"math"
+	"sort"
 	"testing"
 )
 
@@ -28,6 +31,72 @@ func FuzzCurveUnmarshal(f *testing.F) {
 			}
 		}
 		_ = c.Certify()
+	})
+}
+
+// FuzzNewCurveInvariants drives NewCurve → Price/Certify over random
+// point sets, checking the Definitions 1–5 invariants: any accepted
+// curve evaluates to a finite, non-negative price everywhere, and any
+// curve that passes Certify is monotone non-decreasing in x = 1/δ
+// (less noise never costs less).
+func FuzzNewCurveInvariants(f *testing.F) {
+	pack := func(vals ...float64) []byte {
+		out := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+		}
+		return out
+	}
+	f.Add(pack(1, 10))
+	f.Add(pack(1, 10, 2, 15, 4, 20))
+	f.Add(pack(1, 10, 2, 40))         // ratio-increasing: must fail Certify
+	f.Add(pack(0.5, 3, 1, 2))         // price-decreasing: must fail Certify
+	f.Add(pack(1e-6, 1e-6, 1e6, 1e6)) // extreme but valid scales
+	f.Add(pack(1, 0, 2, 0, 3, 0))     // free curve
+	f.Add(pack(math.Inf(1), 1))       // rejected by NewCurve
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var pts []Point
+		for i := 0; i+16 <= len(data) && len(pts) < 64; i += 16 {
+			pts = append(pts, Point{
+				X:     math.Float64frombits(binary.LittleEndian.Uint64(data[i:])),
+				Price: math.Float64frombits(binary.LittleEndian.Uint64(data[i+8:])),
+			})
+		}
+		c, err := NewCurve(pts)
+		if err != nil {
+			return
+		}
+		certified := c.Certify() == nil
+
+		// Probe x = 0, every breakpoint, segment midpoints, and the
+		// constant extension beyond the last breakpoint.
+		kept := c.Points()
+		probes := []float64{0, kept[len(kept)-1].X * 2, kept[len(kept)-1].X * 1e6}
+		for i, p := range kept {
+			probes = append(probes, p.X)
+			if i > 0 {
+				probes = append(probes, (kept[i-1].X+p.X)/2)
+			} else {
+				probes = append(probes, p.X/2)
+			}
+		}
+		sort.Float64s(probes)
+		prev := math.Inf(-1)
+		for _, x := range probes {
+			if math.IsInf(x, 0) {
+				continue
+			}
+			price := c.Price(x)
+			if math.IsNaN(price) || price < 0 {
+				t.Fatalf("Price(%v) = %v on accepted curve %v", x, price, kept)
+			}
+			if certified && price < prev-certTol*(1+math.Abs(prev)) {
+				t.Fatalf("certified curve not monotone in 1/δ: Price(%v) = %v after %v (points %v)", x, price, prev, kept)
+			}
+			if price > prev {
+				prev = price
+			}
+		}
 	})
 }
 

@@ -14,7 +14,10 @@
 // not share or race on generator state.
 package rng
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // golden is the 64-bit golden-ratio increment used by SplitMix64.
 const golden = 0x9e3779b97f4a7c15
@@ -42,6 +45,49 @@ func (r *RNG) Split() *RNG {
 	// Mix the child seed through one extra permutation round so that
 	// Split(i) streams are decorrelated from the parent's own outputs.
 	return New(mix(r.Uint64() ^ 0x5851f42d4c957f2d))
+}
+
+// streamSalt domain-separates Stream(seed, id) from New(seed) and from
+// Split children, so the jump streams never replay a generator built
+// directly from the same seed.
+const streamSalt = 0xc2b2ae3d27d4eb4f
+
+// Stream returns the id-th independent generator derived from seed.
+// Unlike Split it needs no shared parent state: Stream(seed, id) is a
+// pure function of its arguments, so concurrent callers can jump
+// straight to their own stream without coordinating — the lock-free
+// analogue of calling Split id times. Distinct ids are decorrelated by
+// two full SplitMix64 mixing rounds over (seed, id).
+func Stream(seed, id uint64) *RNG {
+	return New(mix(mix(seed^streamSalt) ^ mix(id*golden+streamSalt)))
+}
+
+// Splitter hands out Stream ids from an atomic counter: a
+// concurrency-safe Split. Many goroutines may call Next simultaneously;
+// each receives a distinct, deterministic stream, and the whole
+// assignment is reproducible given the order of id allocation. The zero
+// Splitter is a valid splitter for seed 0; prefer NewSplitter.
+type Splitter struct {
+	seed uint64
+	next atomic.Uint64
+}
+
+// NewSplitter returns a splitter deriving streams from seed.
+func NewSplitter(seed uint64) *Splitter {
+	return &Splitter{seed: seed}
+}
+
+// Next returns the next unused stream together with its id (ids start
+// at 1). Safe for concurrent use.
+func (s *Splitter) Next() (*RNG, uint64) {
+	id := s.next.Add(1)
+	return Stream(s.seed, id), id
+}
+
+// Stream returns the generator for a caller-assigned id — e.g. to
+// replay one stream of a previous run without re-drawing the others.
+func (s *Splitter) Stream(id uint64) *RNG {
+	return Stream(s.seed, id)
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -2,6 +2,7 @@ package rng
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -40,6 +41,108 @@ func TestSplitIndependence(t *testing.T) {
 		if c1.Uint64() == c2.Uint64() {
 			t.Fatalf("child streams collided at step %d", i)
 		}
+	}
+}
+
+func TestStreamDeterministicAndDistinct(t *testing.T) {
+	// Same (seed, id) → identical stream.
+	a, b := Stream(42, 7), Stream(42, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Stream(42, 7) diverged at step %d", i)
+		}
+	}
+	// Distinct ids (and distinct seeds) → no collisions over a run.
+	streams := []*RNG{Stream(42, 1), Stream(42, 2), Stream(42, 3), Stream(43, 1), New(42)}
+	for i := 0; i < 1000; i++ {
+		seen := make(map[uint64]int, len(streams))
+		for j, s := range streams {
+			v := s.Uint64()
+			if k, dup := seen[v]; dup {
+				t.Fatalf("streams %d and %d collided at step %d", k, j, i)
+			}
+			seen[v] = j
+		}
+	}
+}
+
+func TestStreamNotShiftedCopies(t *testing.T) {
+	// Adjacent ids must not be lag-shifted copies of one another (the
+	// failure mode of seeding SplitMix64 with raw id increments).
+	a, b := Stream(1, 1), Stream(1, 2)
+	const n = 512
+	av := make([]uint64, n)
+	for i := range av {
+		av[i] = a.Uint64()
+	}
+	bv := make([]uint64, n)
+	for i := range bv {
+		bv[i] = b.Uint64()
+	}
+	for lag := -4; lag <= 4; lag++ {
+		matches := 0
+		for i := 0; i < n; i++ {
+			j := i + lag
+			if j >= 0 && j < n && av[i] == bv[j] {
+				matches++
+			}
+		}
+		if matches > 0 {
+			t.Fatalf("streams 1 and 2 share %d outputs at lag %d", matches, lag)
+		}
+	}
+}
+
+func TestStreamMoments(t *testing.T) {
+	// Pooled draws across many streams stay uniform.
+	const streams, draws = 100, 2000
+	var sum float64
+	for id := uint64(1); id <= streams; id++ {
+		r := Stream(99, id)
+		for i := 0; i < draws; i++ {
+			sum += r.Float64()
+		}
+	}
+	mean := sum / (streams * draws)
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("pooled stream mean %v too far from 0.5", mean)
+	}
+}
+
+func TestSplitterConcurrentIdsUnique(t *testing.T) {
+	s := NewSplitter(7)
+	const workers, perWorker = 16, 64
+	ids := make(chan uint64, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r, id := s.Next()
+				// The handed-out stream is the one the id names.
+				if r.Uint64() != s.Stream(id).Uint64() {
+					t.Errorf("Next() stream does not match Stream(%d)", id)
+				}
+				ids <- id
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[uint64]bool)
+	max := uint64(0)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate stream id %d", id)
+		}
+		seen[id] = true
+		if id > max {
+			max = id
+		}
+	}
+	if len(seen) != workers*perWorker || max != workers*perWorker {
+		t.Fatalf("ids not dense: %d distinct, max %d", len(seen), max)
 	}
 }
 
