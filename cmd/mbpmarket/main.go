@@ -17,6 +17,11 @@
 // Logs are JSON (log/slog); lines emitted while serving a request carry
 // the request's trace_id and span_id, joining them to /debug/traces.
 //
+// Requests run under a server-side deadline (-request-timeout), an
+// optional concurrency cap (-max-inflight, -queue-wait), and /buy is
+// idempotent per Idempotency-Key header; -chaos injects faults for
+// resilience drills. See docs/resilience.md.
+//
 // Example:
 //
 //	mbpmarket -dataset CASP -addr 127.0.0.1:8080 &
@@ -44,6 +49,7 @@ import (
 	"github.com/datamarket/mbp/internal/market"
 	"github.com/datamarket/mbp/internal/obs"
 	"github.com/datamarket/mbp/internal/obs/trace"
+	"github.com/datamarket/mbp/internal/resilience"
 )
 
 func main() {
@@ -59,6 +65,11 @@ func main() {
 		metrics = flag.Bool("metrics", true, "instrument requests and serve GET /metrics")
 		traces  = flag.Bool("traces", true, "record request span trees and serve GET /debug/traces")
 		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "server-side deadline per request; 0 disables")
+		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently served requests; 0 disables")
+		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for an admission slot before shedding with 503")
+		chaosSpec   = flag.String("chaos", "", "fault injection, e.g. err=0.1,latency=0.05,latency-ms=20,hang=0.01,drop=0.02,seed=7")
 	)
 	flag.Parse()
 
@@ -74,6 +85,23 @@ func main() {
 	if !*traces {
 		opts = append(opts, httpapi.WithoutTracing())
 	}
+	if *reqTimeout > 0 {
+		opts = append(opts, httpapi.WithRequestTimeout(*reqTimeout))
+	}
+	if *maxInflight > 0 {
+		opts = append(opts, httpapi.WithAdmission(*maxInflight, *queueWait))
+	}
+	if *chaosSpec != "" {
+		chaos, err := resilience.ParseChaos(*chaosSpec)
+		if err != nil {
+			fatal(logger, err)
+		}
+		logger.Warn("CHAOS MODE: injecting faults into live traffic", "spec", *chaosSpec)
+		opts = append(opts, httpapi.WithChaos(chaos))
+	}
+	// The exchange→broker hop ships guarded by default; single-broker
+	// mode ignores these options.
+	opts = append(opts, httpapi.WithHopBreaker(resilience.BreakerConfig{}))
 
 	if *dsList != "" {
 		serveExchange(logger, *addr, strings.Split(*dsList, ","), *scale, *seed, *samples, *pprofOn, opts)

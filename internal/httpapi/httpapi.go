@@ -18,6 +18,15 @@
 // traceparent), so a purchase shows up at /debug/traces as a span tree
 // covering pricing, noise injection and the ledger append.
 //
+// /buy is idempotent when the client sends an Idempotency-Key header:
+// a retry with the same key returns the original sale (same seq, same
+// weights, one ledger row) with Idempotency-Replayed: true, so clients
+// may retry 5xx responses without risking a double charge. Request
+// bodies are bounded, non-finite numbers are rejected at the boundary,
+// and the resilience options in resilience.go add server-side
+// deadlines, admission control and fault injection; see
+// docs/resilience.md.
+//
 // cmd/mbpmarket wraps this package in a binary; tests drive it through
 // net/http/httptest.
 package httpapi
@@ -28,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
 
@@ -180,6 +190,12 @@ func (s *Server) quote(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(r, w, http.StatusBadRequest, fmt.Errorf("bad delta: %w", err))
 		return
 	}
+	// ParseFloat happily accepts "NaN" and "Inf"; reject them here so
+	// non-finite values never reach the pricing code.
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		s.writeErr(r, w, http.StatusBadRequest, errors.New("delta must be finite"))
+		return
+	}
 	price, expErr, err := s.broker.QuoteContext(r.Context(), m, delta)
 	if err != nil {
 		s.writeErr(r, w, statusFor(err), err)
@@ -200,18 +216,33 @@ type BuyRequest struct {
 	Epsilon string `json:"epsilon,omitempty"`
 }
 
-// BuyResponse is the delivered model instance.
+// BuyResponse is the delivered model instance. Seq is the sale's
+// ledger sequence number: a replayed idempotent retry returns the
+// original sale's Seq, so clients can tell "charged again" from
+// "answered from the replay cache".
 type BuyResponse struct {
 	Model         string    `json:"model"`
 	Delta         float64   `json:"delta"`
 	ExpectedError float64   `json:"expectedError"`
 	Price         float64   `json:"price"`
 	Weights       []float64 `json:"weights"`
+	Seq           int       `json:"seq"`
 }
+
+// maxBuyBody bounds a /buy request body. The largest legitimate
+// request is a few short JSON fields; 1 MiB is generous headroom
+// before a hostile or broken client can make the decoder buffer
+// arbitrary amounts.
+const maxBuyBody = 1 << 20
 
 func (s *Server) buy(w http.ResponseWriter, r *http.Request) {
 	var req BuyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBuyBody)).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeErr(r, w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
 		s.writeErr(r, w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
@@ -220,29 +251,49 @@ func (s *Server) buy(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(r, w, http.StatusBadRequest, err)
 		return
 	}
+	options := []struct {
+		name string
+		v    *float64
+	}{
+		{"delta", req.Delta},
+		{"errorBudget", req.ErrorBudget},
+		{"priceBudget", req.PriceBudget},
+	}
 	set := 0
-	for _, p := range []*float64{req.Delta, req.ErrorBudget, req.PriceBudget} {
-		if p != nil {
-			set++
+	for _, o := range options {
+		if o.v == nil {
+			continue
+		}
+		set++
+		// encoding/json rejects NaN/Inf literals, but guard the API
+		// boundary anyway so no caller path hands the pricing code a
+		// non-finite number.
+		if math.IsNaN(*o.v) || math.IsInf(*o.v, 0) {
+			s.writeErr(r, w, http.StatusBadRequest, fmt.Errorf("%s must be finite", o.name))
+			return
 		}
 	}
 	if set != 1 {
 		s.writeErr(r, w, http.StatusBadRequest, errors.New("set exactly one of delta, errorBudget, priceBudget"))
 		return
 	}
-	ctx := r.Context()
-	var p *market.Purchase
-	switch {
-	case req.Delta != nil:
-		p, err = s.broker.BuyAtPointContext(ctx, m, *req.Delta)
-	case req.ErrorBudget != nil:
-		p, err = s.broker.BuyWithErrorBudgetForContext(ctx, m, req.Epsilon, *req.ErrorBudget)
-	default:
-		p, err = s.broker.BuyWithPriceBudgetContext(ctx, m, *req.PriceBudget)
+	buy := func(ctx context.Context) (*market.Purchase, error) {
+		switch {
+		case req.Delta != nil:
+			return s.broker.BuyAtPointContext(ctx, m, *req.Delta)
+		case req.ErrorBudget != nil:
+			return s.broker.BuyWithErrorBudgetForContext(ctx, m, req.Epsilon, *req.ErrorBudget)
+		default:
+			return s.broker.BuyWithPriceBudgetContext(ctx, m, *req.PriceBudget)
+		}
 	}
+	p, replayed, err := s.broker.BuyIdempotent(r.Context(), r.Header.Get("Idempotency-Key"), buy)
 	if err != nil {
 		s.writeErr(r, w, statusFor(err), err)
 		return
+	}
+	if replayed {
+		w.Header().Set("Idempotency-Replayed", "true")
 	}
 	s.writeJSON(r, w, http.StatusOK, BuyResponse{
 		Model:         p.Model.String(),
@@ -250,6 +301,7 @@ func (s *Server) buy(w http.ResponseWriter, r *http.Request) {
 		ExpectedError: p.ExpectedError,
 		Price:         p.Price,
 		Weights:       p.Instance.W,
+		Seq:           p.Seq,
 	})
 }
 
@@ -272,6 +324,10 @@ func (s *Server) ledger(w http.ResponseWriter, r *http.Request) {
 // statusFor maps broker errors onto HTTP statuses.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
 	case errors.Is(err, market.ErrUnknownModel):
 		return http.StatusNotFound
 	case errors.Is(err, market.ErrUnknownEpsilon):

@@ -9,15 +9,23 @@ import (
 
 	"github.com/datamarket/mbp/internal/obs"
 	"github.com/datamarket/mbp/internal/obs/trace"
+	"github.com/datamarket/mbp/internal/resilience"
 )
 
-// config carries the observability settings shared by Server and
-// ExchangeServer.
+// config carries the observability and resilience settings shared by
+// Server and ExchangeServer.
 type config struct {
 	reg     *obs.Registry
 	metrics bool
 	tracer  *trace.Tracer
 	logger  *slog.Logger
+
+	// Resilience knobs; see resilience.go for the options.
+	timeout    time.Duration             // server-side default request deadline
+	limiter    *resilience.Limiter       // admission control, nil = unlimited
+	chaos      *resilience.Chaos         // fault injection, nil = off
+	hopBreaker *resilience.BreakerConfig // exchange→broker circuit breaker
+	hopRetry   *resilience.Retry         // exchange→broker retry policy
 }
 
 func defaultConfig() config {
@@ -114,8 +122,11 @@ func wrapWriter(w http.ResponseWriter) (http.ResponseWriter, *statusRecorder) {
 // a server span continuing any inbound traceparent, per-route request
 // metrics (resolved once here, at route registration, so each request
 // costs only atomic updates), and one structured access-log line
-// correlated to the span by trace_id.
+// correlated to the span by trace_id. The resilience middleware
+// (deadline, admission control, chaos; see resilience.go) runs inside
+// the span, so shed and fault-injected requests still trace and meter.
 func (c *config) instrument(route string, next http.HandlerFunc) http.HandlerFunc {
+	next = c.resilient(route, next)
 	var classes [6]*obs.Counter
 	var latency *obs.Histogram
 	if c.metrics {

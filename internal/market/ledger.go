@@ -38,6 +38,16 @@ func (l *shardedLedger) nextSeq() uint64 {
 	return l.seq.Add(1)
 }
 
+// releaseSeq hands back an allocated sequence number whose sale was
+// abandoned before recording (e.g. the buyer's context expired during
+// the noise draw). It succeeds only while seq is still the newest
+// allocation — a single CAS — so a canceled sale in a quiet moment
+// leaves no gap, and under concurrent traffic the number is simply
+// skipped (reported false) rather than ever reused for a second sale.
+func (l *shardedLedger) releaseSeq(seq uint64) bool {
+	return l.seq.CompareAndSwap(seq, seq-1)
+}
+
 // record files a transaction under its sequence number's stripe.
 func (l *shardedLedger) record(tx Transaction) {
 	sh := &l.shards[uint64(tx.Seq)%ledgerShardCount]

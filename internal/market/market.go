@@ -30,6 +30,7 @@ import (
 	"github.com/datamarket/mbp/internal/noise"
 	"github.com/datamarket/mbp/internal/obs/trace"
 	"github.com/datamarket/mbp/internal/pricing"
+	"github.com/datamarket/mbp/internal/resilience"
 	"github.com/datamarket/mbp/internal/revopt"
 	"github.com/datamarket/mbp/internal/rng"
 )
@@ -122,7 +123,20 @@ type Broker struct {
 	commission float64
 	offers     atomic.Pointer[offerTable]
 	ledger     shardedLedger
+	// replay is the idempotency cache behind BuyIdempotent: a client
+	// retrying a purchase under the same key gets the original
+	// Purchase back (same Seq, same weights, same ledger row) instead
+	// of being charged twice.
+	replay *resilience.ReplayCache[*Purchase]
 }
+
+// Replay-cache sizing: entries expire ReplayTTL after the purchase
+// completes (long enough to cover any sane client retry schedule),
+// and at most ReplayCapacity completed purchases are retained.
+const (
+	ReplayCapacity = 4096
+	ReplayTTL      = 10 * time.Minute
+)
 
 // offerTable is an immutable snapshot of the published offers. Readers
 // load it atomically and navigate without coordination; writers never
@@ -179,6 +193,7 @@ func NewBroker(seller *Seller, mech noise.Mechanism, seed uint64, commission flo
 		r:          rng.New(seed),
 		saleSeed:   seed,
 		commission: commission,
+		replay:     resilience.NewReplayCache[*Purchase](ReplayCapacity, ReplayTTL),
 	}
 	b.offers.Store(&offerTable{offers: make(map[ml.Model]*offer)})
 	return b, nil
@@ -461,6 +476,9 @@ func (b *Broker) BuyWithErrorBudgetFor(m ml.Model, epsName string, maxErr float6
 func (b *Broker) BuyWithErrorBudgetForContext(ctx context.Context, m ml.Model, epsName string, maxErr float64) (*Purchase, error) {
 	ctx, span := trace.Start(ctx, "market.buy", "option", "error_budget", "model", m.String())
 	defer span.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	off, ok := b.lookup(m)
 	if !ok {
 		metRejected.Inc()
@@ -480,7 +498,7 @@ func (b *Broker) BuyWithErrorBudgetForContext(ctx context.Context, m ml.Model, e
 	// by construction, but guard against numerical drift).
 	lo, hi := off.deltaBounds()
 	delta = math.Min(math.Max(delta, lo), hi)
-	return b.sell(ctx, m, off, delta), nil
+	return b.sell(ctx, m, off, delta)
 }
 
 // Models lists the offered models (the menu M). Lock-free.
@@ -525,6 +543,9 @@ func (b *Broker) BuyAtPoint(m ml.Model, delta float64) (*Purchase, error) {
 func (b *Broker) BuyAtPointContext(ctx context.Context, m ml.Model, delta float64) (*Purchase, error) {
 	ctx, span := trace.Start(ctx, "market.buy", "option", "point", "model", m.String())
 	defer span.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	off, ok := b.lookup(m)
 	if !ok {
 		metRejected.Inc()
@@ -535,7 +556,7 @@ func (b *Broker) BuyAtPointContext(ctx context.Context, m ml.Model, delta float6
 		metRejected.Inc()
 		return nil, fmt.Errorf("market: δ=%v outside offered range [%v, %v]", delta, lo, hi)
 	}
-	return b.sell(ctx, m, off, delta), nil
+	return b.sell(ctx, m, off, delta)
 }
 
 // ErrBudgetTooSmall is returned when no offered version fits the budget.
@@ -562,6 +583,9 @@ func (b *Broker) BuyWithPriceBudget(m ml.Model, budget float64) (*Purchase, erro
 func (b *Broker) BuyWithPriceBudgetContext(ctx context.Context, m ml.Model, budget float64) (*Purchase, error) {
 	ctx, span := trace.Start(ctx, "market.buy", "option", "price_budget", "model", m.String())
 	defer span.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	off, ok := b.lookup(m)
 	if !ok {
 		metRejected.Inc()
@@ -585,7 +609,34 @@ func (b *Broker) BuyWithPriceBudgetContext(ctx context.Context, m ml.Model, budg
 		}
 	}
 	search.End()
-	return b.sell(ctx, m, off, hiD), nil
+	return b.sell(ctx, m, off, hiD)
+}
+
+// BuyIdempotent executes buy at most once per idempotency key: the
+// first caller of a key runs it, concurrent callers with the same key
+// coalesce onto that one execution, and later callers within
+// ReplayTTL get the original Purchase back — same Seq, same noisy
+// weights, same single ledger row — instead of being charged again.
+// replayed reports whether the result came from the cache rather than
+// a fresh sale. An empty key opts out: buy runs unconditionally.
+//
+// Only successful purchases are replayable; a failed or canceled buy
+// is forgotten so the client's next retry executes fresh. The buy
+// closure runs on the first caller's ctx — if that caller's deadline
+// expires mid-sale, coalesced waiters observe the same error.
+func (b *Broker) BuyIdempotent(ctx context.Context, key string, buy func(context.Context) (*Purchase, error)) (p *Purchase, replayed bool, err error) {
+	if key == "" {
+		p, err = buy(ctx)
+		return p, false, err
+	}
+	p, replayed, err = b.replay.Do(ctx, key, func() (*Purchase, error) { return buy(ctx) })
+	if replayed && err == nil {
+		metReplayed.Inc()
+		if span := trace.FromContext(ctx); span != nil {
+			span.SetAttr("idempotency.replayed", "true")
+		}
+	}
+	return p, replayed, err
 }
 
 // Quote previews the price and expected error of the version at NCP δ
@@ -600,6 +651,9 @@ func (b *Broker) Quote(m ml.Model, delta float64) (price, expectedError float64,
 func (b *Broker) QuoteContext(ctx context.Context, m ml.Model, delta float64) (price, expectedError float64, err error) {
 	ctx, span := trace.Start(ctx, "market.quote", "model", m.String())
 	defer span.End()
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
 	off, ok := b.lookup(m)
 	if !ok {
 		return 0, 0, fmt.Errorf("%w: %v", ErrUnknownModel, m)
@@ -626,13 +680,27 @@ func (b *Broker) QuoteContext(ctx context.Context, m ml.Model, delta float64) (p
 // stream id is the ledger sequence number (replaying stream s
 // reproduces sale s exactly, regardless of which goroutine executed
 // it); and the ledger append locks only one shard.
-func (b *Broker) sell(ctx context.Context, m ml.Model, off *offer, delta float64) *Purchase {
+//
+// The sale is all-or-nothing against ctx: a cancellation or deadline
+// that lands before the ledger append aborts the sale with ctx's
+// error, no transaction is recorded, no revenue accrues, and the
+// allocated sequence number is handed back if no later sale claimed
+// one — the buyer is never charged for a model they did not receive.
+func (b *Broker) sell(ctx context.Context, m ml.Model, off *offer, delta float64) (*Purchase, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	_, eval := trace.Start(ctx, "pricing.curve_eval", "delta", strconv.FormatFloat(delta, 'g', -1, 64))
 	price := off.curve.Price(1 / delta)
 	expErr := off.transform.ErrorForDelta(delta)
 	eval.End()
 	seq := b.ledger.nextSeq()
-	instance := noise.PerturbContext(ctx, b.mech, off.optimal, delta, rng.Stream(b.saleSeed, seq))
+	instance, err := noise.PerturbContext(ctx, b.mech, off.optimal, delta, rng.Stream(b.saleSeed, seq))
+	if err != nil {
+		b.ledger.releaseSeq(seq)
+		metCanceled.Inc()
+		return nil, err
+	}
 	p := &Purchase{
 		Instance:      instance,
 		Model:         m,
@@ -652,7 +720,7 @@ func (b *Broker) sell(ctx context.Context, m ml.Model, off *offer, delta float64
 	metPurchases.Inc()
 	metRevenue.Add(price)
 	ledger.End()
-	return p
+	return p, nil
 }
 
 // Ledger returns a copy of all recorded transactions in Seq order.

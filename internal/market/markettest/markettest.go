@@ -70,6 +70,15 @@ func build() {
 // (read-only) across fixtures; the broker's ledger and RNG streams are
 // its own, seeded with seed.
 func New(seed uint64) (*market.Broker, error) {
+	return NewWith(seed, noise.Gaussian{})
+}
+
+// NewWith is New with a caller-chosen noise mechanism. The restored
+// pricing artifacts are the canonical (Gaussian-built) ones, so the
+// menu is unchanged; only the per-sale noise draw goes through mech.
+// Resilience tests use it to wrap the mechanism with fault hooks
+// (e.g. canceling the request context mid-Perturb).
+func NewWith(seed uint64, mech noise.Mechanism) (*market.Broker, error) {
 	fixture.once.Do(build)
 	if fixture.err != nil {
 		return nil, fixture.err
@@ -79,7 +88,7 @@ func New(seed uint64) (*market.Broker, error) {
 		Data:     fixture.seller.Data,
 		Research: fixture.seller.Research,
 	}
-	b, err := market.NewBroker(seller, noise.Gaussian{}, seed, Commission)
+	b, err := market.NewBroker(seller, mech, seed, Commission)
 	if err != nil {
 		return nil, err
 	}
@@ -87,6 +96,16 @@ func New(seed uint64) (*market.Broker, error) {
 		return nil, err
 	}
 	return b, nil
+}
+
+// BrokerWith is NewWith for tests: it fails tb on error.
+func BrokerWith(tb testing.TB, seed uint64, mech noise.Mechanism) *market.Broker {
+	tb.Helper()
+	b, err := NewWith(seed, mech)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
 }
 
 // Broker is New for tests: it fails tb on error.

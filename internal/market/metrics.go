@@ -17,6 +17,13 @@ var (
 	// metRevenue is gross revenue across all brokers, before the
 	// commission split.
 	metRevenue = obs.Default.Gauge("market.revenue_total")
+	// metReplayed counts purchases answered from the idempotency
+	// replay cache: a client retry that would have double-charged
+	// without it.
+	metReplayed = obs.Default.Counter("market.buys_replayed_total")
+	// metCanceled counts sales aborted mid-flight by context
+	// cancellation or deadline expiry — allocated but never charged.
+	metCanceled = obs.Default.Counter("market.buys_canceled_total")
 	// metCurveOpt times the full publish step: revenue DP plus curve
 	// construction and arbitrage-freeness certification.
 	metCurveOpt = obs.Default.Histogram("market.curve_optimize_seconds", obs.LatencyBuckets())

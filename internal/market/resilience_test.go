@@ -1,0 +1,249 @@
+package market_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/datamarket/mbp/internal/market"
+	"github.com/datamarket/mbp/internal/market/markettest"
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/noise"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+// midDelta returns a δ from the middle of the fixture's offered range.
+func midDelta(t *testing.T, b *market.Broker) float64 {
+	t.Helper()
+	menu := markettest.Menu(t, b)
+	return menu[len(menu)/2].Delta
+}
+
+func TestBuyIdempotentReplaysOriginalPurchase(t *testing.T) {
+	b := markettest.Broker(t, 1)
+	delta := midDelta(t, b)
+	ctx := context.Background()
+	buy := func(ctx context.Context) (*market.Purchase, error) {
+		return b.BuyAtPointContext(ctx, markettest.Model, delta)
+	}
+
+	first, replayed, err := b.BuyIdempotent(ctx, "key-1", buy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed {
+		t.Fatal("first buy reported replayed")
+	}
+	second, replayed, err := b.BuyIdempotent(ctx, "key-1", buy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed {
+		t.Fatal("second buy with the same key was not replayed")
+	}
+	if second.Seq != first.Seq || second.Price != first.Price || second.Delta != first.Delta {
+		t.Fatalf("replayed purchase differs: %+v vs %+v", second, first)
+	}
+	for i, w := range first.Instance.W {
+		if second.Instance.W[i] != w {
+			t.Fatalf("replayed weights differ at %d", i)
+		}
+	}
+	if txs := b.Ledger(); len(txs) != 1 {
+		t.Fatalf("ledger has %d rows, want 1 (no double charge)", len(txs))
+	}
+
+	// A different key is a genuinely new purchase.
+	third, replayed, err := b.BuyIdempotent(ctx, "key-2", buy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed || third.Seq == first.Seq {
+		t.Fatalf("distinct key replayed (replayed=%v, seq %d vs %d)", replayed, third.Seq, first.Seq)
+	}
+	// And an empty key opts out of idempotency entirely.
+	fourth, replayed, err := b.BuyIdempotent(ctx, "", buy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed || fourth.Seq == third.Seq {
+		t.Fatal("empty key must always execute a fresh sale")
+	}
+	if txs := b.Ledger(); len(txs) != 3 {
+		t.Fatalf("ledger has %d rows, want 3", len(txs))
+	}
+}
+
+func TestBuyIdempotentCoalescesConcurrentRetries(t *testing.T) {
+	b := markettest.Broker(t, 1)
+	delta := midDelta(t, b)
+	const goroutines = 16
+
+	seqs := make([]int, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _, err := b.BuyIdempotent(context.Background(), "contended-key", func(ctx context.Context) (*market.Purchase, error) {
+				return b.BuyAtPointContext(ctx, markettest.Model, delta)
+			})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			seqs[i] = p.Seq
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < goroutines; i++ {
+		if seqs[i] != seqs[0] {
+			t.Fatalf("goroutine %d got seq %d, goroutine 0 got %d", i, seqs[i], seqs[0])
+		}
+	}
+	if txs := b.Ledger(); len(txs) != 1 {
+		t.Fatalf("ledger has %d rows after %d concurrent same-key buys, want 1", len(txs), goroutines)
+	}
+}
+
+func TestBuyIdempotentDoesNotReplayFailures(t *testing.T) {
+	b := markettest.Broker(t, 1)
+	boom := errors.New("transient")
+	calls := 0
+	buy := func(ctx context.Context) (*market.Purchase, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return b.BuyAtPointContext(ctx, markettest.Model, midDelta(t, b))
+	}
+	if _, _, err := b.BuyIdempotent(context.Background(), "k", buy); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	p, replayed, err := b.BuyIdempotent(context.Background(), "k", buy)
+	if err != nil || replayed || p == nil {
+		t.Fatalf("retry after failure = (%v, %v, %v), want fresh success", p, replayed, err)
+	}
+}
+
+func TestBuyCanceledBeforeStartLeavesNoTrace(t *testing.T) {
+	b := markettest.Broker(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.BuyAtPointContext(ctx, markettest.Model, midDelta(t, b)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, _, err := b.QuoteContext(ctx, markettest.Model, midDelta(t, b)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("quote err = %v, want context.Canceled", err)
+	}
+	if txs := b.Ledger(); len(txs) != 0 {
+		t.Fatalf("ledger has %d rows after canceled buy, want 0", len(txs))
+	}
+	if seller, broker := b.RevenueSplit(); seller != 0 || broker != 0 {
+		t.Fatalf("revenue = (%v, %v) after canceled buy, want (0, 0)", seller, broker)
+	}
+}
+
+// cancelingMechanism cancels the purchase's context from inside the
+// noise draw — the "client hung up mid-Perturb" failure mode. It then
+// delegates to the real mechanism, so the test exercises the broker's
+// post-draw cancellation check, not a mechanism failure.
+type cancelingMechanism struct {
+	inner  noise.Mechanism
+	cancel func()
+}
+
+func (c *cancelingMechanism) Name() string { return c.inner.Name() }
+func (c *cancelingMechanism) Perturb(optimal *ml.Instance, delta float64, r *rng.RNG) *ml.Instance {
+	c.cancel()
+	return c.inner.Perturb(optimal, delta, r)
+}
+func (c *cancelingMechanism) TotalVariance(delta float64, d int) float64 {
+	return c.inner.TotalVariance(delta, d)
+}
+
+func TestBuyCanceledMidPerturbLeavesLedgerUntouched(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	mech := &cancelingMechanism{inner: noise.Gaussian{}, cancel: cancel}
+	b := markettest.BrokerWith(t, 1, mech)
+	delta := midDelta(t, b)
+
+	if _, err := b.BuyAtPointContext(ctx, markettest.Model, delta); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if txs := b.Ledger(); len(txs) != 0 {
+		t.Fatalf("ledger has %d rows after mid-Perturb cancel, want 0 (no partial charge)", len(txs))
+	}
+	if seller, broker := b.RevenueSplit(); seller != 0 || broker != 0 {
+		t.Fatalf("revenue = (%v, %v), want (0, 0)", seller, broker)
+	}
+
+	// The abandoned sale's sequence number was released: the next
+	// successful purchase starts the ledger at seq 1, keeping it
+	// contiguous.
+	mech.cancel = func() {}
+	p, err := b.BuyAtPointContext(context.Background(), markettest.Model, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seq != 1 {
+		t.Fatalf("first successful sale has seq %d, want 1 (canceled sale's seq released)", p.Seq)
+	}
+	txs := b.Ledger()
+	if len(txs) != 1 || txs[0].Seq != 1 {
+		t.Fatalf("ledger = %+v, want exactly seq 1", txs)
+	}
+}
+
+func TestLedgerSeqsContiguousAfterInterleavedCancellations(t *testing.T) {
+	ctx := context.Background()
+	canceled := context.Background()
+	{
+		c, cancel := context.WithCancel(context.Background())
+		cancel()
+		canceled = c
+	}
+	b := markettest.Broker(t, 1)
+	delta := midDelta(t, b)
+	bought := 0
+	for i := 0; i < 10; i++ {
+		use := ctx
+		if i%3 == 0 {
+			use = canceled
+		}
+		p, err := b.BuyAtPointContext(use, markettest.Model, delta)
+		if use == canceled {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("buy %d: err = %v, want Canceled", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("buy %d: %v", i, err)
+		}
+		bought++
+		if p.Seq != bought {
+			t.Fatalf("buy %d: seq %d, want %d (contiguous despite cancellations)", i, p.Seq, bought)
+		}
+	}
+	txs := b.Ledger()
+	if len(txs) != bought {
+		t.Fatalf("ledger has %d rows, want %d", len(txs), bought)
+	}
+	for i, tx := range txs {
+		if tx.Seq != i+1 {
+			t.Fatalf("ledger row %d has seq %d, want %d", i, tx.Seq, i+1)
+		}
+	}
+}
+
+func TestReplayCacheConstants(t *testing.T) {
+	// The replay window must comfortably outlast a client retry
+	// schedule (seconds) without being unbounded.
+	if market.ReplayCapacity < 1024 || market.ReplayTTL < time.Minute {
+		t.Fatalf("replay bounds too tight: capacity=%d ttl=%v", market.ReplayCapacity, market.ReplayTTL)
+	}
+}

@@ -14,11 +14,29 @@ import (
 // made visible in a purchase's trace. The broker's sell path uses this
 // instead of calling Mechanism.Perturb directly so every /buy span
 // tree shows what the injection cost.
-func PerturbContext(ctx context.Context, k Mechanism, optimal *ml.Instance, delta float64, r *rng.RNG) *ml.Instance {
+//
+// The draw honors ctx: a context that is already done produces no
+// instance, and a context that expires while the noise is being drawn
+// discards the draw, so a canceled purchase never delivers a model.
+// Either way the span ends cleanly with a "canceled" attribute, and
+// the returned error is ctx.Err().
+func PerturbContext(ctx context.Context, k Mechanism, optimal *ml.Instance, delta float64, r *rng.RNG) (*ml.Instance, error) {
 	_, span := trace.Start(ctx, "noise.perturb",
 		"mechanism", k.Name(),
 		"delta", strconv.FormatFloat(delta, 'g', -1, 64),
 		"dims", strconv.Itoa(len(optimal.W)))
 	defer span.End()
-	return k.Perturb(optimal, delta, r)
+	if err := ctx.Err(); err != nil {
+		span.SetAttr("canceled", "true")
+		return nil, err
+	}
+	instance := k.Perturb(optimal, delta, r)
+	// Re-check after the draw: a cancellation that landed mid-Perturb
+	// must not deliver the instance (the caller would otherwise charge
+	// for a purchase the buyer already abandoned).
+	if err := ctx.Err(); err != nil {
+		span.SetAttr("canceled", "true")
+		return nil, err
+	}
+	return instance, nil
 }

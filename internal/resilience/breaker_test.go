@@ -1,0 +1,148 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker cooldown tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(0, 0)} }
+func mustAllow(t *testing.T, b *Breaker)     { t.Helper(); allowErr(t, b, nil) }
+func allowErr(t *testing.T, b *Breaker, want error) {
+	t.Helper()
+	if err := b.Allow(); !errors.Is(err, want) {
+		t.Fatalf("Allow() = %v, want %v", err, want)
+	}
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	clock := newFakeClock()
+	var transitions []string
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Second,
+		Now:              clock.now,
+		OnChange: func(from, to State) {
+			transitions = append(transitions, from.String()+"->"+to.String())
+		},
+	})
+
+	// Two failures with a success in between never trip: the count is
+	// of *consecutive* failures.
+	mustAllow(t, b)
+	b.RecordFailure()
+	mustAllow(t, b)
+	b.RecordSuccess()
+	for i := 0; i < 2; i++ {
+		mustAllow(t, b)
+		b.RecordFailure()
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+	mustAllow(t, b)
+	b.RecordFailure()
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %v, want open after 3 consecutive failures", got)
+	}
+	allowErr(t, b, ErrBreakerOpen)
+	if len(transitions) != 1 || transitions[0] != "closed->open" {
+		t.Fatalf("transitions = %v", transitions)
+	}
+}
+
+func TestBreakerHalfOpensAfterCooldownAndCloses(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second, Now: clock.now})
+	mustAllow(t, b)
+	b.RecordFailure()
+	allowErr(t, b, ErrBreakerOpen)
+
+	clock.advance(999 * time.Millisecond)
+	allowErr(t, b, ErrBreakerOpen)
+
+	clock.advance(time.Millisecond)
+	// First probe admitted, a concurrent second is not (HalfOpenProbes
+	// defaults to 1).
+	mustAllow(t, b)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	allowErr(t, b, ErrBreakerOpen)
+	b.RecordSuccess()
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want closed after successful probe", got)
+	}
+	mustAllow(t, b)
+	b.RecordSuccess()
+}
+
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second, Now: clock.now})
+	mustAllow(t, b)
+	b.RecordFailure()
+	clock.advance(time.Second)
+	mustAllow(t, b) // the half-open probe
+	b.RecordFailure()
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %v, want open after failed probe", got)
+	}
+	// The cooldown clock restarted at the failed probe.
+	clock.advance(999 * time.Millisecond)
+	allowErr(t, b, ErrBreakerOpen)
+	clock.advance(time.Millisecond)
+	mustAllow(t, b)
+}
+
+func TestBreakerSuccessesToClose(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		Cooldown:         time.Second,
+		HalfOpenProbes:   2,
+		SuccessesToClose: 2,
+		Now:              clock.now,
+	})
+	mustAllow(t, b)
+	b.RecordFailure()
+	clock.advance(time.Second)
+	mustAllow(t, b)
+	mustAllow(t, b)
+	allowErr(t, b, ErrBreakerOpen) // both probe slots taken
+	b.RecordSuccess()
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state = %v, want half-open after 1 of 2 successes", got)
+	}
+	b.RecordSuccess()
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want closed after 2 successes", got)
+	}
+}
+
+func TestBreakerRecordClassifies(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1})
+	mustAllow(t, b)
+	b.Record(nil)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+	mustAllow(t, b)
+	b.Record(errors.New("boom"))
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %v, want open", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{Closed: "closed", HalfOpen: "half-open", Open: "open", State(42): "unknown"} {
+		if got := st.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}

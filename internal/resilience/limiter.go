@@ -1,0 +1,70 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Limiter is an admission controller: at most maxConcurrent requests
+// run at once, and a request that cannot start within its queue wait
+// is shed with ErrSaturated. Bounding the queue wait converts
+// overload into fast, explicit 503s instead of letting every queued
+// request ride to its deadline.
+type Limiter struct {
+	slots     chan struct{}
+	queueWait time.Duration
+	inFlight  atomic.Int64
+	shed      atomic.Uint64
+}
+
+// NewLimiter returns a limiter admitting maxConcurrent concurrent
+// callers, each willing to queue for at most queueWait (zero means
+// "don't queue at all": shed immediately when saturated).
+func NewLimiter(maxConcurrent int, queueWait time.Duration) *Limiter {
+	if maxConcurrent <= 0 {
+		panic("resilience: limiter concurrency must be positive")
+	}
+	return &Limiter{slots: make(chan struct{}, maxConcurrent), queueWait: queueWait}
+}
+
+// Acquire takes a slot, waiting up to the queue wait. It returns nil
+// (the caller MUST call Release exactly once), ErrSaturated when the
+// wait expired, or ctx's error when the request was canceled while
+// queued.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		l.inFlight.Add(1)
+		return nil
+	default:
+	}
+	if l.queueWait <= 0 {
+		l.shed.Add(1)
+		return ErrSaturated
+	}
+	t := time.NewTimer(l.queueWait)
+	defer t.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		l.inFlight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		l.shed.Add(1)
+		return ErrSaturated
+	}
+}
+
+// Release returns a slot taken by a successful Acquire.
+func (l *Limiter) Release() {
+	l.inFlight.Add(-1)
+	<-l.slots
+}
+
+// InFlight returns the number of currently admitted requests.
+func (l *Limiter) InFlight() int64 { return l.inFlight.Load() }
+
+// Shed returns the number of requests refused with ErrSaturated.
+func (l *Limiter) Shed() uint64 { return l.shed.Load() }

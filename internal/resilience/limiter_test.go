@@ -1,0 +1,98 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterAdmitsUpToLimit(t *testing.T) {
+	l := NewLimiter(2, 0)
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	// Saturated with no queue wait: immediate shed.
+	if err := l.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if got := l.Shed(); got != 1 {
+		t.Fatalf("Shed = %d, want 1", got)
+	}
+	l.Release()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	l.Release()
+	l.Release()
+	if got := l.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d, want 0", got)
+	}
+}
+
+func TestLimiterQueueWaitAdmitsWhenSlotFrees(t *testing.T) {
+	l := NewLimiter(1, time.Second)
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var queuedErr error
+	go func() {
+		defer wg.Done()
+		queuedErr = l.Acquire(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	l.Release()
+	wg.Wait()
+	if queuedErr != nil {
+		t.Fatalf("queued Acquire = %v, want nil", queuedErr)
+	}
+	l.Release()
+}
+
+func TestLimiterQueueWaitExpires(t *testing.T) {
+	l := NewLimiter(1, 20*time.Millisecond)
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := l.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("queued for %v, want ~20ms", elapsed)
+	}
+	l.Release()
+}
+
+func TestLimiterAcquireHonorsContext(t *testing.T) {
+	l := NewLimiter(1, time.Hour)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Acquire did not return after cancel")
+	}
+	l.Release()
+}

@@ -1,0 +1,129 @@
+package resilience
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+)
+
+// ReplayCache makes keyed operations idempotent: the first caller of
+// a key executes the operation, every later caller within the TTL
+// gets the stored result back instead of re-executing (and
+// re-charging). Concurrent callers of an in-flight key coalesce onto
+// the one execution (singleflight), so a client retrying while its
+// first attempt is still running cannot trigger a duplicate either.
+//
+// Only successes are stored: a failed execution is broadcast to the
+// callers that coalesced onto it and then forgotten, so the next
+// attempt with the same key executes fresh.
+//
+// The cache is bounded two ways: entries expire TTL after completion,
+// and when the entry count exceeds the capacity the oldest completed
+// entries are evicted (in-flight entries are never evicted).
+type ReplayCache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration
+	now      func() time.Time
+	entries  map[string]*replayEntry[V]
+	order    *list.List // completed entry keys, oldest first
+}
+
+type replayEntry[V any] struct {
+	done    chan struct{} // closed when the flight completes
+	val     V
+	err     error
+	expires time.Time
+	elem    *list.Element // position in order once completed
+}
+
+// NewReplayCache returns a cache holding at most capacity completed
+// entries for ttl each. capacity and ttl must be positive.
+func NewReplayCache[V any](capacity int, ttl time.Duration) *ReplayCache[V] {
+	if capacity <= 0 {
+		panic("resilience: replay cache capacity must be positive")
+	}
+	if ttl <= 0 {
+		panic("resilience: replay cache ttl must be positive")
+	}
+	return &ReplayCache[V]{
+		capacity: capacity,
+		ttl:      ttl,
+		now:      time.Now,
+		entries:  make(map[string]*replayEntry[V]),
+		order:    list.New(),
+	}
+}
+
+// SetClock overrides the cache's clock; tests use it to drive TTL
+// expiry deterministically. Not safe to call concurrently with Do.
+func (c *ReplayCache[V]) SetClock(now func() time.Time) { c.now = now }
+
+// Do executes fn once per key: the first caller runs it, concurrent
+// callers with the same key wait for that run, and later callers
+// within the TTL replay the stored result. replayed reports whether
+// the result came from a previous or shared execution rather than a
+// fresh one owned by this caller. If ctx is done while waiting on
+// another caller's flight, Do returns ctx's error (the flight itself
+// keeps running and its result is still cached).
+func (c *ReplayCache[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v V, replayed bool, err error) {
+	c.mu.Lock()
+	c.evictLocked()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.val, true, e.err
+		case <-ctx.Done():
+			return v, false, ctx.Err()
+		}
+	}
+	e := &replayEntry[V]{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	e.val, e.err = fn()
+
+	c.mu.Lock()
+	if e.err != nil {
+		// Failures are not replayable: drop the entry so the next
+		// attempt executes fresh. Waiters already coalesced onto this
+		// flight still observe the error through the closed channel.
+		delete(c.entries, key)
+	} else {
+		e.expires = c.now().Add(c.ttl)
+		e.elem = c.order.PushBack(key)
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(e.done)
+	return e.val, false, e.err
+}
+
+// Len returns the number of entries (completed and in-flight).
+func (c *ReplayCache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// evictLocked removes expired entries and, if still over capacity,
+// the oldest completed entries.
+func (c *ReplayCache[V]) evictLocked() {
+	now := c.now()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		key := el.Value.(string)
+		if e := c.entries[key]; e != nil && now.After(e.expires) {
+			delete(c.entries, key)
+			c.order.Remove(el)
+		}
+		el = next
+	}
+	for len(c.entries) > c.capacity && c.order.Len() > 0 {
+		el := c.order.Front()
+		delete(c.entries, el.Value.(string))
+		c.order.Remove(el)
+	}
+}

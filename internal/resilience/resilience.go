@@ -1,0 +1,65 @@
+// Package resilience provides the stdlib-only fault-tolerance
+// primitives the marketplace's transaction path is built on: retry
+// with exponential backoff and full jitter, a three-state circuit
+// breaker, a bounded TTL'd idempotency replay cache, a
+// concurrency-limited admission controller, and a deterministic
+// fault-injection layer (Chaos) for testing all of the above.
+//
+// The broker is the marketplace's trust anchor: arbitrage-freeness
+// (Defs. 1–5, Thms. 5/6 of the paper) only matters if the broker also
+// never double-charges a buyer or silently drops a purchase under
+// partial failure. These primitives keep the purchase pipeline correct
+// when requests are retried, canceled, delayed, or shed:
+//
+//   - Retry bounds how hard a caller hammers a flaky dependency, and
+//     full jitter decorrelates concurrent retriers so they do not
+//     resynchronize into load spikes.
+//   - Breaker fails fast once a dependency is demonstrably down,
+//     converting queue buildup into immediate 503s.
+//   - ReplayCache makes retried purchases idempotent: the retry
+//     returns the original Purchase instead of charging twice.
+//   - Limiter sheds load at the door when the server is saturated,
+//     bounding queue time instead of letting every request time out.
+//   - Chaos injects latency, errors, hangs, and response drops with
+//     decisions drawn from rng.Stream, so a failure schedule is
+//     reproducible from a seed.
+//
+// Everything here is safe for concurrent use unless noted otherwise.
+package resilience
+
+import "errors"
+
+// ErrInjected is the error Chaos returns for an injected fault.
+// Callers treat it like any transient dependency failure.
+var ErrInjected = errors.New("resilience: injected fault")
+
+// ErrBreakerOpen is returned by Breaker.Allow while the breaker is
+// open (or half-open with all probe slots taken).
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// ErrSaturated is returned by Limiter.Acquire when the server is at
+// its concurrency limit and the request's queue wait expired.
+var ErrSaturated = errors.New("resilience: server saturated")
+
+// permanentError marks an error that retrying cannot fix.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry.Do stops immediately and Breaker
+// consumers can classify it as a caller mistake (unknown listing, bad
+// input) rather than a dependency failure. A nil err returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}

@@ -1,0 +1,101 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+// Retry is an exponential-backoff retry policy with full jitter
+// (each sleep is uniform on [0, cap] where cap doubles per attempt,
+// the AWS "full jitter" scheme): concurrent retriers spread out
+// instead of resynchronizing into load spikes. The zero value is
+// usable and means "no retries" (one attempt); DefaultRetry is the
+// policy the HTTP layer ships with.
+type Retry struct {
+	// MaxAttempts is the total number of attempts, including the
+	// first. Values below 1 mean 1.
+	MaxAttempts int
+	// BaseDelay is the backoff cap for the first retry; the cap
+	// doubles each further attempt. Zero disables sleeping.
+	BaseDelay time.Duration
+	// MaxDelay bounds the backoff cap. Zero means no bound.
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is the policy guarding the exchange→broker hop: three
+// attempts, 5ms base, capped at 250ms.
+var DefaultRetry = Retry{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 250 * time.Millisecond}
+
+// Do runs f until it succeeds, permanently fails, or the policy is
+// exhausted, sleeping a jittered backoff between attempts. f receives
+// the 0-based attempt number. Do stops early — returning the
+// context's error — when ctx is done, and immediately when f returns
+// an error marked Permanent (unwrapped before returning). r drives
+// the jitter; a nil r sleeps the full (undithered) cap, which keeps
+// Do usable in tests that want exact timings.
+func (p Retry) Do(ctx context.Context, r *rng.RNG, f func(attempt int) error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = f(attempt); err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			// Unwrap so callers match on the underlying sentinel.
+			return pe.err
+		}
+		if attempt == attempts-1 {
+			break
+		}
+		if serr := p.sleep(ctx, r, attempt); serr != nil {
+			return serr
+		}
+	}
+	return err
+}
+
+// sleep blocks for the attempt's jittered backoff or until ctx is
+// done, whichever comes first.
+func (p Retry) sleep(ctx context.Context, r *rng.RNG, attempt int) error {
+	d := p.backoff(r, attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// backoff returns the sleep before retrying attempt (0-based): a
+// uniform draw on [0, cap] with cap = min(MaxDelay, BaseDelay·2^attempt).
+func (p Retry) backoff(r *rng.RNG, attempt int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	cap := p.BaseDelay
+	for i := 0; i < attempt && cap < 1<<40*time.Nanosecond; i++ {
+		cap *= 2
+	}
+	if p.MaxDelay > 0 && cap > p.MaxDelay {
+		cap = p.MaxDelay
+	}
+	if r == nil {
+		return cap
+	}
+	return time.Duration(r.Float64() * float64(cap))
+}

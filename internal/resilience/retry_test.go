@@ -1,0 +1,127 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	p := Retry{MaxAttempts: 5}
+	calls := 0
+	err := p.Do(context.Background(), nil, func(attempt int) error {
+		if attempt != calls {
+			t.Fatalf("attempt = %d, want %d", attempt, calls)
+		}
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	p := Retry{MaxAttempts: 3}
+	calls := 0
+	want := errors.New("still down")
+	err := p.Do(context.Background(), nil, func(int) error { calls++; return want })
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryZeroValueMeansOneAttempt(t *testing.T) {
+	var p Retry
+	calls := 0
+	p.Do(context.Background(), nil, func(int) error { calls++; return errors.New("x") })
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestRetryStopsOnPermanent(t *testing.T) {
+	p := Retry{MaxAttempts: 5}
+	sentinel := errors.New("bad input")
+	calls := 0
+	err := p.Do(context.Background(), nil, func(int) error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	// The permanent marker is unwrapped so callers match the sentinel.
+	if !errors.Is(err, sentinel) || IsPermanent(err) {
+		t.Fatalf("err = %#v, want unwrapped %v", err, sentinel)
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) should be nil")
+	}
+	if IsPermanent(errors.New("x")) {
+		t.Fatal("plain error misclassified as permanent")
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Retry{MaxAttempts: 10, BaseDelay: time.Hour}
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(ctx, nil, func(int) error { calls++; return errors.New("x") })
+	}()
+	time.Sleep(10 * time.Millisecond) // let the first attempt start sleeping
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancel")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (canceled during first backoff)", calls)
+	}
+}
+
+func TestRetryBackoffGrowsAndCaps(t *testing.T) {
+	p := Retry{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond, MaxDelay: 35 * time.Millisecond}
+	// nil RNG sleeps the full cap: 10ms, 20ms, 35ms, 35ms, ...
+	want := []time.Duration{10, 20, 35, 35, 35}
+	for i, w := range want {
+		if got := p.backoff(nil, i); got != w*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestRetryJitterIsDeterministicAndBounded(t *testing.T) {
+	p := Retry{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond}
+	a, b := rng.New(7), rng.New(7)
+	for i := 0; i < 4; i++ {
+		da, db := p.backoff(a, i), p.backoff(b, i)
+		if da != db {
+			t.Fatalf("attempt %d: same seed drew %v vs %v", i, da, db)
+		}
+		if cap := p.backoff(nil, i); da < 0 || da > cap {
+			t.Fatalf("attempt %d: jittered %v outside [0, %v]", i, da, cap)
+		}
+	}
+}

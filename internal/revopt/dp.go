@@ -71,8 +71,23 @@ func MaximizeRevenueDPContext(ctx context.Context, m *curves.Market) (*Result, e
 		}
 	}
 
+	// The memoized recursion fills an n×(n+1) table; on the large grids
+	// of the Section 6 runtime study that is the longest loop a request
+	// can trigger (a live republish). Poll ctx every stride states so a
+	// canceled request stops paying for the solve promptly; once the
+	// flag trips the recursion unwinds without touching more state.
+	const cancelCheckStride = 1024
+	var ops int
+	var canceled bool
 	var solve func(k, c int) float64
 	solve = func(k, c int) float64 {
+		if canceled {
+			return 0
+		}
+		if ops++; ops%cancelCheckStride == 0 && ctx.Err() != nil {
+			canceled = true
+			return 0
+		}
 		if !math.IsNaN(memo[k][c]) {
 			return memo[k][c]
 		}
@@ -107,6 +122,10 @@ func MaximizeRevenueDPContext(ctx context.Context, m *curves.Market) (*Result, e
 		return best
 	}
 	revenue := solve(0, n)
+	if canceled || ctx.Err() != nil {
+		span.SetAttr("canceled", "true")
+		return nil, ctx.Err()
+	}
 
 	// Reconstruct prices. Walk forward recording each point's decision
 	// and cap, then fill skipped points backward with the maximal
