@@ -22,6 +22,13 @@
 // idempotent per Idempotency-Key header; -chaos injects faults for
 // resilience drills. See docs/resilience.md.
 //
+// With -store-dir the broker is durable: every sale is journaled to a
+// write-ahead log before it is acknowledged (-fsync picks the
+// durability barrier), offers are snapshotted so restarts skip
+// retraining, and startup replays the journal — ledger, sequence
+// numbers and idempotency keys all survive a crash. See
+// docs/durability.md.
+//
 // Example:
 //
 //	mbpmarket -dataset CASP -addr 127.0.0.1:8080 &
@@ -40,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -50,6 +58,7 @@ import (
 	"github.com/datamarket/mbp/internal/obs"
 	"github.com/datamarket/mbp/internal/obs/trace"
 	"github.com/datamarket/mbp/internal/resilience"
+	"github.com/datamarket/mbp/internal/store"
 )
 
 func main() {
@@ -65,6 +74,9 @@ func main() {
 		metrics = flag.Bool("metrics", true, "instrument requests and serve GET /metrics")
 		traces  = flag.Bool("traces", true, "record request span trees and serve GET /debug/traces")
 		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+
+		storeDir = flag.String("store-dir", "", "durable state directory: journal every sale to a WAL and recover ledger + offers on restart")
+		fsyncPol = flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
 
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "server-side deadline per request; 0 disables")
 		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently served requests; 0 disables")
@@ -91,8 +103,10 @@ func main() {
 	if *maxInflight > 0 {
 		opts = append(opts, httpapi.WithAdmission(*maxInflight, *queueWait))
 	}
+	var chaos *resilience.Chaos
 	if *chaosSpec != "" {
-		chaos, err := resilience.ParseChaos(*chaosSpec)
+		var err error
+		chaos, err = resilience.ParseChaos(*chaosSpec)
 		if err != nil {
 			fatal(logger, err)
 		}
@@ -104,11 +118,27 @@ func main() {
 	opts = append(opts, httpapi.WithHopBreaker(resilience.BreakerConfig{}))
 
 	if *dsList != "" {
-		serveExchange(logger, *addr, strings.Split(*dsList, ","), *scale, *seed, *samples, *pprofOn, opts)
-		return
+		if *storeDir != "" {
+			fatal(logger, errors.New("-store-dir supports single-broker mode only (not -datasets)"))
+		}
+		os.Exit(serveExchange(logger, *addr, strings.Split(*dsList, ","), *scale, *seed, *samples, *pprofOn, opts))
 	}
 
-	mp, err := build(logger, *dsName, *scale, *seed, *samples, *load)
+	// Warm start: a store directory carries an offer snapshot alongside
+	// the WAL, so a restart reloads the published curves instead of
+	// retraining — recovery replays state, it never re-derives it.
+	warm := *load
+	offerSnap := ""
+	if *storeDir != "" {
+		offerSnap = filepath.Join(*storeDir, "offers.json")
+		if warm == "" {
+			if _, err := os.Stat(offerSnap); err == nil {
+				warm = offerSnap
+			}
+		}
+	}
+
+	mp, err := build(logger, *dsName, *scale, *seed, *samples, warm)
 	if err != nil {
 		fatal(logger, err)
 	}
@@ -119,14 +149,72 @@ func main() {
 		logger.Info("offers saved", "path", *save)
 	}
 
-	mux := httpapi.New(mp.Broker, opts...).Mux()
+	// The durable ledger replays the WAL into the broker, reports its
+	// health on /healthz, and flushes on drain.
+	var dled *market.DurableLedger
+	if *storeDir != "" {
+		dled, err = attachStore(logger, mp.Broker, *storeDir, *fsyncPol, chaos)
+		if err != nil {
+			fatal(logger, err)
+		}
+		opts = append(opts,
+			httpapi.WithHealthCheck("store", dled.Healthy),
+			httpapi.WithDrainHook("store-flush", func(context.Context) error { return dled.Flush() }))
+		if warm != offerSnap {
+			if err := saveOffers(mp, offerSnap); err != nil {
+				fatal(logger, err)
+			}
+			logger.Info("offer snapshot saved for restart warm-start", "path", offerSnap)
+		}
+	}
+
+	api := httpapi.New(mp.Broker, opts...)
+	mux := api.Mux()
 	if *pprofOn {
 		obs.WirePprof(mux)
 	}
 	logger.Info("broker listening",
 		"addr", *addr, "model", mp.Model.String(), "dataset", *dsName,
-		"metrics", *metrics, "traces", *traces, "pprof", *pprofOn)
-	serve(logger, *addr, mux)
+		"metrics", *metrics, "traces", *traces, "pprof", *pprofOn, "storeDir", *storeDir)
+	code := serve(logger, *addr, mux, api.Drain)
+	// Close the store after the drain hooks flushed it. A close error
+	// means the tail of the journal may not have hit disk — log it and
+	// fail the exit code rather than pretend the shutdown was clean.
+	if dled != nil {
+		if err := dled.Close(); err != nil {
+			logger.Error("store close failed", "dir", dled.Dir(), "err", err.Error())
+			if code == 0 {
+				code = 1
+			}
+		} else {
+			logger.Info("store closed", "dir", dled.Dir())
+		}
+	}
+	os.Exit(code)
+}
+
+// attachStore opens (and recovers) the durable ledger and attaches it
+// to the broker, logging what the recovery found.
+func attachStore(logger *slog.Logger, b *market.Broker, dir, fsync string, chaos *resilience.Chaos) (*market.DurableLedger, error) {
+	pol, err := store.ParsePolicy(fsync)
+	if err != nil {
+		return nil, err
+	}
+	d, rs, err := market.OpenDurableLedger(dir, store.Options{
+		Policy: pol,
+		Faults: chaos.StoreFaults(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.AttachDurableLedger(d, rs)
+	logger.Info("ledger recovered",
+		"dir", dir, "fsync", pol.String(),
+		"transactions", rs.Transactions, "skips", rs.Skips, "lost", len(rs.Lost),
+		"maxSeq", rs.MaxSeq, "replayKeys", rs.Replays,
+		"walRecords", rs.Stats.Records, "segments", rs.Stats.Segments,
+		"snapshotLoaded", rs.Stats.SnapshotLoaded, "truncatedBytes", rs.Stats.TruncatedBytes)
+	return d, nil
 }
 
 func fatal(logger *slog.Logger, err error) {
@@ -154,8 +242,11 @@ func saveOffers(mp *core.Marketplace, path string) error {
 
 // serve runs an http.Server with sane timeouts and drains it gracefully
 // on SIGINT/SIGTERM: in-flight purchases finish (and their traces
-// flush) before the process exits.
-func serve(logger *slog.Logger, addr string, handler http.Handler) {
+// flush) before the process exits. After Shutdown — complete or not —
+// the drain callback runs, so the store flushes whatever committed even
+// when a straggling request forced an incomplete drain. Returns the
+// process exit code; the caller closes the store afterwards.
+func serve(logger *slog.Logger, addr string, handler http.Handler, drain func(ctx context.Context) error) int {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           handler,
@@ -172,23 +263,35 @@ func serve(logger *slog.Logger, addr string, handler http.Handler) {
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fatal(logger, err)
+			logger.Error("fatal", "err", err.Error())
+			return 1
 		}
 	case sig := <-sigc:
 		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
+		code := 0
 		if err := srv.Shutdown(ctx); err != nil {
 			logger.Error("shutdown incomplete", "err", err.Error())
-			os.Exit(1)
+			code = 1
 		}
-		logger.Info("drained, exiting")
+		if drain != nil {
+			if err := drain(ctx); err != nil {
+				logger.Error("drain hooks failed", "err", err.Error())
+				code = 1
+			}
+		}
+		if code == 0 {
+			logger.Info("drained, exiting")
+		}
+		return code
 	}
+	return 0
 }
 
 // serveExchange trains one broker per dataset and serves them all as a
-// multi-seller marketplace.
-func serveExchange(logger *slog.Logger, addr string, names []string, scale float64, seed uint64, samples int, pprofOn bool, opts []httpapi.Option) {
+// multi-seller marketplace. Returns the process exit code.
+func serveExchange(logger *slog.Logger, addr string, names []string, scale float64, seed uint64, samples int, pprofOn bool, opts []httpapi.Option) int {
 	ex := market.NewExchange()
 	for i, raw := range names {
 		name := strings.TrimSpace(raw)
@@ -213,12 +316,13 @@ func serveExchange(logger *slog.Logger, addr string, names []string, scale float
 		logger.Error("no datasets to list")
 		os.Exit(2)
 	}
-	mux := httpapi.NewExchange(ex, opts...).Mux()
+	api := httpapi.NewExchange(ex, opts...)
+	mux := api.Mux()
 	if pprofOn {
 		obs.WirePprof(mux)
 	}
 	logger.Info("exchange listening", "addr", addr, "listings", strings.Join(ex.Listings(), ","))
-	serve(logger, addr, mux)
+	return serve(logger, addr, mux, api.Drain)
 }
 
 // build either trains a fresh marketplace or warm-starts one from a

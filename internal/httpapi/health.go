@@ -1,0 +1,90 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// healthCheck is one named readiness probe; drainHook is one named
+// flush step run at graceful shutdown. Both are registered by the
+// binary (cmd/mbpmarket wires the durable store's Healthy and Flush
+// here) so the HTTP layer stays ignorant of what it is probing.
+type healthCheck struct {
+	name  string
+	check func() error
+}
+
+type drainHook struct {
+	name string
+	fn   func(ctx context.Context) error
+}
+
+// WithHealthCheck registers a named readiness probe on /healthz. With
+// any probe failing, /healthz reports status "degraded" with the
+// failure per check and returns 503, so an orchestrator stops routing
+// traffic at a broker whose journal can no longer record sales.
+func WithHealthCheck(name string, check func() error) Option {
+	return func(c *config) {
+		c.health = append(c.health, healthCheck{name: name, check: check})
+	}
+}
+
+// WithDrainHook registers a named hook for Drain. Hooks run in
+// registration order after the HTTP server has stopped accepting
+// requests; the first error aborts the chain (later hooks may depend
+// on earlier ones having flushed).
+func WithDrainHook(name string, fn func(ctx context.Context) error) Option {
+	return func(c *config) {
+		c.drains = append(c.drains, drainHook{name: name, fn: fn})
+	}
+}
+
+// drain runs the registered drain hooks.
+func (c *config) drain(ctx context.Context) error {
+	for _, h := range c.drains {
+		if err := h.fn(ctx); err != nil {
+			return errors.New("draining " + h.name + ": " + err.Error())
+		}
+	}
+	return nil
+}
+
+// Drain runs the drain hooks registered with WithDrainHook — call it
+// after http.Server.Shutdown returns, before closing the stores the
+// hooks flush.
+func (s *Server) Drain(ctx context.Context) error { return s.cfg.drain(ctx) }
+
+// Drain runs the drain hooks registered with WithDrainHook.
+func (s *ExchangeServer) Drain(ctx context.Context) error { return s.cfg.drain(ctx) }
+
+// healthzHandler extends the registry's liveness report with the
+// registered readiness probes: 200 {"status":"ok"} when every check
+// passes, 503 {"status":"degraded","checks":{...}} otherwise.
+func (c *config) healthzHandler() http.Handler {
+	if len(c.health) == 0 {
+		return c.reg.HealthzHandler()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		status := "ok"
+		code := http.StatusOK
+		checks := make(map[string]string, len(c.health))
+		for _, hc := range c.health {
+			if err := hc.check(); err != nil {
+				status = "degraded"
+				code = http.StatusServiceUnavailable
+				checks[hc.name] = err.Error()
+			} else {
+				checks[hc.name] = "ok"
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":        status,
+			"uptimeSeconds": c.reg.Uptime().Seconds(),
+			"checks":        checks,
+		})
+	})
+}

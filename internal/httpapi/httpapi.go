@@ -328,6 +328,11 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return StatusClientClosedRequest
+	case errors.Is(err, market.ErrSaleNotRecorded):
+		// The journal refused the write: the sale was rolled back and
+		// the buyer not charged. 503 tells clients (and the idempotency
+		// machinery) this is the broker's fault and safe to retry.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, market.ErrUnknownModel):
 		return http.StatusNotFound
 	case errors.Is(err, market.ErrUnknownEpsilon):

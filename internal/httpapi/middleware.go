@@ -26,6 +26,10 @@ type config struct {
 	chaos      *resilience.Chaos         // fault injection, nil = off
 	hopBreaker *resilience.BreakerConfig // exchange→broker circuit breaker
 	hopRetry   *resilience.Retry         // exchange→broker retry policy
+
+	// Durability wiring; see health.go.
+	health []healthCheck // readiness probes folded into /healthz
+	drains []drainHook   // flush steps for Drain
 }
 
 func defaultConfig() config {
@@ -172,5 +176,5 @@ func (c *config) mount(mux *http.ServeMux) {
 	if c.tracer != nil {
 		mux.Handle("GET /debug/traces", c.tracer.Handler())
 	}
-	mux.Handle("GET /healthz", c.reg.HealthzHandler())
+	mux.Handle("GET /healthz", c.healthzHandler())
 }

@@ -1,0 +1,387 @@
+package market
+
+// This file is the durable half of the Ledger split: a write-through
+// implementation that journals every transaction (and every
+// permanently skipped sequence number) through a store.Store WAL
+// before the in-memory ledger — and therefore the buyer — sees it.
+// Recovery replays the newest snapshot plus the WAL tail and rebuilds
+// the exact pre-crash ledger, sequence counter, logical clock and
+// unexpired idempotency entries.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/obs/trace"
+	"github.com/datamarket/mbp/internal/store"
+)
+
+// WAL record kinds.
+const (
+	walKindTx   = "tx"
+	walKindSkip = "skip"
+)
+
+// walRecord is one journal entry. Kind "tx" carries a transaction
+// (with its optional idempotency entry in the same frame — see
+// pendingReplay); kind "skip" records a sequence number that was
+// allocated, canceled under concurrent traffic, and could not be
+// handed back, so recovery can account for the gap.
+type walRecord struct {
+	Kind string `json:"kind"`
+	Tx   *walTx `json:"tx,omitempty"`
+	Seq  uint64 `json:"seq,omitempty"`
+}
+
+// walTx is a journaled transaction plus its idempotency entry.
+type walTx struct {
+	Transaction
+	Replay *walReplay `json:"replay,omitempty"`
+}
+
+// walReplay is a journaled idempotency entry: enough to rebuild the
+// original *Purchase after a restart without re-drawing noise — the
+// sold weights travel with the key, so the replayed purchase is
+// byte-identical to the original regardless of seed configuration.
+type walReplay struct {
+	Key       string    `json:"key"`
+	Seq       int       `json:"seq"`
+	W         []float64 `json:"w"`
+	Mu        float64   `json:"mu"`
+	TrainLoss float64   `json:"train_loss"`
+	At        time.Time `json:"at"`
+}
+
+// ledgerState is the compaction snapshot payload: the full ledger (and
+// the bookkeeping recovery needs) at the snapshot boundary, replacing
+// every WAL record before it.
+type ledgerState struct {
+	MaxSeq  uint64        `json:"max_seq"`
+	Logical uint64        `json:"logical"`
+	Txs     []Transaction `json:"txs"`
+	Skips   []uint64      `json:"skips,omitempty"`
+	Replays []walReplay   `json:"replays,omitempty"`
+}
+
+// RecoveredState summarizes what OpenDurableLedger rebuilt; Broker.
+// AttachDurableLedger consumes it to resume serving where the previous
+// process stopped.
+type RecoveredState struct {
+	// Stats are the raw storage-engine recovery stats.
+	Stats store.RecoveryStats
+	// Transactions and Skips count replayed rows by kind (snapshot
+	// rows included).
+	Transactions, Skips int
+	// MaxSeq is the highest sequence number seen (sold or skipped);
+	// the sequence counter resumes past it.
+	MaxSeq uint64
+	// Logical is the highest logical-clock stamp seen; the broker's
+	// clock resumes past it.
+	Logical uint64
+	// Replays is the number of journaled idempotency entries found
+	// (before TTL filtering at seed time).
+	Replays int
+	// Lost lists sequence numbers below MaxSeq with neither a
+	// transaction nor a skip record: sales in flight at the crash,
+	// allocated but never journaled — and therefore never acknowledged
+	// to a buyer. Recovery treats them as skips so the invariant
+	// "transactions ∪ skips ∪ lost = 1..MaxSeq" always holds and the
+	// numbers are never reused.
+	Lost []uint64
+}
+
+// DurableLedger is the write-through Ledger: every record is journaled
+// to the WAL first and filed in the in-memory sharded ledger only
+// after the journal acknowledged it, so an acknowledged sale is
+// recoverable by construction (under FsyncAlways, durably so before
+// the buyer hears about it).
+type DurableLedger struct {
+	mem shardedLedger
+	st  *store.Store
+
+	// mu guards the recovery bookkeeping kept for compaction snapshots.
+	mu      sync.Mutex
+	skips   []uint64
+	replays map[string]walReplay
+}
+
+// OpenDurableLedger opens (creating if needed) the journal in dir and
+// replays it into a fresh ledger. The returned RecoveredState feeds
+// Broker.AttachDurableLedger. Store metrics hooks are installed on top
+// of any the caller provided.
+func OpenDurableLedger(dir string, o store.Options) (*DurableLedger, *RecoveredState, error) {
+	d := &DurableLedger{replays: make(map[string]walReplay)}
+	rs := &RecoveredState{}
+
+	userAppend, userFsync := o.Hooks.OnAppend, o.Hooks.OnFsync
+	o.Hooks.OnAppend = func(el time.Duration) {
+		metStoreAppends.Inc()
+		metStoreAppendLatency.Observe(el.Seconds())
+		if userAppend != nil {
+			userAppend(el)
+		}
+	}
+	o.Hooks.OnFsync = func() {
+		metStoreFsyncs.Inc()
+		if userFsync != nil {
+			userFsync()
+		}
+	}
+
+	track := func(seq, logical uint64) {
+		if seq > rs.MaxSeq {
+			rs.MaxSeq = seq
+		}
+		if logical > rs.Logical {
+			rs.Logical = logical
+		}
+	}
+	st, stats, err := store.Open(dir, o,
+		func(r io.Reader) error {
+			var snap ledgerState
+			if err := json.NewDecoder(r).Decode(&snap); err != nil {
+				return fmt.Errorf("market: decoding ledger snapshot: %w", err)
+			}
+			for _, tx := range snap.Txs {
+				d.mem.file(tx)
+				rs.Transactions++
+				track(uint64(tx.Seq), tx.Stamp.Logical)
+			}
+			for _, seq := range snap.Skips {
+				d.skips = append(d.skips, seq)
+				rs.Skips++
+				track(seq, 0)
+			}
+			for _, rp := range snap.Replays {
+				d.replays[rp.Key] = rp
+			}
+			track(snap.MaxSeq, snap.Logical)
+			return nil
+		},
+		func(rec []byte) error {
+			var wr walRecord
+			if err := json.Unmarshal(rec, &wr); err != nil {
+				return fmt.Errorf("market: decoding wal record: %w", err)
+			}
+			switch wr.Kind {
+			case walKindTx:
+				if wr.Tx == nil {
+					return fmt.Errorf("market: wal tx record without body")
+				}
+				d.mem.file(wr.Tx.Transaction)
+				rs.Transactions++
+				track(uint64(wr.Tx.Seq), wr.Tx.Stamp.Logical)
+				if rp := wr.Tx.Replay; rp != nil {
+					d.replays[rp.Key] = *rp
+				}
+			case walKindSkip:
+				d.skips = append(d.skips, wr.Seq)
+				rs.Skips++
+				track(wr.Seq, 0)
+			default:
+				return fmt.Errorf("market: unknown wal record kind %q", wr.Kind)
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	d.st = st
+	d.mem.seq.Store(rs.MaxSeq)
+	rs.Stats = stats
+	rs.Replays = len(d.replays)
+
+	// Journal order is append order, not sequence order: a crash can
+	// cut off a sale whose number is below a journaled one (allocated,
+	// in flight, never acknowledged). Those numbers become implicit
+	// skips — deterministically re-derivable on every open and carried
+	// into compaction snapshots — so the ledger's accounted set stays
+	// contiguous and a lost number is never resold.
+	seen := make(map[uint64]bool, rs.Transactions+rs.Skips)
+	for _, tx := range d.mem.view().txs {
+		seen[uint64(tx.Seq)] = true
+	}
+	for _, sk := range d.skips {
+		seen[sk] = true
+	}
+	for seq := uint64(1); seq <= rs.MaxSeq; seq++ {
+		if !seen[seq] {
+			rs.Lost = append(rs.Lost, seq)
+		}
+	}
+	d.skips = append(d.skips, rs.Lost...)
+
+	metStoreRecoveryRecords.Set(float64(stats.Records))
+	metStoreRecoverySegments.Set(float64(stats.Segments))
+	metStoreRecoveryTruncated.Set(float64(stats.TruncatedBytes))
+	if stats.SnapshotLoaded {
+		metStoreRecoverySnapshot.Set(1)
+	} else {
+		metStoreRecoverySnapshot.Set(0)
+	}
+	return d, rs, nil
+}
+
+func (d *DurableLedger) nextSeq() uint64 { return d.mem.nextSeq() }
+
+// releaseSeq hands the number back when possible; when concurrent
+// traffic already built on top of it, the permanent gap is journaled so
+// recovery can prove the ledger prefix is still complete. A journal
+// failure here is swallowed: the store has latched failed and every
+// subsequent sale will refuse to record anyway.
+func (d *DurableLedger) releaseSeq(seq uint64) bool {
+	if d.mem.releaseSeq(seq) {
+		return true
+	}
+	if rec, err := json.Marshal(walRecord{Kind: walKindSkip, Seq: seq}); err == nil {
+		if err := d.st.Append(rec); err == nil {
+			d.mu.Lock()
+			d.skips = append(d.skips, seq)
+			d.mu.Unlock()
+		}
+	}
+	return false
+}
+
+// record journals the transaction (and its idempotency entry, in the
+// same frame) and files it in memory only after the journal accepted
+// it. On a journal error nothing is filed and the sale must not be
+// acknowledged; the error matches ErrSaleNotRecorded.
+func (d *DurableLedger) record(ctx context.Context, tx Transaction, rep *pendingReplay) error {
+	wtx := walTx{Transaction: tx}
+	if rep != nil {
+		wtx.Replay = &walReplay{
+			Key:       rep.key,
+			Seq:       rep.p.Seq,
+			W:         rep.p.Instance.W,
+			Mu:        rep.p.Instance.Mu,
+			TrainLoss: rep.p.Instance.TrainLoss,
+			At:        tx.Stamp.Wall,
+		}
+	}
+	rec, err := json.Marshal(walRecord{Kind: walKindTx, Tx: &wtx})
+	if err != nil {
+		return fmt.Errorf("%w: encoding: %v", ErrSaleNotRecorded, err)
+	}
+	_, span := trace.Start(ctx, "store.append", "seq", strconv.Itoa(tx.Seq))
+	err = d.st.Append(rec)
+	span.End()
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrSaleNotRecorded, err)
+	}
+	if rep != nil {
+		d.mu.Lock()
+		d.replays[rep.key] = *wtx.Replay
+		d.mu.Unlock()
+	}
+	d.mem.file(tx)
+	return nil
+}
+
+func (d *DurableLedger) view() *ledgerView { return d.mem.view() }
+
+// replayRows returns the journaled idempotency entries (a copy).
+func (d *DurableLedger) replayRows() map[string]walReplay {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]walReplay, len(d.replays))
+	for k, v := range d.replays {
+		out[k] = v
+	}
+	return out
+}
+
+// Compact writes a snapshot of the full current ledger state and
+// deletes the WAL segments it covers. Idempotency entries older than
+// ReplayTTL are pruned from the snapshot (they could no longer be
+// replayed anyway).
+func (d *DurableLedger) Compact() error {
+	v := d.mem.view()
+	d.mu.Lock()
+	state := ledgerState{
+		MaxSeq:  d.mem.seq.Load(),
+		Txs:     v.txs,
+		Skips:   append([]uint64(nil), d.skips...),
+		Replays: make([]walReplay, 0, len(d.replays)),
+	}
+	cutoff := time.Now().Add(-ReplayTTL)
+	for key, rp := range d.replays {
+		if rp.At.Before(cutoff) {
+			delete(d.replays, key)
+			continue
+		}
+		state.Replays = append(state.Replays, rp)
+	}
+	d.mu.Unlock()
+	sort.Slice(state.Replays, func(i, j int) bool { return state.Replays[i].At.Before(state.Replays[j].At) })
+	for i := range v.txs {
+		if l := v.txs[i].Stamp.Logical; l > state.Logical {
+			state.Logical = l
+		}
+	}
+	return d.st.Snapshot(func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(&state)
+	})
+}
+
+// Flush forces outstanding journal appends to disk (the drain path).
+func (d *DurableLedger) Flush() error { return d.st.Flush() }
+
+// Healthy reports nil while the journal accepts appends; /healthz
+// surfaces the failure otherwise.
+func (d *DurableLedger) Healthy() error { return d.st.Healthy() }
+
+// Close flushes and closes the journal.
+func (d *DurableLedger) Close() error { return d.st.Close() }
+
+// Dir returns the journal directory.
+func (d *DurableLedger) Dir() string { return d.st.Dir() }
+
+// AttachDurableLedger swaps the broker's in-memory ledger for d and
+// resumes serving state from the recovered journal: the sequence
+// counter and logical clock continue past their pre-crash maxima, and
+// journaled idempotency entries still inside ReplayTTL are re-seeded
+// into the replay cache, so a client retry that straddles the restart
+// replays the original sale — same Seq, same weights — instead of
+// being charged twice.
+//
+// Call it during startup, after offers are restored and before the
+// broker serves traffic; it is not safe to use concurrently with buys.
+func (b *Broker) AttachDurableLedger(d *DurableLedger, rs *RecoveredState) {
+	b.ledger = d
+	if rs == nil {
+		return
+	}
+	if cur := b.logical.Load(); rs.Logical > cur {
+		b.logical.Store(rs.Logical)
+	}
+	v := d.view()
+	for key, rp := range d.replayRows() {
+		i := sort.Search(len(v.txs), func(i int) bool { return v.txs[i].Seq >= rp.Seq })
+		if i >= len(v.txs) || v.txs[i].Seq != rp.Seq {
+			continue // journal damage already surfaced at Open; skip defensively
+		}
+		tx := v.txs[i]
+		p := &Purchase{
+			Instance: &ml.Instance{
+				Model:     tx.Model,
+				W:         append([]float64(nil), rp.W...),
+				Mu:        rp.Mu,
+				TrainLoss: rp.TrainLoss,
+			},
+			Model:         tx.Model,
+			Delta:         tx.Delta,
+			ExpectedError: tx.ExpectedError,
+			Price:         tx.Price,
+			Seq:           tx.Seq,
+		}
+		b.replay.Seed(key, p, rp.At)
+	}
+}

@@ -1,10 +1,70 @@
 package market
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Stamp orders a ledger row in time two ways: Logical is the broker's
+// monotonic logical clock (total order over recorded sales, gap-free
+// even when wall clocks jump), and Wall is the wall-clock instant the
+// sale was recorded, for correlating WAL rows with /debug/traces and
+// the access log. Determinism tests compare Seq/price/weights and
+// ignore Wall; the clock behind it is injectable via Broker.SetClock.
+type Stamp struct {
+	// Logical is the broker-local logical clock value, 1-based.
+	Logical uint64 `json:"logical"`
+	// Wall is the recording wall-clock time.
+	Wall time.Time `json:"wall"`
+}
+
+// Ledger is the broker's transaction log. Two implementations exist:
+// the in-memory shardedLedger (the default, state dies with the
+// process) and the write-through DurableLedger, which journals every
+// transaction — and every permanently skipped sequence number — to a
+// store.Store WAL before acknowledging the sale.
+//
+// The methods are unexported on purpose: the interface shapes the
+// broker's internals and is not a public extension point.
+type Ledger interface {
+	// nextSeq allocates the next 1-based sequence number.
+	nextSeq() uint64
+	// releaseSeq hands back an allocated sequence number whose sale
+	// was abandoned before recording. It reports whether the number
+	// was reclaimed; a durable implementation journals the skip when
+	// reclaim fails, so recovery can tell a canceled sale from a lost
+	// row.
+	releaseSeq(seq uint64) bool
+	// record files tx. A durable implementation journals it (and rep,
+	// the idempotency entry that must live or die with it) before the
+	// in-memory ledger sees it, and an error means the sale must not
+	// be acknowledged.
+	record(ctx context.Context, tx Transaction, rep *pendingReplay) error
+	// view returns the current Seq-ordered snapshot. The returned
+	// value is shared and immutable — callers must not mutate it.
+	view() *ledgerView
+}
+
+// pendingReplay carries the idempotency entry recorded atomically with
+// its transaction: journaling key and purchase in the same WAL frame
+// means a crash can never persist the charge but forget the key (a
+// double-charge on retry) or vice versa.
+type pendingReplay struct {
+	key string
+	p   *Purchase
+}
+
+// ledgerView is an immutable ledger snapshot: the transactions in Seq
+// order plus their gross revenue, tagged with the record count it was
+// built at so repeated readers can reuse it.
+type ledgerView struct {
+	version uint64
+	txs     []Transaction
+	gross   float64
+}
 
 // ledgerShardCount is the number of independent ledger stripes. Sales
 // contend only on the stripe their sequence number hashes to, so up to
@@ -16,10 +76,17 @@ const ledgerShardCount = 16
 // and per-shard mutexes. Allocating a sequence number is a single
 // atomic add; filing the row locks only its stripe. Readers merge the
 // stripes back into Seq order on demand — the write-heavy purchase path
-// pays O(1), the read-side Ledger() pays the sort.
+// pays O(1), the read-side view() pays the sort, and a cache keyed by
+// the recorded-row count means it pays it only when something new was
+// actually recorded (repeated /metrics or Ledger() polls between sales
+// are O(1) pointer loads).
 type shardedLedger struct {
-	seq    atomic.Uint64
-	shards [ledgerShardCount]ledgerShard
+	seq atomic.Uint64
+	// recorded counts fully filed rows; it is the cache version, bumped
+	// only after the row is visible in its stripe.
+	recorded atomic.Uint64
+	cache    atomic.Pointer[ledgerView]
+	shards   [ledgerShardCount]ledgerShard
 }
 
 // ledgerShard is one stripe, padded out to its own cache line so the
@@ -48,21 +115,35 @@ func (l *shardedLedger) releaseSeq(seq uint64) bool {
 	return l.seq.CompareAndSwap(seq, seq-1)
 }
 
-// record files a transaction under its sequence number's stripe.
-func (l *shardedLedger) record(tx Transaction) {
+// record implements Ledger: purely in-memory, it cannot fail.
+func (l *shardedLedger) record(_ context.Context, tx Transaction, _ *pendingReplay) error {
+	l.file(tx)
+	return nil
+}
+
+// file places a transaction under its sequence number's stripe and
+// bumps the cache version once the row is visible there.
+func (l *shardedLedger) file(tx Transaction) {
 	sh := &l.shards[uint64(tx.Seq)%ledgerShardCount]
 	sh.mu.Lock()
 	sh.txs = append(sh.txs, tx)
 	sh.total += tx.Price
 	sh.mu.Unlock()
+	l.recorded.Add(1)
 }
 
-// snapshot merges the stripes into one slice ordered by Seq. Sequence
-// numbers whose sale is still in flight (allocated but not yet
-// recorded) are absent; once writers quiesce the result is contiguous
-// 1..n.
-func (l *shardedLedger) snapshot() []Transaction {
-	out := make([]Transaction, 0, l.count())
+// view returns the Seq-ordered snapshot, rebuilding it only when rows
+// were recorded since the cached one. The version is read before the
+// stripes are merged, so a concurrent writer can at worst make the
+// cached snapshot carry a few extra fully-filed rows under a stale
+// version — the next read notices the version moved and rebuilds;
+// readers never see a missing row for a version they observed.
+func (l *shardedLedger) view() *ledgerView {
+	version := l.recorded.Load()
+	if v := l.cache.Load(); v != nil && v.version == version {
+		return v
+	}
+	out := make([]Transaction, 0, version)
 	for i := range l.shards {
 		sh := &l.shards[i]
 		sh.mu.Lock()
@@ -70,19 +151,21 @@ func (l *shardedLedger) snapshot() []Transaction {
 		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
-	return out
+	// Gross revenue is summed over the snapshot itself (not the stripe
+	// totals) so a view is always internally consistent: its gross is
+	// exactly the sum over its rows.
+	var gross float64
+	for i := range out {
+		gross += out[i].Price
+	}
+	v := &ledgerView{version: version, txs: out, gross: gross}
+	l.cache.Store(v)
+	return v
 }
 
 // count returns the number of recorded transactions.
 func (l *shardedLedger) count() int {
-	n := 0
-	for i := range l.shards {
-		sh := &l.shards[i]
-		sh.mu.Lock()
-		n += len(sh.txs)
-		sh.mu.Unlock()
-	}
-	return n
+	return int(l.recorded.Load())
 }
 
 // grossRevenue returns the sum of recorded prices across stripes.

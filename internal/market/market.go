@@ -73,6 +73,11 @@ type Transaction struct {
 	Model ml.Model
 	// Delta, Price, ExpectedError mirror the purchase.
 	Delta, Price, ExpectedError float64
+	// Stamp carries the logical-clock value and wall-clock instant the
+	// row was recorded, correlating WAL rows with /debug/traces and
+	// the access log. Wall time is excluded from determinism
+	// comparisons.
+	Stamp Stamp
 }
 
 // offer is the broker's per-model state: the one-time-trained optimum
@@ -122,7 +127,15 @@ type Broker struct {
 	saleSeed   uint64
 	commission float64
 	offers     atomic.Pointer[offerTable]
-	ledger     shardedLedger
+	// ledger is the transaction log. NewBroker installs the in-memory
+	// sharded implementation; AttachDurableLedger swaps in the
+	// WAL-backed one at startup.
+	ledger Ledger
+	// logical is the monotonic logical clock stamped onto ledger rows;
+	// clock supplies the wall half of the stamp (injectable, see
+	// SetClock).
+	logical atomic.Uint64
+	clock   func() time.Time
 	// replay is the idempotency cache behind BuyIdempotent: a client
 	// retrying a purchase under the same key gets the original
 	// Purchase back (same Seq, same weights, same ledger row) instead
@@ -193,6 +206,8 @@ func NewBroker(seller *Seller, mech noise.Mechanism, seed uint64, commission flo
 		r:          rng.New(seed),
 		saleSeed:   seed,
 		commission: commission,
+		ledger:     &shardedLedger{},
+		clock:      time.Now,
 		replay:     resilience.NewReplayCache[*Purchase](ReplayCapacity, ReplayTTL),
 	}
 	b.offers.Store(&offerTable{offers: make(map[ml.Model]*offer)})
@@ -629,7 +644,10 @@ func (b *Broker) BuyIdempotent(ctx context.Context, key string, buy func(context
 		p, err = buy(ctx)
 		return p, false, err
 	}
-	p, replayed, err = b.replay.Do(ctx, key, func() (*Purchase, error) { return buy(ctx) })
+	// The owning flight carries the key in its context so a durable
+	// ledger can journal the idempotency entry with the transaction.
+	keyed := withIdempotencyKey(ctx, key)
+	p, replayed, err = b.replay.Do(ctx, key, func() (*Purchase, error) { return buy(keyed) })
 	if replayed && err == nil {
 		metReplayed.Inc()
 		if span := trace.FromContext(ctx); span != nil {
@@ -709,28 +727,76 @@ func (b *Broker) sell(ctx context.Context, m ml.Model, off *offer, delta float64
 		Price:         price,
 		Seq:           int(seq),
 	}
-	_, ledger := trace.Start(ctx, "market.ledger_append", "seq", strconv.FormatUint(seq, 10))
-	b.ledger.record(Transaction{
+	tx := Transaction{
 		Seq:           int(seq),
 		Model:         m,
 		Delta:         delta,
 		Price:         price,
 		ExpectedError: p.ExpectedError,
-	})
+		Stamp:         Stamp{Logical: b.logical.Add(1), Wall: b.clock()},
+	}
+	// The idempotency entry rides in the same journal frame as its
+	// transaction: a crash persists both or neither.
+	var rep *pendingReplay
+	if key := idempotencyKeyFrom(ctx); key != "" {
+		rep = &pendingReplay{key: key, p: p}
+	}
+	_, ledger := trace.Start(ctx, "market.ledger_append", "seq", strconv.FormatUint(seq, 10))
+	err = b.ledger.record(ctx, tx, rep)
+	ledger.End()
+	if err != nil {
+		// The journal refused the sale; the buyer must not receive the
+		// model or be charged. Hand the sequence number back when
+		// possible (the durable ledger journals the skip otherwise —
+		// likely futile once the store failed, and harmless).
+		b.ledger.releaseSeq(seq)
+		metPersistFailed.Inc()
+		return nil, err
+	}
 	metPurchases.Inc()
 	metRevenue.Add(price)
-	ledger.End()
 	return p, nil
 }
 
+// SetClock overrides the wall-clock source behind Transaction stamps;
+// tests use it for deterministic stamps. Not safe to call concurrently
+// with buys.
+func (b *Broker) SetClock(now func() time.Time) { b.clock = now }
+
+// ErrSaleNotRecorded is returned (wrapped) when the durable journal
+// refuses to record a sale: the buyer was not charged and received
+// nothing. httpapi maps it to 503 — the client may retry, ideally with
+// the same Idempotency-Key.
+var ErrSaleNotRecorded = errors.New("market: sale not recorded durably")
+
+// idemKeyCtx carries the Idempotency-Key of the buy being executed so
+// the ledger can journal the idempotency entry atomically with the
+// transaction.
+type idemKeyCtx struct{}
+
+func withIdempotencyKey(ctx context.Context, key string) context.Context {
+	return context.WithValue(ctx, idemKeyCtx{}, key)
+}
+
+func idempotencyKeyFrom(ctx context.Context) string {
+	key, _ := ctx.Value(idemKeyCtx{}).(string)
+	return key
+}
+
 // Ledger returns a copy of all recorded transactions in Seq order.
+// Repeated calls between sales are cheap: the Seq-ordered merge of the
+// ledger stripes is cached and reused until a new row is recorded
+// (only the defensive copy is paid per call).
 func (b *Broker) Ledger() []Transaction {
-	return b.ledger.snapshot()
+	v := b.ledger.view()
+	return append([]Transaction(nil), v.txs...)
 }
 
 // RevenueSplit returns the seller's and broker's cumulative shares.
+// The total is the sum over the same cached snapshot Ledger() serves,
+// so the split always equals the ledger sum a caller can verify.
 func (b *Broker) RevenueSplit() (sellerShare, brokerShare float64) {
-	total := b.ledger.grossRevenue()
+	total := b.ledger.view().gross
 	return total * (1 - b.commission), total * b.commission
 }
 

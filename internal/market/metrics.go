@@ -29,4 +29,21 @@ var (
 	metCurveOpt = obs.Default.Histogram("market.curve_optimize_seconds", obs.LatencyBuckets())
 	// metListings is the number of listings currently on the exchange.
 	metListings = obs.Default.Gauge("exchange.listings")
+
+	// metPersistFailed counts sales aborted because the durable journal
+	// refused the record — the buyer was not charged (see
+	// ErrSaleNotRecorded).
+	metPersistFailed = obs.Default.Counter("market.sales_persist_failed_total")
+	// metStoreAppends / metStoreFsyncs / metStoreAppendLatency observe
+	// the WAL write path behind the durable ledger (internal/store is
+	// stdlib-only, so the wiring lives here via store.Hooks).
+	metStoreAppends       = obs.Default.Counter("store.appends_total")
+	metStoreFsyncs        = obs.Default.Counter("store.fsyncs_total")
+	metStoreAppendLatency = obs.Default.Histogram("store.append_seconds", obs.LatencyBuckets())
+	// store.recovery_* gauges are set once per process at
+	// OpenDurableLedger and describe what startup recovery rebuilt.
+	metStoreRecoveryRecords   = obs.Default.Gauge("store.recovery_records")
+	metStoreRecoverySegments  = obs.Default.Gauge("store.recovery_segments")
+	metStoreRecoveryTruncated = obs.Default.Gauge("store.recovery_truncated_bytes")
+	metStoreRecoverySnapshot  = obs.Default.Gauge("store.recovery_snapshot_loaded")
 )

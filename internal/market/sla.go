@@ -74,7 +74,7 @@ func (b *Broker) VerifySLA(m ml.Model, samples int, seed uint64) (SLAReport, err
 
 // ExportLedger writes the transaction ledger and revenue split as JSON.
 func (b *Broker) ExportLedger(w io.Writer) error {
-	txs := b.ledger.snapshot()
+	txs := b.ledger.view().txs
 	commission := b.commission
 	var total float64
 	for _, t := range txs {

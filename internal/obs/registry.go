@@ -191,6 +191,12 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// Uptime reports how long ago the registry was created — process
+// uptime for the Default registry.
+func (r *Registry) Uptime() time.Duration {
+	return time.Since(r.start)
+}
+
 // HealthzHandler reports liveness plus uptime — the GET /healthz
 // endpoint.
 func (r *Registry) HealthzHandler() http.Handler {

@@ -10,6 +10,7 @@ import (
 
 	"github.com/datamarket/mbp/internal/obs"
 	"github.com/datamarket/mbp/internal/rng"
+	"github.com/datamarket/mbp/internal/store"
 )
 
 // Chaos metrics: every injected fault is counted, so a chaos run's
@@ -20,6 +21,9 @@ var (
 	metChaosLatency = obs.Default.Counter(obs.Name("resilience.chaos_injected_total", "kind", "latency"))
 	metChaosHangs   = obs.Default.Counter(obs.Name("resilience.chaos_injected_total", "kind", "hang"))
 	metChaosDrops   = obs.Default.Counter(obs.Name("resilience.chaos_injected_total", "kind", "drop"))
+	metChaosTorn    = obs.Default.Counter(obs.Name("resilience.chaos_injected_total", "kind", "torn_write"))
+	metChaosShort   = obs.Default.Counter(obs.Name("resilience.chaos_injected_total", "kind", "short_write"))
+	metChaosFsync   = obs.Default.Counter(obs.Name("resilience.chaos_injected_total", "kind", "fsync_error"))
 )
 
 // ChaosConfig sets the per-decision fault probabilities. All
@@ -40,6 +44,17 @@ type ChaosConfig struct {
 	// (the purchase committed) but the response is lost — the
 	// canonical double-charge scenario idempotency keys exist for.
 	DropProb float64
+	// TornProb is the probability a StoreFaults write is torn: a prefix
+	// of the frame reaches disk and the store fails as if the process
+	// had crashed mid-append. Recovery on reopen must truncate the
+	// tear — the crash drill the durability layer exists for.
+	TornProb float64
+	// ShortProb is the probability a StoreFaults write fails cleanly
+	// (nothing written, store stays healthy): the transient-disk-error
+	// case the sale path must refuse without charging the buyer.
+	ShortProb float64
+	// FsyncErrProb is the probability a StoreFaults fsync fails.
+	FsyncErrProb float64
 }
 
 // Chaos injects faults probabilistically. Every decision draws from
@@ -143,10 +158,48 @@ func (c *Chaos) Drop() bool {
 	return false
 }
 
+// StoreFaults adapts the injector to the storage engine's fault hooks
+// (store.Options.Faults): torn writes (TornProb) leave a partial frame
+// on disk and fail the store exactly like a crash mid-append, short
+// writes (ShortProb) fail the append cleanly with nothing written, and
+// fsync errors (FsyncErrProb) fail the durability barrier. Returns nil
+// for a nil injector. Torn is drawn before short so a torn schedule
+// cannot be masked.
+func (c *Chaos) StoreFaults() *store.Faults {
+	if c == nil {
+		return nil
+	}
+	return &store.Faults{
+		Write: func(frame []byte) (int, error) {
+			cfg := c.cfg.Load()
+			r := c.draw()
+			if r.Bernoulli(cfg.TornProb) && len(frame) > 1 {
+				metChaosTorn.Inc()
+				return 1 + r.Intn(len(frame)-1), ErrInjected
+			}
+			if r.Bernoulli(cfg.ShortProb) {
+				metChaosShort.Inc()
+				return 0, ErrInjected
+			}
+			return len(frame), nil
+		},
+		Sync: func() error {
+			if c.draw().Bernoulli(c.cfg.Load().FsyncErrProb) {
+				metChaosFsync.Inc()
+				return ErrInjected
+			}
+			return nil
+		},
+	}
+}
+
 // ParseChaos builds a Chaos from a comma-separated spec, the format
 // of cmd/mbpmarket's -chaos flag:
 //
 //	err=0.1,latency=0.05,latency-ms=20,hang=0.01,drop=0.02,seed=7
+//
+// The storage-engine fault keys torn, short and fsync-err feed
+// StoreFaults.
 //
 // Unknown keys, unparsable values, or out-of-range probabilities are
 // errors. An empty spec returns (nil, nil): chaos disabled.
@@ -180,7 +233,7 @@ func ParseChaos(spec string) (*Chaos, error) {
 			}
 			cfg.Latency = time.Duration(f * float64(time.Millisecond))
 			continue
-		case "err", "latency", "hang", "drop":
+		case "err", "latency", "hang", "drop", "torn", "short", "fsync-err":
 			if f < 0 || f > 1 {
 				return nil, fmt.Errorf("resilience: chaos %s must be in [0, 1], got %v", key, f)
 			}
@@ -196,6 +249,12 @@ func ParseChaos(spec string) (*Chaos, error) {
 			cfg.HangProb = f
 		case "drop":
 			cfg.DropProb = f
+		case "torn":
+			cfg.TornProb = f
+		case "short":
+			cfg.ShortProb = f
+		case "fsync-err":
+			cfg.FsyncErrProb = f
 		}
 	}
 	return NewChaos(seed, cfg), nil

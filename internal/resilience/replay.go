@@ -101,6 +101,32 @@ func (c *ReplayCache[V]) Do(ctx context.Context, key string, fn func() (V, error
 	return e.val, false, e.err
 }
 
+// Seed installs a completed successful entry as if Do had executed it
+// at completedAt — the recovery path uses it to rebuild idempotency
+// state from a journal after a restart, so a client retry that
+// straddles the crash still replays the original result. The entry
+// expires at completedAt+TTL exactly as the original would have;
+// already-expired entries are ignored, as is a key that is present
+// (live state wins over the journal). Reports whether the entry was
+// installed.
+func (c *ReplayCache[V]) Seed(key string, v V, completedAt time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	expires := completedAt.Add(c.ttl)
+	if !c.now().Before(expires) {
+		return false
+	}
+	e := &replayEntry[V]{done: make(chan struct{}), val: v, expires: expires}
+	close(e.done)
+	e.elem = c.order.PushBack(key)
+	c.entries[key] = e
+	c.evictLocked()
+	return true
+}
+
 // Len returns the number of entries (completed and in-flight).
 func (c *ReplayCache[V]) Len() int {
 	c.mu.Lock()

@@ -1,0 +1,515 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// open is Open with collection callbacks: records land in *got, the
+// snapshot body in *snap.
+func open(t *testing.T, dir string, o Options, got *[][]byte, snap *[]byte) (*Store, RecoveryStats) {
+	t.Helper()
+	s, stats, err := Open(dir, o,
+		func(r io.Reader) error {
+			b, err := io.ReadAll(r)
+			if err != nil {
+				return err
+			}
+			if snap != nil {
+				*snap = b
+			}
+			return nil
+		},
+		func(rec []byte) error {
+			if got != nil {
+				*got = append(*got, append([]byte(nil), rec...))
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, stats
+}
+
+func appendAll(t *testing.T, s *Store, recs ...string) {
+	t.Helper()
+	for _, r := range recs {
+		if err := s.Append([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	for _, policy := range []Policy{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			s, stats := open(t, dir, Options{Policy: policy}, nil, nil)
+			if stats.Records != 0 || stats.SnapshotLoaded {
+				t.Fatalf("fresh dir recovered state: %+v", stats)
+			}
+			appendAll(t, s, "alpha", "beta", "gamma")
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			var got [][]byte
+			s2, stats := open(t, dir, Options{Policy: policy}, &got, nil)
+			defer s2.Close()
+			if stats.Records != 3 || stats.TruncatedBytes != 0 {
+				t.Fatalf("recovery stats %+v, want 3 clean records", stats)
+			}
+			for i, want := range []string{"alpha", "beta", "gamma"} {
+				if string(got[i]) != want {
+					t.Fatalf("record %d = %q, want %q", i, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestAppendRejectsEmptyRecord(t *testing.T) {
+	s, _ := open(t, t.TempDir(), Options{}, nil, nil)
+	defer s.Close()
+	if err := s.Append(nil); err == nil {
+		t.Fatal("empty record accepted")
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{SegmentBytes: 64}, nil, nil)
+	for i := 0; i < 20; i++ {
+		appendAll(t, s, fmt.Sprintf("record-%02d", i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
+	}
+
+	var got [][]byte
+	s2, stats := open(t, dir, Options{SegmentBytes: 64}, &got, nil)
+	defer s2.Close()
+	if stats.Records != 20 || stats.Segments != len(segs) {
+		t.Fatalf("recovery stats %+v, want 20 records over %d segments", stats, len(segs))
+	}
+	for i := range got {
+		if want := fmt.Sprintf("record-%02d", i); string(got[i]) != want {
+			t.Fatalf("record %d = %q, want %q (order lost across segments)", i, got[i], want)
+		}
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{SegmentBytes: 48}, nil, nil)
+	appendAll(t, s, "one", "two", "three", "four", "five")
+	if err := s.Snapshot(func(w io.Writer) error {
+		_, err := w.Write([]byte("STATE:5"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, "six", "seven")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-snapshot segments are gone.
+	segs, snaps, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("want 1 snapshot, got %d", len(snaps))
+	}
+	for _, idx := range segs {
+		if idx < snaps[0] {
+			t.Fatalf("segment %d predates snapshot %d: not compacted", idx, snaps[0])
+		}
+	}
+
+	var got [][]byte
+	var snap []byte
+	s2, stats := open(t, dir, Options{}, &got, &snap)
+	defer s2.Close()
+	if !stats.SnapshotLoaded || string(snap) != "STATE:5" {
+		t.Fatalf("snapshot not recovered: stats %+v, body %q", stats, snap)
+	}
+	if stats.Records != 2 || string(got[0]) != "six" || string(got[1]) != "seven" {
+		t.Fatalf("post-snapshot tail wrong: %q", got)
+	}
+}
+
+func TestSnapshotWriterErrorLeavesLogUsable(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{}, nil, nil)
+	appendAll(t, s, "one")
+	boom := errors.New("serialization failed")
+	if err := s.Snapshot(func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("snapshot error %v, want wrapped %v", err, boom)
+	}
+	appendAll(t, s, "two")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	s2, stats := open(t, dir, Options{}, &got, nil)
+	defer s2.Close()
+	if stats.SnapshotLoaded || stats.Records != 2 {
+		t.Fatalf("aborted snapshot corrupted recovery: %+v", stats)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{}, nil, nil)
+	appendAll(t, s, "alpha", "beta", "gamma")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop into the final frame: the crash signature.
+	path := filepath.Join(dir, segName(1))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	var got [][]byte
+	s2, stats := open(t, dir, Options{}, &got, nil)
+	if stats.Records != 2 || stats.TruncatedBytes == 0 {
+		t.Fatalf("torn tail not truncated: %+v", stats)
+	}
+	if string(got[0]) != "alpha" || string(got[1]) != "beta" {
+		t.Fatalf("surviving prefix wrong: %q", got)
+	}
+	// The log is usable again: the truncated record's slot is rewritten.
+	appendAll(t, s2, "gamma2")
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	s3, stats := open(t, dir, Options{}, &got, nil)
+	defer s3.Close()
+	if stats.Records != 3 || stats.TruncatedBytes != 0 || string(got[2]) != "gamma2" {
+		t.Fatalf("post-truncation append lost: %+v %q", stats, got)
+	}
+}
+
+func TestMidLogCorruptionTypedError(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{}, nil, nil)
+	appendAll(t, s, "alpha", "beta", "gamma")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the FIRST frame — valid frames follow, so
+	// this cannot be a torn tail.
+	path := filepath.Join(dir, segName(1))
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[frameHeaderSize] ^= 0xFF
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = Open(dir, Options{}, nil, nil)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-log corruption returned %v, want ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Offset != 0 || ce.Segment != segName(1) {
+		t.Fatalf("corrupt error lacks location: %+v", ce)
+	}
+}
+
+func TestCorruptionInEarlierSegmentTypedError(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{SegmentBytes: 32}, nil, nil)
+	for i := 0; i < 8; i++ {
+		appendAll(t, s, fmt.Sprintf("record-%02d", i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatal("need at least two segments")
+	}
+	// Truncate the FIRST segment mid-frame: in a non-final segment even
+	// a "torn-looking" tail is corruption, because rotation sealed it.
+	path := filepath.Join(dir, segName(segs[0]))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(dir, Options{}, nil, nil)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("sealed-segment damage returned %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCleanWriteFaultKeepsStoreHealthy(t *testing.T) {
+	dir := t.TempDir()
+	injected := errors.New("injected")
+	failNext := false
+	faults := &Faults{Write: func(frame []byte) (int, error) {
+		if failNext {
+			failNext = false
+			return 0, injected
+		}
+		return len(frame), nil
+	}}
+	s, _ := open(t, dir, Options{Faults: faults}, nil, nil)
+	appendAll(t, s, "one")
+	failNext = true
+	if err := s.Append([]byte("two")); !errors.Is(err, injected) {
+		t.Fatalf("append error %v, want injected", err)
+	}
+	if err := s.Healthy(); err != nil {
+		t.Fatalf("clean write failure latched the store: %v", err)
+	}
+	appendAll(t, s, "three")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	s2, stats := open(t, dir, Options{}, &got, nil)
+	defer s2.Close()
+	if stats.Records != 2 || string(got[0]) != "one" || string(got[1]) != "three" {
+		t.Fatalf("recovered %q, want the two acknowledged records", got)
+	}
+}
+
+func TestTornWriteFaultFailsStoreAndRecoveryTruncates(t *testing.T) {
+	dir := t.TempDir()
+	injected := errors.New("injected crash")
+	torn := false
+	faults := &Faults{Write: func(frame []byte) (int, error) {
+		if torn {
+			torn = false
+			return len(frame) / 2, injected
+		}
+		return len(frame), nil
+	}}
+	s, _ := open(t, dir, Options{Faults: faults}, nil, nil)
+	appendAll(t, s, "one", "two")
+	torn = true
+	if err := s.Append([]byte("three")); !errors.Is(err, injected) {
+		t.Fatalf("torn append error %v, want injected", err)
+	}
+	if err := s.Healthy(); err == nil {
+		t.Fatal("torn write left the store healthy")
+	}
+	if err := s.Append([]byte("four")); err == nil {
+		t.Fatal("append accepted after simulated crash")
+	}
+	// No Close: the process "died". Recovery truncates the tear.
+	var got [][]byte
+	s2, stats := open(t, dir, Options{}, &got, nil)
+	defer s2.Close()
+	if stats.Records != 2 || stats.TruncatedBytes == 0 {
+		t.Fatalf("recovery stats %+v, want 2 records and a truncated tear", stats)
+	}
+	if string(got[0]) != "one" || string(got[1]) != "two" {
+		t.Fatalf("recovered %q", got)
+	}
+}
+
+func TestFsyncFaultFailsAppendButRepairs(t *testing.T) {
+	dir := t.TempDir()
+	injected := errors.New("injected fsync")
+	fail := false
+	faults := &Faults{Sync: func() error {
+		if fail {
+			fail = false
+			return injected
+		}
+		return nil
+	}}
+	s, _ := open(t, dir, Options{Policy: FsyncAlways, Faults: faults}, nil, nil)
+	appendAll(t, s, "one")
+	fail = true
+	if err := s.Append([]byte("two")); !errors.Is(err, injected) {
+		t.Fatalf("append error %v, want injected fsync", err)
+	}
+	if err := s.Healthy(); err != nil {
+		t.Fatalf("repairable fsync failure latched the store: %v", err)
+	}
+	appendAll(t, s, "three")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	s2, _ := open(t, dir, Options{}, &got, nil)
+	defer s2.Close()
+	if len(got) != 2 || string(got[1]) != "three" {
+		t.Fatalf("unacknowledged record resurfaced: %q", got)
+	}
+}
+
+func TestIntervalPolicySyncsInBackground(t *testing.T) {
+	dir := t.TempDir()
+	synced := make(chan struct{}, 16)
+	s, _, err := Open(dir, Options{
+		Policy:   FsyncInterval,
+		Interval: time.Millisecond,
+		Hooks:    Hooks{OnFsync: func() { synced <- struct{}{} }},
+	}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, "one")
+	select {
+	case <-synced:
+	case <-time.After(5 * time.Second):
+		t.Fatal("background fsync never fired")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHooksCount(t *testing.T) {
+	var appends, fsyncs int
+	s, _, err := Open(t.TempDir(), Options{
+		Policy: FsyncAlways,
+		Hooks: Hooks{
+			OnAppend: func(time.Duration) { appends++ },
+			OnFsync:  func() { fsyncs++ },
+		},
+	}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, "a", "b", "c")
+	if appends != 3 {
+		t.Fatalf("OnAppend fired %d times, want 3", appends)
+	}
+	if fsyncs < 3 {
+		t.Fatalf("OnFsync fired %d times, want >= 3 under FsyncAlways", fsyncs)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{"always": FsyncAlways, "interval": FsyncInterval, "never": FsyncNever} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestClosedStoreRefusesOperations(t *testing.T) {
+	s, _ := open(t, t.TempDir(), Options{}, nil, nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := s.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("flush after close: %v", err)
+	}
+	if err := s.Healthy(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("healthy after close: %v", err)
+	}
+	if err := s.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestZeroFilledTailTruncates covers the filesystem crash mode where
+// the tail of the file comes back as zeros: a zero length field is an
+// implausible frame, so recovery truncates rather than replaying
+// garbage records.
+func TestZeroFilledTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{}, nil, nil)
+	appendAll(t, s, "alpha")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	s2, stats := open(t, dir, Options{}, &got, nil)
+	defer s2.Close()
+	if stats.Records != 1 || stats.TruncatedBytes != 64 {
+		t.Fatalf("zero tail not truncated: %+v", stats)
+	}
+}
+
+// TestFrameLengthOverrunAtTailTruncates: a frame whose claimed length
+// runs past the end of the final segment is the torn-header crash
+// shape.
+func TestFrameLengthOverrunAtTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{}, nil, nil)
+	appendAll(t, s, "alpha")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 1<<30)
+	path := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	s2, stats := open(t, dir, Options{}, &got, nil)
+	defer s2.Close()
+	if stats.Records != 1 || stats.TruncatedBytes != frameHeaderSize {
+		t.Fatalf("overrun header not truncated: %+v", stats)
+	}
+	if !bytes.Equal(got[0], []byte("alpha")) {
+		t.Fatalf("surviving record %q", got[0])
+	}
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke: start mbpmarket with a durable store, drive
+# purchases (one with an Idempotency-Key), kill -9 the process
+# mid-traffic, restart it on the same store directory, and assert
+#   1. every pre-crash sale is still in the ledger (same count, same
+#      sequence numbers, contiguous from 1),
+#   2. retrying the captured idempotency key replays the original sale
+#      (Idempotency-Replayed: true, same seq) instead of charging again.
+# Stdlib tools only — JSON is picked apart with grep -o, no jq.
+set -euo pipefail
+
+ADDR=127.0.0.1:8777
+BASE="http://$ADDR"
+DIR=$(mktemp -d)
+LOG=$(mktemp)
+BIN=$(mktemp -d)/mbpmarket
+trap 'kill $PID 2>/dev/null || true; rm -rf "$DIR" "$LOG" "$(dirname "$BIN")"' EXIT
+
+go build -o "$BIN" ./cmd/mbpmarket
+
+start() {
+  "$BIN" -dataset CASP -addr "$ADDR" -store-dir "$DIR" -fsync always >>"$LOG" 2>&1 &
+  PID=$!
+  for _ in $(seq 1 100); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && return 0
+    kill -0 "$PID" 2>/dev/null || { echo "mbpmarket died on startup"; tail "$LOG"; exit 1; }
+    sleep 0.2
+  done
+  echo "mbpmarket never became healthy"; tail "$LOG"; exit 1
+}
+
+buy() { # buy [curl-args...]
+  curl -fsS -X POST "$@" -d '{"model":"linear-regression","priceBudget":40}' "$BASE/buy"
+}
+
+ledger_seqs() {
+  # /ledger rows marshal market.Transaction verbatim: "Seq" capitalized.
+  curl -fsS "$BASE/ledger" | grep -o '"Seq":[0-9]*' | grep -o '[0-9]*' | sort -n
+}
+
+echo "== first run: trains, journals sales =="
+start
+
+for i in 1 2 3; do buy >/dev/null; done
+KEYED=$(buy -H 'Idempotency-Key: smoke-key-1')
+KEYED_SEQ=$(echo "$KEYED" | grep -o '"seq":[0-9]*' | grep -o '[0-9]*')
+buy >/dev/null
+BEFORE=$(ledger_seqs)
+COUNT=$(echo "$BEFORE" | wc -l)
+[ "$COUNT" -eq 5 ] || { echo "expected 5 sales before crash, got $COUNT"; exit 1; }
+
+echo "== kill -9 mid-traffic =="
+( for _ in $(seq 1 20); do buy >/dev/null 2>&1 || true; done ) &
+TRAFFIC=$!
+sleep 0.3
+kill -9 "$PID"
+wait "$TRAFFIC" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
+echo "== restart on the same store: warm-start + WAL replay =="
+start
+grep -q 'ledger recovered' "$LOG" || { echo "no recovery log line"; tail "$LOG"; exit 1; }
+
+AFTER=$(ledger_seqs)
+# Every pre-crash sale must survive (recovery may legitimately hold
+# more rows from the kill-window traffic, never fewer).
+for seq in $BEFORE; do
+  echo "$AFTER" | grep -qx "$seq" || { echo "sale seq=$seq lost in the crash"; exit 1; }
+done
+# Sequence numbers stay unique after recovery.
+DUPES=$(echo "$AFTER" | uniq -d)
+[ -z "$DUPES" ] || { echo "duplicate seqs after recovery: $DUPES"; exit 1; }
+
+echo "== idempotent replay across the crash =="
+REPLAY_HDRS=$(mktemp)
+REPLAY=$(curl -fsS -D "$REPLAY_HDRS" -X POST -H 'Idempotency-Key: smoke-key-1' \
+  -d '{"model":"linear-regression","priceBudget":40}' "$BASE/buy")
+grep -qi '^Idempotency-Replayed: true' "$REPLAY_HDRS" || {
+  echo "retry was not replayed"; cat "$REPLAY_HDRS"; rm -f "$REPLAY_HDRS"; exit 1; }
+rm -f "$REPLAY_HDRS"
+REPLAY_SEQ=$(echo "$REPLAY" | grep -o '"seq":[0-9]*' | grep -o '[0-9]*')
+[ "$REPLAY_SEQ" = "$KEYED_SEQ" ] || { echo "replayed seq $REPLAY_SEQ != original $KEYED_SEQ"; exit 1; }
+FINAL=$(ledger_seqs | wc -l)
+AFTER_N=$(echo "$AFTER" | wc -l)
+[ "$FINAL" -eq "$AFTER_N" ] || { echo "replay appended a ledger row ($AFTER_N -> $FINAL)"; exit 1; }
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+echo "crash-recovery smoke OK: $AFTER_N sales survived, key replayed as seq $REPLAY_SEQ"
