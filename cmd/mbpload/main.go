@@ -1,0 +1,166 @@
+// Command mbpload is the marketplace's demand harness: it synthesizes
+// a buyer population for a named scenario (internal/workload) and
+// drives it against a broker — an in-process markettest fixture by
+// default, or any live HTTP endpoint via -endpoint — then writes the
+// per-scenario report BENCH_workload_<scenario>.json.
+//
+// Usage:
+//
+//	mbpload -scenario list
+//	mbpload -scenario flash-crowd -buyers 100000 -seed 7
+//	mbpload -scenario steady -endpoint http://localhost:8080 -workers 64
+//	mbpload -scenario bursty -buyers 10000 -check   # CI: exit 1 on invariant violations
+//
+// Runs are deterministic in (scenario, buyers, seed): the op schedule
+// and every economic total reproduce exactly; latency numbers do not.
+// See docs/workload.md for the scenario catalogue and report schema.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/datamarket/mbp/internal/curves"
+	"github.com/datamarket/mbp/internal/market/markettest"
+	"github.com/datamarket/mbp/internal/workload"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "steady", `scenario name ("list" prints the catalogue)`)
+		buyers   = flag.Int("buyers", 10000, "population size")
+		seed     = flag.Uint64("seed", 1, "schedule seed (same seed ⇒ same schedule and totals)")
+		workers  = flag.Int("workers", 0, "driver goroutines (0 = GOMAXPROCS)")
+		endpoint = flag.String("endpoint", "", "broker API base URL (empty = in-process fixture broker)")
+		model    = flag.String("model", markettest.ModelName, "model to trade in -endpoint mode")
+		closed   = flag.Bool("closed", false, "closed-loop: saturate with a fixed worker pool instead of replaying arrivals")
+		horizon  = flag.Duration("horizon", 0, "pace open-loop arrivals over this real duration (0 = as fast as possible)")
+		out      = flag.String("out", "", "report path (default BENCH_workload_<scenario>.json, - = stdout)")
+		check    = flag.Bool("check", false, "exit nonzero when any run invariant fails")
+		maxErr   = flag.Float64("max-error-rate", 0.001, "invariant ceiling on the failed-op rate")
+		valueS   = flag.String("value", "", "override the scenario's value curve shape")
+		demandS  = flag.String("demand", "", "override the scenario's demand curve shape")
+		arrivalS = flag.String("arrival", "", "override the scenario's arrival process")
+		schedOut = flag.String("schedule", "", "also dump the op schedule (JSON lines) to this path")
+	)
+	flag.Parse()
+
+	if *scenario == "list" {
+		for _, sc := range workload.Scenarios() {
+			fmt.Printf("%-16s %s (arrival %s, value %s, demand %s)\n",
+				sc.Name, sc.Description, sc.Arrival, sc.ValueShape, sc.DemandShape)
+		}
+		return
+	}
+	if err := run(*scenario, *buyers, *seed, *workers, *endpoint, *model, *closed,
+		*horizon, *out, *check, *maxErr, *valueS, *demandS, *arrivalS, *schedOut); err != nil {
+		fmt.Fprintln(os.Stderr, "mbpload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario string, buyers int, seed uint64, workers int, endpoint, model string,
+	closed bool, horizon time.Duration, out string, check bool, maxErr float64,
+	valueS, demandS, arrivalS, schedOut string) error {
+	sc, err := workload.ScenarioByName(scenario)
+	if err != nil {
+		return err
+	}
+	if valueS != "" {
+		if sc.ValueShape, err = curves.ParseShape(valueS); err != nil {
+			return err
+		}
+	}
+	if demandS != "" {
+		if sc.DemandShape, err = curves.ParseShape(demandS); err != nil {
+			return err
+		}
+	}
+	if arrivalS != "" {
+		if sc.Arrival, err = workload.ParseArrival(arrivalS); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var client workload.Client
+	if endpoint == "" {
+		// In-process: a fresh fixture broker, so the harness owns the
+		// whole ledger and every invariant is checkable.
+		b, err := markettest.New(seed)
+		if err != nil {
+			return fmt.Errorf("building fixture broker: %w", err)
+		}
+		client = &workload.BrokerClient{B: b, Model: markettest.Model}
+	} else {
+		client = workload.NewHTTPClient(endpoint, model, nil)
+	}
+
+	menu, err := client.Menu(ctx)
+	if err != nil {
+		return fmt.Errorf("fetching menu: %w", err)
+	}
+	sched, err := workload.BuildSchedule(sc, menu, buyers, seed)
+	if err != nil {
+		return err
+	}
+	if schedOut != "" {
+		f, err := os.Create(schedOut)
+		if err != nil {
+			return err
+		}
+		if err := sched.Encode(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	rep, err := workload.Run(ctx, client, sched, workload.Options{
+		Workers:      workers,
+		ClosedLoop:   closed,
+		Horizon:      horizon,
+		MaxErrorRate: maxErr,
+		// A shared endpoint has traffic besides this harness; only the
+		// in-process broker's ledger is wholly ours to reconcile.
+		SkipLedgerCheck: endpoint != "",
+	})
+	if err != nil {
+		return err
+	}
+
+	if out == "" {
+		out = workload.ReportFileName(sc.Name)
+	}
+	if err := rep.WriteFile(out); err != nil {
+		return err
+	}
+	quotes := rep.Ops["quote"].Issued
+	buys := rep.Ops["buy"].Issued + rep.Ops["buy-budget"].Issued
+	fmt.Printf("%s: %d buyers → %d quotes, %d buy attempts, %d sales in %.2fs (%.0f ops/s)\n",
+		sc.Name, rep.Buyers, quotes, buys, rep.Revenue.Sales, rep.ElapsedSeconds, rep.OpsPerSec)
+	fmt.Printf("revenue: realized %.2f vs predicted optimum %.2f (ratio %.3f); shed %d, errors %d, replays %d\n",
+		rep.Revenue.Realized, rep.Revenue.PredictedOptimal, rep.Revenue.Ratio,
+		rep.Ops["total"].Shed, rep.Ops["total"].Errors, rep.Ops["total"].Replays)
+	if !rep.Invariants.Passed {
+		for _, f := range rep.Invariants.Failures {
+			fmt.Fprintln(os.Stderr, "mbpload: invariant violated:", f)
+		}
+		if check {
+			return fmt.Errorf("%d invariant(s) violated", len(rep.Invariants.Failures))
+		}
+	} else if check {
+		fmt.Println("invariants: all passed")
+	}
+	fmt.Println("report:", out)
+	return nil
+}

@@ -39,6 +39,22 @@ const (
 	Uniform
 )
 
+// Shapes lists every curve family, in declaration order.
+func Shapes() []Shape {
+	return []Shape{Linear, Convex, Concave, Sigmoid, UnimodalMid, BimodalExtremes, Uniform}
+}
+
+// ParseShape resolves a shape by its String name ("concave",
+// "bimodal-extremes", ...). CLI flags use it to select curve families.
+func ParseShape(name string) (Shape, error) {
+	for _, s := range Shapes() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("curves: unknown shape %q", name)
+}
+
 // String implements fmt.Stringer.
 func (s Shape) String() string {
 	switch s {
@@ -188,6 +204,68 @@ func Build(valueShape, demandShape Shape, n int, xMax, maxValue float64) (*Marke
 		return nil, err
 	}
 	return &Market{A: a, V: v, B: b, ValueShape: valueShape, DemandShape: demandShape}, nil
+}
+
+// BuildOn samples a market instance on a caller-supplied grid rather
+// than the uniform Grid spacing — e.g. the exact inverse-NCP points of
+// a broker's published menu, so that every sampled buyer wants a
+// version the broker actually offers. The grid must be strictly
+// increasing and positive.
+func BuildOn(valueShape, demandShape Shape, a []float64, maxValue float64) (*Market, error) {
+	for i, x := range a {
+		if x <= 0 {
+			return nil, fmt.Errorf("curves: non-positive grid point a[%d]=%v", i, x)
+		}
+		if i > 0 && x <= a[i-1] {
+			return nil, fmt.Errorf("curves: grid not strictly increasing at %d", i)
+		}
+	}
+	grid := append([]float64(nil), a...)
+	v, err := Value(valueShape, grid, maxValue)
+	if err != nil {
+		return nil, err
+	}
+	b, err := Demand(demandShape, grid)
+	if err != nil {
+		return nil, err
+	}
+	return &Market{A: grid, V: v, B: b, ValueShape: valueShape, DemandShape: demandShape}, nil
+}
+
+// CumDemand returns the cumulative demand distribution: cum[j] =
+// Σ_{i≤j} bᵢ, ending at ~1. Population samplers pair it with
+// SampleIndex for inverse-CDF draws.
+func (m *Market) CumDemand() []float64 {
+	cum := make([]float64, len(m.B))
+	var acc float64
+	for i, b := range m.B {
+		acc += b
+		cum[i] = acc
+	}
+	return cum
+}
+
+// SampleIndex maps a uniform u ∈ [0, 1) onto a grid index by
+// inverse-CDF over the cumulative demand cum (as built by CumDemand):
+// index j is drawn with probability bⱼ. Deterministic in u, so a
+// seeded stream of uniforms yields a reproducible buyer population.
+func SampleIndex(cum []float64, u float64) int {
+	if len(cum) == 0 {
+		return 0
+	}
+	// Scale by the final mass so tiny normalization slack cannot push
+	// u past the last bucket.
+	u *= cum[len(cum)-1]
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Subsample returns a market instance restricted to m evenly spaced

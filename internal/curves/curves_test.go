@@ -261,3 +261,77 @@ func TestReadCSVErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseShape(t *testing.T) {
+	for _, s := range Shapes() {
+		got, err := ParseShape(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseShape(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseShape("zigzag"); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+}
+
+func TestBuildOn(t *testing.T) {
+	grid := []float64{0.5, 2, 7, 31}
+	m, err := BuildOn(Concave, UnimodalMid, grid, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range grid {
+		if m.A[i] != grid[i] {
+			t.Fatalf("grid point %d: %v != %v", i, m.A[i], grid[i])
+		}
+	}
+	// The caller's slice must not alias the market's.
+	grid[0] = 99
+	if m.A[0] == 99 {
+		t.Fatal("BuildOn aliased the caller's grid")
+	}
+	if _, err := BuildOn(Concave, Uniform, []float64{1, 1}, 10); err == nil {
+		t.Fatal("non-increasing grid accepted")
+	}
+	if _, err := BuildOn(Concave, Uniform, []float64{0, 1}, 10); err == nil {
+		t.Fatal("non-positive grid point accepted")
+	}
+}
+
+func TestCumDemandSampleIndex(t *testing.T) {
+	m, err := Build(Concave, BimodalExtremes, 20, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cum := m.CumDemand()
+	if len(cum) != len(m.B) {
+		t.Fatalf("cum len %d != %d", len(cum), len(m.B))
+	}
+	if math.Abs(cum[len(cum)-1]-1) > 1e-9 {
+		t.Fatalf("cumulative mass %v, want 1", cum[len(cum)-1])
+	}
+	// u just below each boundary maps to that index; u=0 maps to the
+	// first index with positive mass.
+	for j := range cum {
+		u := cum[j] - 1e-12
+		if got := SampleIndex(cum, u); got != j {
+			t.Fatalf("SampleIndex(%v) = %d, want %d", u, got, j)
+		}
+	}
+	// Inverse-CDF sampling reproduces the demand distribution: a fine
+	// uniform sweep should land in bucket j a fraction ~bⱼ of the time.
+	const n = 200000
+	counts := make([]int, len(cum))
+	for i := 0; i < n; i++ {
+		counts[SampleIndex(cum, (float64(i)+0.5)/n)]++
+	}
+	for j, b := range m.B {
+		got := float64(counts[j]) / n
+		if math.Abs(got-b) > 1e-4+b*0.01 {
+			t.Fatalf("bucket %d frequency %v, want %v", j, got, b)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package httpapi
+
+// Client is the Go-side counterpart of Server: a typed wrapper over the
+// broker's HTTP/JSON surface. The workload harness (internal/workload)
+// uses it to drive a remote broker with the same call shapes it uses
+// in-process, and operators get a programmatic client for free.
+//
+// Error handling is designed for load drivers: every non-2xx response
+// becomes an *APIError carrying the status code and the Retry-After
+// header, so callers can distinguish "the broker shed me" (503 with
+// Retry-After, see WithAdmission) from "the sale was refused" (422)
+// without string matching.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// APIError is a non-2xx response from the broker API.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error string, when it sent one.
+	Message string
+	// RetryAfter is the Retry-After header verbatim ("" when absent).
+	RetryAfter string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("httpapi: server returned %d", e.Status)
+	}
+	return fmt.Sprintf("httpapi: %d: %s", e.Status, e.Message)
+}
+
+// Shed reports whether the response was admission-control load
+// shedding: 503 with a Retry-After hint (withAdmission's signature).
+// A durable-ledger 503 (sale rolled back) carries no Retry-After.
+func (e *APIError) Shed() bool {
+	return e.Status == http.StatusServiceUnavailable && e.RetryAfter != ""
+}
+
+// NoSale reports whether the broker declined the purchase on economic
+// grounds — budget below the cheapest version, error budget below the
+// most accurate one — rather than failing.
+func (e *APIError) NoSale() bool { return e.Status == http.StatusUnprocessableEntity }
+
+// Client calls a broker API over HTTP.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the API rooted at base (e.g.
+// "http://localhost:8080"). A nil hc uses http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// get issues a GET and decodes the JSON body into out.
+func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// do executes req, mapping non-2xx responses to *APIError.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{Status: resp.StatusCode, RetryAfter: resp.Header.Get("Retry-After")}
+		var body struct {
+			Error string `json:"error"`
+		}
+		// Bound the error body read: a broken server must not make the
+		// client buffer arbitrary bytes.
+		if raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBuyBody)); err == nil {
+			if json.Unmarshal(raw, &body) == nil {
+				apiErr.Message = body.Error
+			}
+		}
+		return apiErr
+	}
+	if out == nil {
+		_, err := io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Menu lists the offered models.
+func (c *Client) Menu(ctx context.Context) (MenuResponse, error) {
+	var out MenuResponse
+	err := c.get(ctx, "/menu", nil, &out)
+	return out, err
+}
+
+// Curve fetches the price–error menu for a model; epsilon optionally
+// names the error scale ("" = the offer's default).
+func (c *Client) Curve(ctx context.Context, model, epsilon string) (CurveResponse, error) {
+	q := url.Values{"model": {model}}
+	if epsilon != "" {
+		q.Set("epsilon", epsilon)
+	}
+	var out CurveResponse
+	err := c.get(ctx, "/curve", q, &out)
+	return out, err
+}
+
+// Quote previews the version at NCP delta without a sale.
+func (c *Client) Quote(ctx context.Context, model string, delta float64) (QuoteResponse, error) {
+	q := url.Values{
+		"model": {model},
+		"delta": {strconv.FormatFloat(delta, 'g', -1, 64)},
+	}
+	var out QuoteResponse
+	err := c.get(ctx, "/quote", q, &out)
+	return out, err
+}
+
+// Buy executes a purchase. A non-empty idempotencyKey makes the call
+// retry-safe: the server replays the original sale for a repeated key,
+// and replayed reports whether that happened (Idempotency-Replayed).
+func (c *Client) Buy(ctx context.Context, breq BuyRequest, idempotencyKey string) (out BuyResponse, replayed bool, err error) {
+	raw, err := json.Marshal(breq)
+	if err != nil {
+		return out, false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/buy", bytes.NewReader(raw))
+	if err != nil {
+		return out, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if idempotencyKey != "" {
+		req.Header.Set("Idempotency-Key", idempotencyKey)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return out, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Status: resp.StatusCode, RetryAfter: resp.Header.Get("Retry-After")}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBuyBody)); err == nil {
+			if json.Unmarshal(raw, &body) == nil {
+				apiErr.Message = body.Error
+			}
+		}
+		return out, false, apiErr
+	}
+	replayed = resp.Header.Get("Idempotency-Replayed") == "true"
+	return out, replayed, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Ledger fetches the transaction log and revenue split.
+func (c *Client) Ledger(ctx context.Context) (LedgerResponse, error) {
+	var out LedgerResponse
+	err := c.get(ctx, "/ledger", nil, &out)
+	return out, err
+}

@@ -1,0 +1,132 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/market/markettest"
+)
+
+func TestClientRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	menu, err := c.Menu(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(menu.Models) != 1 || menu.Models[0] != markettest.ModelName {
+		t.Fatalf("menu = %v", menu.Models)
+	}
+
+	curve, err := c.Curve(ctx, markettest.ModelName, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Curve) != markettest.GridPoints {
+		t.Fatalf("curve has %d rows, want %d", len(curve.Curve), markettest.GridPoints)
+	}
+
+	row := curve.Curve[len(curve.Curve)/2]
+	quote, err := c.Quote(ctx, markettest.ModelName, row.Delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quote.Price != row.Price {
+		t.Fatalf("quote price %v != menu price %v", quote.Price, row.Price)
+	}
+
+	buy, replayed, err := c.Buy(ctx, BuyRequest{Model: markettest.ModelName, Delta: &row.Delta}, "client-key-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed {
+		t.Fatal("first buy reported as replayed")
+	}
+	if buy.Price != row.Price || len(buy.Weights) == 0 {
+		t.Fatalf("buy = %+v", buy)
+	}
+
+	again, replayed, err := c.Buy(ctx, BuyRequest{Model: markettest.ModelName, Delta: &row.Delta}, "client-key-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed || again.Seq != buy.Seq {
+		t.Fatalf("retry: replayed=%v seq=%d, want replay of seq %d", replayed, again.Seq, buy.Seq)
+	}
+
+	ledger, err := c.Ledger(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ledger.Transactions) != 1 {
+		t.Fatalf("ledger has %d rows, want 1 (idempotent retry must not append)", len(ledger.Transactions))
+	}
+}
+
+func TestClientAPIErrors(t *testing.T) {
+	ts := newTestServer(t)
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	// Unknown model → 404.
+	if _, err := c.Quote(ctx, "no-such-model", 0.1); err == nil {
+		t.Fatal("unknown model accepted")
+	} else {
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != 400 && apiErr.Status != 404 {
+			t.Fatalf("err = %v", err)
+		}
+		if apiErr.Message == "" {
+			t.Fatal("APIError lost the server's message")
+		}
+	}
+
+	// A hopeless price budget → 422, classified NoSale, not Shed.
+	tiny := 1e-12
+	_, _, err := c.Buy(ctx, BuyRequest{Model: markettest.ModelName, PriceBudget: &tiny}, "")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if !apiErr.NoSale() || apiErr.Shed() {
+		t.Fatalf("classification: NoSale=%v Shed=%v for %v", apiErr.NoSale(), apiErr.Shed(), apiErr)
+	}
+}
+
+func TestClientShedClassification(t *testing.T) {
+	// The client must distinguish admission-control shedding (503 with
+	// Retry-After, withAdmission's signature) from a durable-ledger 503
+	// (sale rolled back, no Retry-After). Stub handlers pin down the
+	// two wire shapes; the middleware's real behavior is covered by
+	// resilience_test.go.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/quote", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"shedding load"}`))
+	})
+	mux.HandleFunc("/buy", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"sale not recorded durably"}`))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, nil)
+
+	_, err := c.Quote(context.Background(), markettest.ModelName, 0.1)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || !apiErr.Shed() {
+		t.Fatalf("quote err = %v, want shed APIError", err)
+	}
+
+	delta := 0.1
+	_, _, err = c.Buy(context.Background(), BuyRequest{Model: markettest.ModelName, Delta: &delta}, "k")
+	if !errors.As(err, &apiErr) || apiErr.Shed() || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("buy err = %v, want non-shed 503 APIError", err)
+	}
+}

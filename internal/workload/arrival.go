@@ -1,0 +1,143 @@
+package workload
+
+// Arrival processes. A scenario's traffic shape is an intensity
+// function λ(t) over the normalized run horizon t ∈ [0, 1); each buyer
+// draws one uniform from its schedule stream and lands at
+// F⁻¹(u), where F is the normalized cumulative intensity. Sampling by
+// inverse CDF keeps the schedule a pure function of the seed — no
+// Poisson thinning, no shared generator state — while reproducing the
+// burst structure: more buyers land where λ is high.
+//
+// The harness replays arrivals either open-loop (dispatch in arrival
+// order, optionally paced in real time) or closed-loop (a fixed worker
+// pool back-to-back); see Options.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Arrival enumerates the built-in arrival processes.
+type Arrival int
+
+const (
+	// Steady is constant-rate traffic.
+	Steady Arrival = iota
+	// Bursty alternates quiet and 8× on/off bursts (four duty cycles
+	// over the horizon).
+	Bursty
+	// Diurnal follows a day/night sinusoid, trough at the start.
+	Diurnal
+	// FlashCrowd is a quiet baseline with a sharp spike at mid-horizon
+	// decaying exponentially — the stampede after a launch or a price
+	// drop.
+	FlashCrowd
+)
+
+// String implements fmt.Stringer.
+func (a Arrival) String() string {
+	switch a {
+	case Steady:
+		return "steady"
+	case Bursty:
+		return "bursty"
+	case Diurnal:
+		return "diurnal"
+	case FlashCrowd:
+		return "flash-crowd"
+	default:
+		return fmt.Sprintf("Arrival(%d)", int(a))
+	}
+}
+
+// ParseArrival resolves an arrival process by its String name.
+func ParseArrival(name string) (Arrival, error) {
+	for _, a := range []Arrival{Steady, Bursty, Diurnal, FlashCrowd} {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown arrival process %q", name)
+}
+
+// arrivalIntensity evaluates λ(t) for t ∈ [0, 1). Shapes are relative;
+// only the normalized CDF matters.
+func arrivalIntensity(a Arrival, t float64) (float64, error) {
+	switch a {
+	case Steady:
+		return 1, nil
+	case Bursty:
+		// Four duty cycles: the first half of each cycle runs 8× hot.
+		if math.Mod(t*4, 1) < 0.5 {
+			return 8, nil
+		}
+		return 1, nil
+	case Diurnal:
+		// 1 + 0.85·sin keeps the trough positive so the quiet hours
+		// still see traffic.
+		return 1 + 0.85*math.Sin(2*math.Pi*t-math.Pi/2), nil
+	case FlashCrowd:
+		// Quiet baseline; at t = 0.5 the crowd lands and decays with
+		// time constant 0.04 (≈ 4% of the horizon).
+		base := 0.3
+		if t >= 0.5 {
+			base += 20 * math.Exp(-(t-0.5)/0.04)
+		}
+		return base, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown arrival process %v", a)
+	}
+}
+
+// arrivalGrid is the resolution of the tabulated cumulative intensity.
+// 4096 steps keep the inverse-CDF error well under the per-buyer
+// jitter of any realistic population size.
+const arrivalGrid = 4096
+
+// arrivalSampler inverts the cumulative intensity of an arrival
+// process. Build once per schedule; At is then a pure function.
+type arrivalSampler struct {
+	cum []float64 // cum[i] = ∫₀^{i/N} λ, normalized to cum[N-1] = 1
+}
+
+// newArrivalSampler tabulates the normalized cumulative intensity.
+func newArrivalSampler(a Arrival) (*arrivalSampler, error) {
+	cum := make([]float64, arrivalGrid)
+	var acc float64
+	for i := 0; i < arrivalGrid; i++ {
+		// Midpoint rule over the cell [i/N, (i+1)/N).
+		t := (float64(i) + 0.5) / arrivalGrid
+		lam, err := arrivalIntensity(a, t)
+		if err != nil {
+			return nil, err
+		}
+		acc += lam
+		cum[i] = acc
+	}
+	if acc <= 0 {
+		return nil, fmt.Errorf("workload: arrival process %v has zero mass", a)
+	}
+	for i := range cum {
+		cum[i] /= acc
+	}
+	return &arrivalSampler{cum: cum}, nil
+}
+
+// At maps a uniform u ∈ [0, 1) to a normalized arrival time in [0, 1):
+// the inverse CDF with linear interpolation inside the landing cell.
+func (s *arrivalSampler) At(u float64) float64 {
+	i := sort.SearchFloat64s(s.cum, u)
+	if i >= len(s.cum) {
+		i = len(s.cum) - 1
+	}
+	lo := 0.0
+	if i > 0 {
+		lo = s.cum[i-1]
+	}
+	frac := 0.0
+	if s.cum[i] > lo {
+		frac = (u - lo) / (s.cum[i] - lo)
+	}
+	return (float64(i) + frac) / arrivalGrid
+}

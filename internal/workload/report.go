@@ -1,0 +1,177 @@
+package workload
+
+// The per-scenario JSON report (BENCH_workload_<scenario>.json). The
+// schema is documented in docs/workload.md; CI uploads the file as an
+// artifact and fails the load-smoke job when Invariants.Passed is
+// false.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// LatencySummary are the fixed-bucket histogram percentiles for one
+// operation. P* values are linear interpolations inside the landing
+// bucket (obs.Histogram.Quantile); Max is exact.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50Seconds"`
+	P90   float64 `json:"p90Seconds"`
+	P99   float64 `json:"p99Seconds"`
+	Max   float64 `json:"maxSeconds"`
+	Mean  float64 `json:"meanSeconds"`
+}
+
+// OpCounts tallies issued operations by outcome.
+type OpCounts struct {
+	Issued  int `json:"issued"`
+	Errors  int `json:"errors"`
+	Shed    int `json:"shed"`
+	NoSale  int `json:"noSale"`
+	Replays int `json:"replays"`
+}
+
+// RevenueReport compares what the mechanism earned against the DP's
+// prediction for the same population.
+type RevenueReport struct {
+	// Realized is the harness's fresh-purchase spend.
+	Realized float64 `json:"realized"`
+	// PredictedOptimal is OptRevenuePerBuyer × purchase-intent buyers:
+	// what the revenue-optimal arbitrage-free menu for this exact
+	// population would earn if every intent buyer bought at its point.
+	PredictedOptimal float64 `json:"predictedOptimal"`
+	// Ratio is Realized / PredictedOptimal. Budget buyers spend their
+	// whole valuation, so budget-heavy blends can push it above 1.
+	Ratio float64 `json:"ratio"`
+	// Sales counts fresh purchases; Intents the buyers who wanted one.
+	Sales   int `json:"sales"`
+	Intents int `json:"intents"`
+}
+
+// InvariantReport is the post-run correctness verdict.
+type InvariantReport struct {
+	Passed           bool     `json:"passed"`
+	Failures         []string `json:"failures,omitempty"`
+	DuplicateSeqs    int      `json:"duplicateSeqs"`
+	ProberViolations int      `json:"proberViolations"`
+	ReplayMismatches int      `json:"replayMismatches"`
+	RevenueConserved bool     `json:"revenueConserved"`
+	LedgerRows       int      `json:"ledgerRows"`
+	LedgerGross      float64  `json:"ledgerGross"`
+	HarnessPaid      float64  `json:"harnessPaid"`
+	ErrorRate        float64  `json:"errorRate"`
+}
+
+// Report is the full BENCH_workload_<scenario>.json document.
+type Report struct {
+	Scenario    string `json:"scenario"`
+	Seed        uint64 `json:"seed"`
+	Buyers      int    `json:"buyers"`
+	Workers     int    `json:"workers"`
+	ClosedLoop  bool   `json:"closedLoop"`
+	Arrival     string `json:"arrival"`
+	ValueShape  string `json:"valueShape"`
+	DemandShape string `json:"demandShape"`
+
+	ElapsedSeconds float64 `json:"elapsedSeconds"`
+	OpsPerSec      float64 `json:"opsPerSec"`
+
+	Ops     map[string]OpCounts       `json:"ops"`
+	Latency map[string]LatencySummary `json:"latency"`
+
+	Revenue    RevenueReport   `json:"revenue"`
+	Invariants InvariantReport `json:"invariants"`
+}
+
+// buildReport assembles everything but the invariant section (which
+// needs the ledger; see checkInvariants).
+func buildReport(sched *Schedule, opts Options, workers int, elapsed time.Duration, agg *buyerResult, met *runMetrics) *Report {
+	rep := &Report{
+		Scenario:       sched.Scenario.Name,
+		Seed:           sched.Seed,
+		Buyers:         len(sched.Buyers),
+		Workers:        workers,
+		ClosedLoop:     opts.ClosedLoop,
+		Arrival:        sched.Scenario.Arrival.String(),
+		ValueShape:     sched.Scenario.ValueShape.String(),
+		DemandShape:    sched.Scenario.DemandShape.String(),
+		ElapsedSeconds: elapsed.Seconds(),
+		Ops:            make(map[string]OpCounts, 3),
+		Latency:        make(map[string]LatencySummary, 3),
+	}
+	totalOps := 0
+	for _, k := range []OpKind{OpQuote, OpBuyPoint, OpBuyBudget} {
+		totalOps += agg.ops[k]
+		h := met.lat[k]
+		var mean float64
+		if n := h.Count(); n > 0 {
+			mean = h.Sum() / float64(n)
+		}
+		rep.Latency[k.String()] = LatencySummary{
+			Count: h.Count(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+			Max:   met.max[k].value(),
+			Mean:  mean,
+		}
+	}
+	// Outcome counts are not broken down per op kind in buyerResult;
+	// attribute the totals to the op map under a rolled-up key and the
+	// per-kind issue counts to their own rows.
+	for _, k := range []OpKind{OpQuote, OpBuyPoint, OpBuyBudget} {
+		rep.Ops[k.String()] = OpCounts{Issued: agg.ops[k]}
+	}
+	rep.Ops["total"] = OpCounts{
+		Issued:  totalOps,
+		Errors:  agg.failed,
+		Shed:    agg.shed,
+		NoSale:  agg.noSale,
+		Replays: agg.replays,
+	}
+	if elapsed > 0 {
+		rep.OpsPerSec = float64(totalOps) / elapsed.Seconds()
+	}
+
+	rep.Revenue = RevenueReport{
+		Realized:         agg.paid,
+		PredictedOptimal: sched.OptRevenuePerBuyer * float64(sched.Intents),
+		Sales:            agg.sales,
+		Intents:          sched.Intents,
+	}
+	if rep.Revenue.PredictedOptimal > 0 {
+		rep.Revenue.Ratio = rep.Revenue.Realized / rep.Revenue.PredictedOptimal
+	}
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReportFileName is the conventional artifact name for a scenario.
+func ReportFileName(scenario string) string {
+	return fmt.Sprintf("BENCH_workload_%s.json", scenario)
+}
+
+// WriteFile writes the report to path ("-" or "" = stdout).
+func (r *Report) WriteFile(path string) error {
+	if path == "" || path == "-" {
+		return r.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,413 @@
+package workload
+
+// The runner replays a Schedule against a Client.
+//
+// Open-loop (the default), buyers are dispatched in arrival order —
+// optionally paced over a real-time horizon — into a bounded worker
+// pool, so a burst that outruns the brokers shows up as queueing and
+// latency, exactly like production. Closed-loop, each worker owns a
+// fixed slice of the population and drives it back-to-back: the
+// classic saturation rig for peak-throughput numbers.
+//
+// Determinism: which ops run and what they pay is a pure function of
+// the schedule (prices are deterministic; buy decisions compare a
+// deterministic quote to a deterministic valuation), so realized
+// revenue and op counts are identical across runs regardless of worker
+// interleaving. Per-buyer results land in a preallocated slice indexed
+// by buyer ID and are reduced sequentially at the end — no
+// float-addition-order nondeterminism. Latency and throughput are, of
+// course, measurements, not reproducible quantities.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/datamarket/mbp/internal/obs"
+)
+
+// priceTol absorbs floating-point slack in affordability and arbitrage
+// comparisons.
+const priceTol = 1e-9
+
+// Options configure a run.
+type Options struct {
+	// Workers is the driver pool size (default GOMAXPROCS).
+	Workers int
+	// ClosedLoop switches from arrival-ordered dispatch to a fixed
+	// worker pool driving back-to-back.
+	ClosedLoop bool
+	// Horizon, when positive, paces open-loop arrivals over this real
+	// duration: a buyer at normalized arrival t lands at start + t·Horizon.
+	// Zero replays arrivals as fast as the pool drains them.
+	Horizon time.Duration
+	// MaxErrorRate is the invariant ceiling on failed ops (default
+	// 0.001). NoSale and Shed outcomes are not failures.
+	MaxErrorRate float64
+	// SkipLedgerCheck disables the harness-paid-equals-ledger-gross
+	// invariant, for endpoints with traffic besides this harness.
+	SkipLedgerCheck bool
+	// Registry receives the harness-side metrics (workload.ops_total,
+	// workload.latency_seconds, ...); nil uses a private registry.
+	Registry *obs.Registry
+}
+
+// buyerResult is the deterministic outcome of one buyer session.
+// Everything here must be reproducible across runs; latencies are kept
+// out and recorded straight into histograms.
+type buyerResult struct {
+	paid             float64 // fresh (non-replayed) purchase spend
+	sales            int     // fresh purchases
+	ops              [3]int  // per OpKind issue counts
+	failed           int
+	shed             int
+	noSale           int
+	replays          int
+	replayMismatches int // replays that returned a different sale
+	proberViolations int // arbitrage violations observed in quotes
+}
+
+// runMetrics is the shared, thread-safe measurement state.
+type runMetrics struct {
+	lat  [3]*obs.Histogram // per OpKind
+	ops  [3]*obs.Counter
+	errs *obs.Counter
+	shed *obs.Counter
+	viol *obs.Counter
+	max  [3]atomicMax
+}
+
+func newRunMetrics(reg *obs.Registry) *runMetrics {
+	m := &runMetrics{
+		errs: reg.Counter(obs.Name("workload.ops_total", "outcome", "error")),
+		shed: reg.Counter(obs.Name("workload.ops_total", "outcome", "shed")),
+		viol: reg.Counter("workload.arbitrage_violations_total"),
+	}
+	for _, k := range []OpKind{OpQuote, OpBuyPoint, OpBuyBudget} {
+		m.lat[k] = reg.Histogram(obs.Name("workload.latency_seconds", "op", k.String()), obs.LatencyBuckets())
+		m.ops[k] = reg.Counter(obs.Name("workload.ops_total", "op", k.String()))
+	}
+	return m
+}
+
+// atomicMax tracks a running maximum of non-negative float64s: the
+// bit patterns of non-negative floats order like the values, so a CAS
+// loop over the raw bits suffices.
+type atomicMax struct{ bits atomic.Uint64 }
+
+func (a *atomicMax) observe(v float64) {
+	nb := math.Float64bits(v)
+	for {
+		cur := a.bits.Load()
+		if cur >= nb {
+			return
+		}
+		if a.bits.CompareAndSwap(cur, nb) {
+			return
+		}
+	}
+}
+
+func (a *atomicMax) value() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// Run drives the schedule against the client and assembles the report.
+func Run(ctx context.Context, client Client, sched *Schedule, opts Options) (*Report, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxErrRate := opts.MaxErrorRate
+	if maxErrRate <= 0 {
+		maxErrRate = 0.001
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	met := newRunMetrics(reg)
+	results := make([]buyerResult, len(sched.Buyers))
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	if opts.ClosedLoop {
+		// Worker w owns buyers w, w+W, w+2W, ... and drives them
+		// back-to-back.
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(sched.Buyers); i += workers {
+					if runCtx.Err() != nil {
+						return
+					}
+					runBuyer(runCtx, client, sched, &sched.Buyers[i], &results[sched.Buyers[i].ID], met)
+				}
+			}(w)
+		}
+	} else {
+		feed := make(chan *BuyerPlan, workers*4)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for p := range feed {
+					runBuyer(runCtx, client, sched, p, &results[p.ID], met)
+				}
+			}()
+		}
+		var timer *time.Timer
+		if opts.Horizon > 0 {
+			timer = time.NewTimer(0)
+			if !timer.Stop() {
+				<-timer.C
+			}
+			defer timer.Stop()
+		}
+	dispatch:
+		for i := range sched.Buyers {
+			p := &sched.Buyers[i]
+			if timer != nil {
+				due := time.Duration(p.Arrival * float64(opts.Horizon))
+				if wait := due - time.Since(start); wait > 0 {
+					timer.Reset(wait)
+					select {
+					case <-timer.C:
+					case <-runCtx.Done():
+						break dispatch
+					}
+				}
+			}
+			select {
+			case feed <- p:
+			case <-runCtx.Done():
+				break dispatch
+			}
+		}
+		close(feed)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Sequential reduce: deterministic totals independent of worker
+	// interleaving.
+	var agg buyerResult
+	for i := range results {
+		r := &results[i]
+		agg.paid += r.paid
+		agg.sales += r.sales
+		for k := range agg.ops {
+			agg.ops[k] += r.ops[k]
+		}
+		agg.failed += r.failed
+		agg.shed += r.shed
+		agg.noSale += r.noSale
+		agg.replays += r.replays
+		agg.replayMismatches += r.replayMismatches
+		agg.proberViolations += r.proberViolations
+	}
+	rep := buildReport(sched, opts, workers, elapsed, &agg, met)
+
+	// Post-run ledger invariants.
+	led, err := client.Ledger(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("workload: fetching ledger for invariant checks: %w", err)
+	}
+	checkInvariants(rep, &agg, led, maxErrRate, opts.SkipLedgerCheck)
+	return rep, nil
+}
+
+// runBuyer executes one buyer session.
+func runBuyer(ctx context.Context, client Client, sched *Schedule, p *BuyerPlan, res *buyerResult, met *runMetrics) {
+	// quoted remembers the session's quoted price per δ, for the
+	// IfAffordable gate and the prober checks.
+	var quoted map[float64]float64
+	var probes []probe
+	var firstSale *BuyResult
+	for _, op := range p.Ops {
+		if ctx.Err() != nil {
+			return
+		}
+		res.ops[op.Kind]++
+		met.ops[op.Kind].Inc()
+		switch op.Kind {
+		case OpQuote:
+			t0 := time.Now()
+			price, _, err := client.Quote(ctx, op.Delta)
+			met.observe(OpQuote, t0)
+			if out := Classify(err); out != OK {
+				res.count(out, met)
+				continue
+			}
+			if quoted == nil {
+				quoted = make(map[float64]float64, len(p.Ops))
+			}
+			quoted[op.Delta] = price
+			if p.Archetype == Prober {
+				probes = append(probes, probe{x: 1 / op.Delta, price: price})
+			}
+		case OpBuyPoint:
+			if op.IfAffordable {
+				price, ok := quoted[op.Delta]
+				if !ok || price > p.Valuation+priceTol {
+					continue // walked away (or the quote itself failed)
+				}
+			}
+			t0 := time.Now()
+			r, err := client.BuyAtPoint(ctx, op.Delta, op.Key)
+			met.observe(OpBuyPoint, t0)
+			res.recordBuy(r, err, &firstSale, met)
+		case OpBuyBudget:
+			t0 := time.Now()
+			r, err := client.BuyWithPriceBudget(ctx, op.Budget, op.Key)
+			met.observe(OpBuyBudget, t0)
+			res.recordBuy(r, err, &firstSale, met)
+		}
+	}
+	if p.Archetype == Prober {
+		res.proberViolations += arbitrageViolations(probes)
+		if res.proberViolations > 0 {
+			met.viol.Add(uint64(res.proberViolations))
+		}
+	}
+}
+
+// observe records an op latency.
+func (m *runMetrics) observe(k OpKind, start time.Time) {
+	d := time.Since(start).Seconds()
+	m.lat[k].Observe(d)
+	m.max[k].observe(d)
+}
+
+// count tallies a non-OK outcome.
+func (r *buyerResult) count(out Outcome, met *runMetrics) {
+	switch out {
+	case NoSale:
+		r.noSale++
+	case Shed:
+		r.shed++
+		met.shed.Inc()
+	case Failed:
+		r.failed++
+		met.errs.Inc()
+	}
+}
+
+// recordBuy folds one purchase attempt into the session result.
+func (r *buyerResult) recordBuy(br BuyResult, err error, firstSale **BuyResult, met *runMetrics) {
+	if out := Classify(err); out != OK {
+		r.count(out, met)
+		return
+	}
+	if br.Replayed {
+		r.replays++
+		// A replay must hand back the original sale: same Seq, no new
+		// charge. Anything else is an idempotency bug.
+		if *firstSale != nil && br.Seq != (*firstSale).Seq {
+			r.replayMismatches++
+		}
+		return
+	}
+	r.paid += br.Price
+	r.sales++
+	if *firstSale == nil {
+		c := br
+		*firstSale = &c
+	}
+}
+
+// probe is one quoted (x = 1/δ, price) observation.
+type probe struct{ x, price float64 }
+
+// arbitrageViolations counts violations of the arbitrage-free contract
+// among a prober's quotes over x = 1/δ: prices must be monotone
+// non-decreasing in x, and whenever the probe set contains x₁, x₂ and
+// x₁+x₂, subadditive: p(x₁+x₂) ≤ p(x₁) + p(x₂).
+func arbitrageViolations(probes []probe) int {
+	violations := 0
+	tol := func(p float64) float64 { return priceTol * (1 + math.Abs(p)) }
+	for i := range probes {
+		for j := range probes {
+			if probes[i].x < probes[j].x && probes[i].price > probes[j].price+tol(probes[j].price) {
+				violations++
+			}
+		}
+	}
+	for i := range probes {
+		for j := i; j < len(probes); j++ {
+			sum := probes[i].x + probes[j].x
+			for k := range probes {
+				if math.Abs(probes[k].x-sum) <= 1e-9*(1+sum) &&
+					probes[k].price > probes[i].price+probes[j].price+tol(probes[k].price) {
+					violations++
+				}
+			}
+		}
+	}
+	return violations
+}
+
+// checkInvariants fills the report's invariant section from the
+// aggregate and the ledger.
+func checkInvariants(rep *Report, agg *buyerResult, led LedgerSummary, maxErrRate float64, skipLedger bool) {
+	inv := &rep.Invariants
+	inv.LedgerRows = len(led.Seqs)
+	inv.LedgerGross = led.Gross
+	inv.HarnessPaid = agg.paid
+
+	seen := make(map[int]struct{}, len(led.Seqs))
+	for _, s := range led.Seqs {
+		if _, dup := seen[s]; dup {
+			inv.DuplicateSeqs++
+		}
+		seen[s] = struct{}{}
+	}
+	inv.ProberViolations = agg.proberViolations
+	inv.ReplayMismatches = agg.replayMismatches
+
+	relTol := func(scale float64) float64 { return 1e-6 * (1 + math.Abs(scale)) }
+	inv.RevenueConserved = math.Abs(led.SellerShare+led.BrokerShare-led.Gross) <= relTol(led.Gross)
+
+	totalOps := 0
+	for _, n := range agg.ops {
+		totalOps += n
+	}
+	if totalOps > 0 {
+		inv.ErrorRate = float64(agg.failed) / float64(totalOps)
+	}
+
+	fail := func(format string, args ...any) {
+		inv.Failures = append(inv.Failures, fmt.Sprintf(format, args...))
+	}
+	if inv.DuplicateSeqs > 0 {
+		fail("%d duplicate ledger sequence numbers", inv.DuplicateSeqs)
+	}
+	if !inv.RevenueConserved {
+		fail("revenue split %v + %v does not sum to ledger gross %v",
+			led.SellerShare, led.BrokerShare, led.Gross)
+	}
+	if !skipLedger && math.Abs(agg.paid-led.Gross) > relTol(led.Gross) {
+		fail("harness paid %v but ledger gross is %v", agg.paid, led.Gross)
+	}
+	if inv.ProberViolations > 0 {
+		fail("%d arbitrage violations observed in quoted prices", inv.ProberViolations)
+	}
+	if inv.ReplayMismatches > 0 {
+		fail("%d idempotent replays returned a different sale", inv.ReplayMismatches)
+	}
+	if inv.ErrorRate > maxErrRate {
+		fail("error rate %.4f exceeds ceiling %.4f", inv.ErrorRate, maxErrRate)
+	}
+	sort.Strings(inv.Failures)
+	inv.Passed = len(inv.Failures) == 0
+}

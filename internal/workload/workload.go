@@ -1,0 +1,225 @@
+// Package workload is the marketplace's demand harness: it synthesizes
+// buyer populations (10⁵–10⁷) from the parametric value/demand families
+// of internal/curves and drives them against a live broker, in-process
+// or over HTTP, measuring what the mechanism actually earns and how the
+// serving path behaves under realistic arrival patterns.
+//
+// The chaos harness (internal/resilience) answers "does the broker stay
+// correct under faults"; this package answers "what happens under
+// demand": latency percentiles per operation, shed/error/replay rates,
+// and — the paper's own yardstick — realized revenue against the
+// revenue-optimization DP's predicted optimum for the same population
+// (internal/revopt), the mechanism-vs-population evaluation shape that
+// Dealer (arXiv 2003.13103) and the revenue-maximization line
+// (arXiv 1909.00845) use to judge pricing mechanisms.
+//
+// A run is deterministic in (scenario, buyers, seed): the op schedule —
+// who arrives when, wanting what, doing which operations — is a pure
+// function of those inputs (per-buyer rng.Stream draws), so two runs
+// produce byte-identical schedules and identical realized-revenue
+// totals regardless of worker interleaving. Latencies, of course, are
+// not reproducible; everything economic is.
+//
+// cmd/mbpload is the CLI wrapper; docs/workload.md describes the
+// scenario format and the BENCH_workload_<scenario>.json report schema.
+package workload
+
+import (
+	"fmt"
+
+	"github.com/datamarket/mbp/internal/curves"
+)
+
+// Archetype is a buyer behavior class. The blend of archetypes is what
+// makes a scenario's op mix realistic: real marketplaces see far more
+// browsing than buying, a tail of clients that retry everything, and
+// the occasional actor probing the price curve for arbitrage.
+type Archetype int
+
+const (
+	// Browser quotes a handful of random menu rows before deciding on
+	// its sampled version — the quote-heavy read path.
+	Browser Archetype = iota
+	// PointBuyer quotes its sampled version once and buys it if the
+	// price is within its valuation (the paper's option 1).
+	PointBuyer
+	// BudgetBuyer spends its whole valuation through the price-budget
+	// option (option 3): the most accurate version it can afford.
+	BudgetBuyer
+	// Retrier buys idempotently and re-sends the same Idempotency-Key,
+	// asserting the replays return the original sale.
+	Retrier
+	// Prober never buys: it cross-checks quoted prices for arbitrage —
+	// monotonicity and subadditivity over x = 1/δ — and flags any
+	// violation. A correct broker makes probers walk away empty-handed.
+	Prober
+)
+
+// String implements fmt.Stringer.
+func (a Archetype) String() string {
+	switch a {
+	case Browser:
+		return "browser"
+	case PointBuyer:
+		return "point"
+	case BudgetBuyer:
+		return "budget"
+	case Retrier:
+		return "retrier"
+	case Prober:
+		return "prober"
+	default:
+		return fmt.Sprintf("Archetype(%d)", int(a))
+	}
+}
+
+// Blend is the archetype mix of a population, as fractions summing
+// to 1.
+type Blend struct {
+	Browser, Point, Budget, Retrier, Prober float64
+}
+
+// Validate checks the fractions are non-negative and sum to ~1.
+func (bl Blend) Validate() error {
+	fs := []float64{bl.Browser, bl.Point, bl.Budget, bl.Retrier, bl.Prober}
+	var sum float64
+	for _, f := range fs {
+		if f < 0 {
+			return fmt.Errorf("workload: negative blend fraction %v", f)
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("workload: blend sums to %v, want 1", sum)
+	}
+	return nil
+}
+
+// pick maps a uniform u ∈ [0, 1) to an archetype.
+func (bl Blend) pick(u float64) Archetype {
+	for _, c := range []struct {
+		a Archetype
+		f float64
+	}{
+		{Browser, bl.Browser},
+		{PointBuyer, bl.Point},
+		{BudgetBuyer, bl.Budget},
+		{Retrier, bl.Retrier},
+	} {
+		if u < c.f {
+			return c.a
+		}
+		u -= c.f
+	}
+	return Prober
+}
+
+// Scenario is a named workload specification. Everything that shapes
+// the population or the traffic lives here; buyer count and seed are
+// run parameters so the same scenario scales from a CI smoke (10⁴) to
+// a soak (10⁷).
+type Scenario struct {
+	// Name identifies the scenario ("flash-crowd", ...).
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// Arrival is the arrival process shaping request timing.
+	Arrival Arrival
+	// Blend is the archetype mix.
+	Blend Blend
+	// ValueShape and DemandShape select the curves families the
+	// population is synthesized from.
+	ValueShape, DemandShape curves.Shape
+	// ValueScale sets the population's peak valuation as a multiple of
+	// the menu's top price: at 1.3 the most eager buyers can afford the
+	// most accurate version with room to spare, while the value curve's
+	// shape prices out the rest.
+	ValueScale float64
+}
+
+// Validate checks the scenario is well-formed.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: scenario needs a name")
+	}
+	if err := s.Blend.Validate(); err != nil {
+		return fmt.Errorf("workload: scenario %q: %w", s.Name, err)
+	}
+	if s.ValueScale <= 0 {
+		return fmt.Errorf("workload: scenario %q: non-positive value scale %v", s.Name, s.ValueScale)
+	}
+	if _, err := arrivalIntensity(s.Arrival, 0); err != nil {
+		return fmt.Errorf("workload: scenario %q: %w", s.Name, err)
+	}
+	return nil
+}
+
+// Scenarios returns the built-in scenario catalogue, in a stable order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "steady",
+			Description: "uniform arrivals, balanced op mix — the baseline",
+			Arrival:     Steady,
+			Blend:       Blend{Browser: 0.45, Point: 0.25, Budget: 0.15, Retrier: 0.10, Prober: 0.05},
+			ValueShape:  curves.Concave,
+			DemandShape: curves.UnimodalMid,
+			ValueScale:  1.3,
+		},
+		{
+			Name:        "bursty",
+			Description: "on/off bursts of purchase-heavy traffic",
+			Arrival:     Bursty,
+			Blend:       Blend{Browser: 0.25, Point: 0.40, Budget: 0.20, Retrier: 0.10, Prober: 0.05},
+			ValueShape:  curves.Concave,
+			DemandShape: curves.UnimodalMid,
+			ValueScale:  1.3,
+		},
+		{
+			Name:        "diurnal",
+			Description: "sinusoidal day/night cycle, browse-heavy",
+			Arrival:     Diurnal,
+			Blend:       Blend{Browser: 0.60, Point: 0.18, Budget: 0.10, Retrier: 0.07, Prober: 0.05},
+			ValueShape:  curves.Sigmoid,
+			DemandShape: curves.UnimodalMid,
+			ValueScale:  1.2,
+		},
+		{
+			Name:        "flash-crowd",
+			Description: "quiet baseline, then a spike that decays — the stampede",
+			Arrival:     FlashCrowd,
+			Blend:       Blend{Browser: 0.40, Point: 0.25, Budget: 0.15, Retrier: 0.15, Prober: 0.05},
+			ValueShape:  curves.Concave,
+			DemandShape: curves.BimodalExtremes,
+			ValueScale:  1.3,
+		},
+		{
+			Name:        "budget-crunch",
+			Description: "budget-constrained buyers under a convex value curve",
+			Arrival:     Steady,
+			Blend:       Blend{Browser: 0.20, Point: 0.10, Budget: 0.60, Retrier: 0.05, Prober: 0.05},
+			ValueShape:  curves.Convex,
+			DemandShape: curves.BimodalExtremes,
+			ValueScale:  1.1,
+		},
+		{
+			Name:        "arbitrage-storm",
+			Description: "adversarial probers hammering the price curve for arbitrage",
+			Arrival:     Bursty,
+			Blend:       Blend{Browser: 0.15, Point: 0.10, Budget: 0.05, Retrier: 0.10, Prober: 0.60},
+			ValueShape:  curves.Concave,
+			DemandShape: curves.UnimodalMid,
+			ValueScale:  1.3,
+		},
+	}
+}
+
+// ScenarioByName resolves a built-in scenario.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("workload: unknown scenario %q", name)
+}

@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/httpapi"
+	"github.com/datamarket/mbp/internal/market/markettest"
+	"github.com/datamarket/mbp/internal/pricing"
+)
+
+// fixtureClient returns an in-process client over a fresh fixture
+// broker plus its menu.
+func fixtureClient(t *testing.T, seed uint64) (*BrokerClient, []pricing.PriceError) {
+	t.Helper()
+	b := markettest.Broker(t, seed)
+	c := &BrokerClient{B: b, Model: markettest.Model}
+	menu, err := c.Menu(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, menu
+}
+
+func TestScenarioCatalogue(t *testing.T) {
+	for _, sc := range Scenarios() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("built-in scenario %q invalid: %v", sc.Name, err)
+		}
+		got, err := ScenarioByName(sc.Name)
+		if err != nil || got.Name != sc.Name {
+			t.Errorf("ScenarioByName(%q) = %v, %v", sc.Name, got.Name, err)
+		}
+	}
+	if _, err := ScenarioByName("nope"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestParseArrival(t *testing.T) {
+	for _, a := range []Arrival{Steady, Bursty, Diurnal, FlashCrowd} {
+		got, err := ParseArrival(a.String())
+		if err != nil || got != a {
+			t.Fatalf("ParseArrival(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ParseArrival("tsunami"); err == nil {
+		t.Fatal("unknown arrival accepted")
+	}
+}
+
+func TestArrivalSamplerShapes(t *testing.T) {
+	for _, a := range []Arrival{Steady, Bursty, Diurnal, FlashCrowd} {
+		s, err := newArrivalSampler(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -1.0
+		for i := 0; i <= 1000; i++ {
+			u := float64(i) / 1001
+			at := s.At(u)
+			if at < 0 || at >= 1 {
+				t.Fatalf("%v: At(%v) = %v outside [0, 1)", a, u, at)
+			}
+			if at < prev {
+				t.Fatalf("%v: inverse CDF not monotone at u=%v", a, u)
+			}
+			prev = at
+		}
+	}
+
+	// Flash crowd: at least half the arrival mass lands in the spike
+	// window [0.5, 0.7).
+	s, _ := newArrivalSampler(FlashCrowd)
+	inSpike := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		at := s.At((float64(i) + 0.5) / n)
+		if at >= 0.5 && at < 0.7 {
+			inSpike++
+		}
+	}
+	if frac := float64(inSpike) / n; frac < 0.5 {
+		t.Fatalf("flash-crowd spike holds only %.2f of arrivals", frac)
+	}
+}
+
+func TestBlendPickCoversArchetypes(t *testing.T) {
+	bl := Blend{Browser: 0.2, Point: 0.2, Budget: 0.2, Retrier: 0.2, Prober: 0.2}
+	seen := make(map[Archetype]bool)
+	for i := 0; i < 1000; i++ {
+		seen[bl.pick(float64(i)/1000)] = true
+	}
+	for _, a := range []Archetype{Browser, PointBuyer, BudgetBuyer, Retrier, Prober} {
+		if !seen[a] {
+			t.Fatalf("archetype %v never picked", a)
+		}
+	}
+	if (Blend{Browser: 0.5}).Validate() == nil {
+		t.Fatal("blend summing to 0.5 accepted")
+	}
+	if (Blend{Browser: 1.5, Point: -0.5}).Validate() == nil {
+		t.Fatal("negative blend fraction accepted")
+	}
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	_, menu := fixtureClient(t, 11)
+	sc, err := ScenarioByName("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	for _, buf := range []*bytes.Buffer{&bufA, &bufB} {
+		sched, err := BuildSchedule(sc, menu, 3000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Encode(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("same (scenario, menu, buyers, seed) produced different op schedules")
+	}
+
+	// A different seed must produce a different schedule.
+	other, err := BuildSchedule(sc, menu, 3000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufC bytes.Buffer
+	if err := other.Encode(&bufC); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufA.Bytes(), bufC.Bytes()) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestRunDeterminism is the CI race-mode pin: two runs of the same
+// (scenario, buyers, seed) against equivalent brokers, with a parallel
+// worker pool, must produce identical realized-revenue totals and op
+// counts, byte for byte on the economic sections of the report.
+func TestRunDeterminism(t *testing.T) {
+	sc, err := ScenarioByName("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports [2]*Report
+	for i := range reports {
+		// Same broker seed: markettest brokers with one seed are
+		// interchangeable replicas.
+		client, menu := fixtureClient(t, 21)
+		sched, err := BuildSchedule(sc, menu, 2000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(context.Background(), client, sched, Options{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Invariants.Passed {
+			t.Fatalf("run %d invariants failed: %v", i, rep.Invariants.Failures)
+		}
+		reports[i] = rep
+	}
+	a, b := reports[0], reports[1]
+	if a.Revenue != b.Revenue {
+		t.Fatalf("revenue diverged across runs:\n%+v\n%+v", a.Revenue, b.Revenue)
+	}
+	ja, _ := json.Marshal(a.Ops)
+	jb, _ := json.Marshal(b.Ops)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("op counts diverged across runs:\n%s\n%s", ja, jb)
+	}
+	if a.Revenue.Realized <= 0 || a.Revenue.PredictedOptimal <= 0 {
+		t.Fatalf("degenerate revenue report: %+v", a.Revenue)
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	client, menu := fixtureClient(t, 31)
+	sc, err := ScenarioByName("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := BuildSchedule(sc, menu, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), client, sched, Options{Workers: 4, ClosedLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Invariants.Passed {
+		t.Fatalf("invariants failed: %v", rep.Invariants.Failures)
+	}
+	if !rep.ClosedLoop || rep.Ops["total"].Issued == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// TestRunOverHTTP drives the same scenario through the HTTP client
+// against an httptest server: outcomes classify identically and the
+// ledger reconciles, so the two drivers are interchangeable.
+func TestRunOverHTTP(t *testing.T) {
+	b := markettest.Broker(t, 41)
+	ts := httptest.NewServer(httpapi.New(b, httpapi.WithoutMetrics(), httpapi.WithoutTracing()).Mux())
+	t.Cleanup(ts.Close)
+	client := NewHTTPClient(ts.URL, markettest.ModelName, nil)
+
+	sc, err := ScenarioByName("bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	menu, err := client.Menu(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := BuildSchedule(sc, menu, 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), client, sched, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Invariants.Passed {
+		t.Fatalf("invariants failed over HTTP: %v", rep.Invariants.Failures)
+	}
+	if rep.Revenue.Sales == 0 || rep.Ops["total"].Replays == 0 {
+		t.Fatalf("HTTP run saw no sales or no idempotent replays: %+v", rep.Revenue)
+	}
+
+	// The in-process run of the identical schedule must realize the
+	// same revenue: the wire adds latency, never economics.
+	inproc, _ := fixtureClient(t, 41)
+	sched2, err := BuildSchedule(sc, menu, 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(context.Background(), inproc, sched2, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Revenue.Realized-rep2.Revenue.Realized) > 1e-6 {
+		t.Fatalf("HTTP realized %v, in-process realized %v", rep.Revenue.Realized, rep2.Revenue.Realized)
+	}
+}
+
+func TestArbitrageViolationDetection(t *testing.T) {
+	// Monotone + subadditive quotes: no violations.
+	clean := []probe{{x: 1, price: 1}, {x: 2, price: 1.8}, {x: 3, price: 2.5}}
+	if n := arbitrageViolations(clean); n != 0 {
+		t.Fatalf("clean probes flagged %d violations", n)
+	}
+	// Price decreasing in x: monotonicity violation.
+	mono := []probe{{x: 1, price: 2}, {x: 2, price: 1}}
+	if n := arbitrageViolations(mono); n == 0 {
+		t.Fatal("monotonicity violation missed")
+	}
+	// p(1)+p(2) < p(3) with 3 = 1+2: subadditivity violation.
+	sub := []probe{{x: 1, price: 1}, {x: 2, price: 1.5}, {x: 3, price: 5}}
+	if n := arbitrageViolations(sub); n == 0 {
+		t.Fatal("subadditivity violation missed")
+	}
+}
+
+func TestBuildScheduleValidation(t *testing.T) {
+	_, menu := fixtureClient(t, 51)
+	sc, _ := ScenarioByName("steady")
+	if _, err := BuildSchedule(sc, menu, 0, 1); err == nil {
+		t.Fatal("zero buyers accepted")
+	}
+	if _, err := BuildSchedule(sc, menu[:1], 10, 1); err == nil {
+		t.Fatal("one-row menu accepted")
+	}
+	bad := sc
+	bad.ValueScale = 0
+	if _, err := BuildSchedule(bad, menu, 10, 1); err == nil {
+		t.Fatal("zero value scale accepted")
+	}
+}
+
+func TestReportFileName(t *testing.T) {
+	if got := ReportFileName("flash-crowd"); got != "BENCH_workload_flash-crowd.json" {
+		t.Fatalf("ReportFileName = %q", got)
+	}
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# bench_gate.sh — throughput regression gate.
+#
+# Compares a fresh BENCH_throughput.json (cmd/mbpbench -throughput)
+# against a committed baseline, phase by phase (keyed on op:workers).
+# A drop in opsPerSec beyond the warn threshold prints a warning; past
+# the fail threshold the script exits nonzero and the CI job fails.
+# Phases present in the baseline but missing from the fresh report also
+# fail — a silently dropped phase must not pass the gate.
+#
+# Usage: bench_gate.sh <baseline.json> <fresh.json> [warn_pct] [fail_pct]
+#   warn_pct  warn when opsPerSec drops more than this percent (default 10)
+#   fail_pct  fail when opsPerSec drops more than this percent (default 25)
+set -euo pipefail
+
+usage="usage: bench_gate.sh <baseline.json> <fresh.json> [warn_pct] [fail_pct]"
+baseline=${1:?$usage}
+fresh=${2:?$usage}
+warn=${3:-10}
+fail=${4:-25}
+
+for f in "$baseline" "$fresh"; do
+  if [ ! -f "$f" ]; then
+    echo "bench_gate: no such report: $f" >&2
+    exit 2
+  fi
+done
+
+# Emit "op:workers opsPerSec" per phase. The report is written by
+# json.MarshalIndent (cmd/mbpbench/throughput.go), so every field sits
+# on its own line in a fixed order: op, workers, ..., opsPerSec.
+extract() {
+  awk '
+    /"op":/        { gsub(/[",]/, "", $2); op = $2 }
+    /"workers":/   { gsub(/,/,    "", $2); workers = $2 }
+    /"opsPerSec":/ { gsub(/,/,    "", $2); print op ":" workers, $2 }
+  ' "$1"
+}
+
+base_rows=$(extract "$baseline")
+fresh_rows=$(extract "$fresh")
+if [ -z "$base_rows" ]; then
+  echo "bench_gate: no phases found in baseline $baseline" >&2
+  exit 2
+fi
+
+status=0
+while read -r key base; do
+  cur=$(awk -v k="$key" '$1 == k { print $2; exit }' <<<"$fresh_rows")
+  if [ -z "$cur" ]; then
+    echo "bench_gate: FAIL $key present in baseline but missing from $fresh" >&2
+    status=1
+    continue
+  fi
+  # Percent drop relative to baseline; negative means the fresh run is
+  # faster. awk does the float math and the threshold verdict.
+  verdict=$(awk -v b="$base" -v c="$cur" -v w="$warn" -v f="$fail" 'BEGIN {
+    drop = (b - c) * 100 / b
+    printf "%.1f %s", drop, (drop >= f) ? "FAIL" : (drop >= w) ? "WARN" : "ok"
+  }')
+  drop=${verdict% *}
+  level=${verdict#* }
+  printf 'bench_gate: %-4s %-10s baseline %12.0f ops/s, current %12.0f ops/s (drop %s%%)\n' \
+    "$level" "$key" "$base" "$cur" "$drop"
+  if [ "$level" = FAIL ]; then
+    status=1
+  fi
+done <<<"$base_rows"
+
+if [ "$status" -ne 0 ]; then
+  echo "bench_gate: throughput regressed more than ${fail}% — failing" >&2
+fi
+exit "$status"
