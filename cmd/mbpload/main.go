@@ -4,6 +4,16 @@
 // default, or any live HTTP endpoint via -endpoint — then writes the
 // per-scenario report BENCH_workload_<scenario>.json.
 //
+// The run is monitored while it happens: a self-scraper samples the
+// harness metrics every -scrape-interval into a time-series ring, SLO
+// burn rates (buy p99, error rate, shed rate) evaluate over it, and —
+// in-process only — the market auditor (internal/market/audit) sweeps
+// the live broker every -audit-interval re-verifying arbitrage-
+// freeness, revenue conservation and WAL health. The report embeds
+// the final health summary; audit violations fail the run's
+// invariants (and -check makes them fatal). -history-out dumps the
+// full time-series ring for offline inspection.
+//
 // Usage:
 //
 //	mbpload -scenario list
@@ -22,67 +32,200 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/datamarket/mbp/internal/curves"
+	"github.com/datamarket/mbp/internal/market/audit"
 	"github.com/datamarket/mbp/internal/market/markettest"
+	"github.com/datamarket/mbp/internal/obs"
+	"github.com/datamarket/mbp/internal/obs/slo"
+	"github.com/datamarket/mbp/internal/obs/ts"
 	"github.com/datamarket/mbp/internal/workload"
 )
 
+// cfg carries the parsed flags through the run.
+type cfg struct {
+	scenario   string
+	buyers     int
+	seed       uint64
+	workers    int
+	endpoint   string
+	model      string
+	closed     bool
+	horizon    time.Duration
+	out        string
+	check      bool
+	maxErr     float64
+	valueS     string
+	demandS    string
+	arrivalS   string
+	schedOut   string
+	scrape     time.Duration
+	auditEvery time.Duration
+	historyOut string
+}
+
 func main() {
-	var (
-		scenario = flag.String("scenario", "steady", `scenario name ("list" prints the catalogue)`)
-		buyers   = flag.Int("buyers", 10000, "population size")
-		seed     = flag.Uint64("seed", 1, "schedule seed (same seed ⇒ same schedule and totals)")
-		workers  = flag.Int("workers", 0, "driver goroutines (0 = GOMAXPROCS)")
-		endpoint = flag.String("endpoint", "", "broker API base URL (empty = in-process fixture broker)")
-		model    = flag.String("model", markettest.ModelName, "model to trade in -endpoint mode")
-		closed   = flag.Bool("closed", false, "closed-loop: saturate with a fixed worker pool instead of replaying arrivals")
-		horizon  = flag.Duration("horizon", 0, "pace open-loop arrivals over this real duration (0 = as fast as possible)")
-		out      = flag.String("out", "", "report path (default BENCH_workload_<scenario>.json, - = stdout)")
-		check    = flag.Bool("check", false, "exit nonzero when any run invariant fails")
-		maxErr   = flag.Float64("max-error-rate", 0.001, "invariant ceiling on the failed-op rate")
-		valueS   = flag.String("value", "", "override the scenario's value curve shape")
-		demandS  = flag.String("demand", "", "override the scenario's demand curve shape")
-		arrivalS = flag.String("arrival", "", "override the scenario's arrival process")
-		schedOut = flag.String("schedule", "", "also dump the op schedule (JSON lines) to this path")
-	)
+	var c cfg
+	flag.StringVar(&c.scenario, "scenario", "steady", `scenario name ("list" prints the catalogue)`)
+	flag.IntVar(&c.buyers, "buyers", 10000, "population size")
+	flag.Uint64Var(&c.seed, "seed", 1, "schedule seed (same seed ⇒ same schedule and totals)")
+	flag.IntVar(&c.workers, "workers", 0, "driver goroutines (0 = GOMAXPROCS)")
+	flag.StringVar(&c.endpoint, "endpoint", "", "broker API base URL (empty = in-process fixture broker)")
+	flag.StringVar(&c.model, "model", markettest.ModelName, "model to trade in -endpoint mode")
+	flag.BoolVar(&c.closed, "closed", false, "closed-loop: saturate with a fixed worker pool instead of replaying arrivals")
+	flag.DurationVar(&c.horizon, "horizon", 0, "pace open-loop arrivals over this real duration (0 = as fast as possible)")
+	flag.StringVar(&c.out, "out", "", "report path (default BENCH_workload_<scenario>.json, - = stdout)")
+	flag.BoolVar(&c.check, "check", false, "exit nonzero when any run invariant fails")
+	flag.Float64Var(&c.maxErr, "max-error-rate", 0.001, "invariant ceiling on the failed-op rate")
+	flag.StringVar(&c.valueS, "value", "", "override the scenario's value curve shape")
+	flag.StringVar(&c.demandS, "demand", "", "override the scenario's demand curve shape")
+	flag.StringVar(&c.arrivalS, "arrival", "", "override the scenario's arrival process")
+	flag.StringVar(&c.schedOut, "schedule", "", "also dump the op schedule (JSON lines) to this path")
+	flag.DurationVar(&c.scrape, "scrape-interval", 200*time.Millisecond, "harness metrics scrape cadence for SLO burn rates; 0 disables health monitoring")
+	flag.DurationVar(&c.auditEvery, "audit-interval", 200*time.Millisecond, "market-invariant audit sweep cadence (in-process runs only); 0 disables")
+	flag.StringVar(&c.historyOut, "history-out", "", "dump the scraped time-series ring (JSON) to this path after the run")
 	flag.Parse()
 
-	if *scenario == "list" {
+	if c.scenario == "list" {
 		for _, sc := range workload.Scenarios() {
 			fmt.Printf("%-16s %s (arrival %s, value %s, demand %s)\n",
 				sc.Name, sc.Description, sc.Arrival, sc.ValueShape, sc.DemandShape)
 		}
 		return
 	}
-	if err := run(*scenario, *buyers, *seed, *workers, *endpoint, *model, *closed,
-		*horizon, *out, *check, *maxErr, *valueS, *demandS, *arrivalS, *schedOut); err != nil {
+	if err := run(&c); err != nil {
 		fmt.Fprintln(os.Stderr, "mbpload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenario string, buyers int, seed uint64, workers int, endpoint, model string,
-	closed bool, horizon time.Duration, out string, check bool, maxErr float64,
-	valueS, demandS, arrivalS, schedOut string) error {
-	sc, err := workload.ScenarioByName(scenario)
+// monitor is the optional market-health stack watching a run: the
+// scraper/SLO half works for any endpoint (it watches the harness's
+// own metrics); the auditor half needs the broker in-process.
+type monitor struct {
+	reg     *obs.Registry
+	store   *ts.Store
+	scraper *ts.Scraper
+	eval    *slo.Evaluator
+	auditor *audit.Auditor
+	scrape  time.Duration
+	audit   time.Duration
+}
+
+// sloObjectives mirrors slo.DefaultSpec in terms of the harness's own
+// workload.* series: windowed buy p99 against a 250ms threshold, and
+// error/shed rates against the buy-op rate. Errors from quote ops
+// count against the buy total too — a conservative overestimate that
+// keeps each ratio a single series pair.
+func sloObjectives(scrape time.Duration) []slo.Objective {
+	buyTotal := obs.Name("workload.ops_total", "op", workload.OpBuyPoint.String()) + ts.SuffixRate
+	fast, slow := 10*scrape, 60*scrape
+	return []slo.Objective{
+		{Name: "buy-p99", Kind: slo.Latency,
+			Series:    obs.Name("workload.latency_seconds", "op", workload.OpBuyPoint.String()) + ts.SuffixP99,
+			Threshold: 0.25, Budget: 0.05, FastWindow: fast, SlowWindow: slow},
+		{Name: "error-rate", Kind: slo.Ratio,
+			Series:      obs.Name("workload.ops_total", "outcome", "error") + ts.SuffixRate,
+			TotalSeries: buyTotal, Budget: 0.01, FastWindow: fast, SlowWindow: slow},
+		{Name: "shed-rate", Kind: slo.Ratio,
+			Series:      obs.Name("workload.ops_total", "outcome", "shed") + ts.SuffixRate,
+			TotalSeries: buyTotal, Budget: 0.05, FastWindow: fast, SlowWindow: slow},
+	}
+}
+
+// start builds and starts the health stack. broker is nil for
+// -endpoint runs, which disables the auditor.
+func startMonitor(c *cfg, broker *workload.BrokerClient) *monitor {
+	if c.scrape <= 0 && (c.auditEvery <= 0 || broker == nil) {
+		return nil
+	}
+	m := &monitor{reg: obs.NewRegistry(), scrape: c.scrape, audit: c.auditEvery}
+	if c.scrape > 0 {
+		m.store = ts.NewStore(ts.DefaultCapacity, 0)
+		m.scraper = ts.NewScraper(m.reg, m.store, c.scrape)
+		m.eval = slo.NewEvaluator(m.store, m.reg, sloObjectives(c.scrape))
+		m.scraper.OnScrape(m.eval.Evaluate)
+		m.scraper.Start()
+	}
+	if c.auditEvery > 0 && broker != nil {
+		m.auditor = audit.New(audit.Config{
+			Broker: broker.B, Registry: m.reg, Interval: c.auditEvery, Seed: c.seed,
+		})
+		m.auditor.Start()
+	}
+	return m
+}
+
+// finish stops the stack, takes one final quiescent sweep + scrape
+// (the run is over, so the auditor's exact conservation check applies
+// and the last window lands in the ring), and returns the summary.
+func (m *monitor) finish() *workload.HealthReport {
+	if m == nil {
+		return nil
+	}
+	now := time.Now()
+	h := &workload.HealthReport{}
+	if m.auditor != nil {
+		m.auditor.Stop()
+		m.auditor.Sweep(now)
+		h.AuditIntervalSeconds = m.audit.Seconds()
+		sum := m.auditor.Summary()
+		h.Audit = &workload.AuditStatus{
+			Sweeps: sum.Sweeps, Probes: sum.Probes,
+			Violations: sum.Violations, ViolationsTotal: sum.ViolationsTotal,
+			LastViolation: sum.LastViolation, Degraded: sum.Degraded,
+		}
+	}
+	if m.scraper != nil {
+		m.scraper.Stop()
+		m.scraper.ScrapeOnce(now)
+		h.ScrapeIntervalSeconds = m.scrape.Seconds()
+		for _, s := range m.eval.States() {
+			h.SLO = append(h.SLO, workload.SLOStatus{
+				Name: s.Name, FastBurn: s.FastBurn, SlowBurn: s.SlowBurn,
+				Breaching: s.Breaching, Reason: s.Reason,
+			})
+		}
+	}
+	return h
+}
+
+// dumpHistory writes the scraped time-series ring to path.
+func (m *monitor) dumpHistory(path string) error {
+	if m == nil || m.store == nil {
+		return fmt.Errorf("-history-out needs -scrape-interval > 0")
+	}
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if valueS != "" {
-		if sc.ValueShape, err = curves.ParseShape(valueS); err != nil {
+	if err := m.store.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(c *cfg) error {
+	sc, err := workload.ScenarioByName(c.scenario)
+	if err != nil {
+		return err
+	}
+	if c.valueS != "" {
+		if sc.ValueShape, err = curves.ParseShape(c.valueS); err != nil {
 			return err
 		}
 	}
-	if demandS != "" {
-		if sc.DemandShape, err = curves.ParseShape(demandS); err != nil {
+	if c.demandS != "" {
+		if sc.DemandShape, err = curves.ParseShape(c.demandS); err != nil {
 			return err
 		}
 	}
-	if arrivalS != "" {
-		if sc.Arrival, err = workload.ParseArrival(arrivalS); err != nil {
+	if c.arrivalS != "" {
+		if sc.Arrival, err = workload.ParseArrival(c.arrivalS); err != nil {
 			return err
 		}
 	}
@@ -91,28 +234,30 @@ func run(scenario string, buyers int, seed uint64, workers int, endpoint, model 
 	defer stop()
 
 	var client workload.Client
-	if endpoint == "" {
+	var fixture *workload.BrokerClient
+	if c.endpoint == "" {
 		// In-process: a fresh fixture broker, so the harness owns the
 		// whole ledger and every invariant is checkable.
-		b, err := markettest.New(seed)
+		b, err := markettest.New(c.seed)
 		if err != nil {
 			return fmt.Errorf("building fixture broker: %w", err)
 		}
-		client = &workload.BrokerClient{B: b, Model: markettest.Model}
+		fixture = &workload.BrokerClient{B: b, Model: markettest.Model}
+		client = fixture
 	} else {
-		client = workload.NewHTTPClient(endpoint, model, nil)
+		client = workload.NewHTTPClient(c.endpoint, c.model, nil)
 	}
 
 	menu, err := client.Menu(ctx)
 	if err != nil {
 		return fmt.Errorf("fetching menu: %w", err)
 	}
-	sched, err := workload.BuildSchedule(sc, menu, buyers, seed)
+	sched, err := workload.BuildSchedule(sc, menu, c.buyers, c.seed)
 	if err != nil {
 		return err
 	}
-	if schedOut != "" {
-		f, err := os.Create(schedOut)
+	if c.schedOut != "" {
+		f, err := os.Create(c.schedOut)
 		if err != nil {
 			return err
 		}
@@ -125,19 +270,33 @@ func run(scenario string, buyers int, seed uint64, workers int, endpoint, model 
 		}
 	}
 
+	mon := startMonitor(c, fixture)
+	var reg *obs.Registry
+	if mon != nil {
+		reg = mon.reg
+	}
 	rep, err := workload.Run(ctx, client, sched, workload.Options{
-		Workers:      workers,
-		ClosedLoop:   closed,
-		Horizon:      horizon,
-		MaxErrorRate: maxErr,
+		Workers:      c.workers,
+		ClosedLoop:   c.closed,
+		Horizon:      c.horizon,
+		MaxErrorRate: c.maxErr,
+		Registry:     reg,
 		// A shared endpoint has traffic besides this harness; only the
 		// in-process broker's ledger is wholly ours to reconcile.
-		SkipLedgerCheck: endpoint != "",
+		SkipLedgerCheck: c.endpoint != "",
 	})
 	if err != nil {
+		mon.finish()
 		return err
 	}
+	rep.AttachHealth(mon.finish())
+	if c.historyOut != "" {
+		if err := mon.dumpHistory(c.historyOut); err != nil {
+			return err
+		}
+	}
 
+	out := c.out
 	if out == "" {
 		out = workload.ReportFileName(sc.Name)
 	}
@@ -151,14 +310,33 @@ func run(scenario string, buyers int, seed uint64, workers int, endpoint, model 
 	fmt.Printf("revenue: realized %.2f vs predicted optimum %.2f (ratio %.3f); shed %d, errors %d, replays %d\n",
 		rep.Revenue.Realized, rep.Revenue.PredictedOptimal, rep.Revenue.Ratio,
 		rep.Ops["total"].Shed, rep.Ops["total"].Errors, rep.Ops["total"].Replays)
+	if h := rep.Health; h != nil {
+		var breaching []string
+		for _, s := range h.SLO {
+			if s.Breaching {
+				breaching = append(breaching, s.Name)
+			}
+		}
+		line := "health:"
+		if h.Audit != nil {
+			line += fmt.Sprintf(" audit %d sweeps, %d probes, %d violations;",
+				h.Audit.Sweeps, h.Audit.Probes, h.Audit.ViolationsTotal)
+		}
+		if len(breaching) > 0 {
+			line += " slo breaching: " + strings.Join(breaching, ",")
+		} else if len(h.SLO) > 0 {
+			line += " slo ok"
+		}
+		fmt.Println(line)
+	}
 	if !rep.Invariants.Passed {
 		for _, f := range rep.Invariants.Failures {
 			fmt.Fprintln(os.Stderr, "mbpload: invariant violated:", f)
 		}
-		if check {
+		if c.check {
 			return fmt.Errorf("%d invariant(s) violated", len(rep.Invariants.Failures))
 		}
-	} else if check {
+	} else if c.check {
 		fmt.Println("invariants: all passed")
 	}
 	fmt.Println("report:", out)

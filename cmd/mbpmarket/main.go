@@ -10,8 +10,10 @@
 //	                                  "delta", "errorBudget", "priceBudget"}
 //	GET  /ledger                    — all completed transactions
 //	GET  /metrics                   — JSON metrics snapshot (disable: -metrics=false)
+//	GET  /metrics/history           — time-series of scraped metrics (?name=&window=)
 //	GET  /debug/traces              — recent purchase span trees (disable: -traces=false)
-//	GET  /healthz                   — liveness + uptime
+//	GET  /debug/health              — market-health dashboard: SLO burn rates + audit probes
+//	GET  /healthz                   — liveness + uptime + degraded checks
 //	GET  /debug/pprof/              — profiling endpoints (enable: -pprof)
 //
 // Logs are JSON (log/slog); lines emitted while serving a request carry
@@ -21,6 +23,14 @@
 // optional concurrency cap (-max-inflight, -queue-wait), and /buy is
 // idempotent per Idempotency-Key header; -chaos injects faults for
 // resilience drills. See docs/resilience.md.
+//
+// Market health: a self-scraper samples the metrics registry every
+// -scrape-interval into a bounded ring (served at /metrics/history),
+// SLO burn-rate alerts evaluate over it (-slo picks the objectives),
+// and a background auditor (-audit-interval) re-verifies the pricing
+// invariants — arbitrage-freeness of the published menu, revenue
+// conservation in the ledger, WAL health — flipping /healthz degraded
+// on violation. See docs/observability.md.
 //
 // With -store-dir the broker is durable: every sale is journaled to a
 // write-ahead log before it is acknowledged (-fsync picks the
@@ -55,8 +65,11 @@ import (
 	"github.com/datamarket/mbp/internal/core"
 	"github.com/datamarket/mbp/internal/httpapi"
 	"github.com/datamarket/mbp/internal/market"
+	"github.com/datamarket/mbp/internal/market/audit"
 	"github.com/datamarket/mbp/internal/obs"
+	"github.com/datamarket/mbp/internal/obs/slo"
 	"github.com/datamarket/mbp/internal/obs/trace"
+	"github.com/datamarket/mbp/internal/obs/ts"
 	"github.com/datamarket/mbp/internal/resilience"
 	"github.com/datamarket/mbp/internal/store"
 )
@@ -77,6 +90,11 @@ func main() {
 
 		storeDir = flag.String("store-dir", "", "durable state directory: journal every sale to a WAL and recover ledger + offers on restart")
 		fsyncPol = flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
+
+		scrapeEvery = flag.Duration("scrape-interval", ts.DefaultInterval, "metrics self-scrape cadence feeding /metrics/history; 0 disables")
+		historyLen  = flag.Int("history", ts.DefaultCapacity, "samples retained per time series")
+		sloSpec     = flag.String("slo", slo.DefaultSpec, "SLO objectives, e.g. buy-p99=250ms@0.05,error-rate=0.01; empty disables")
+		auditEvery  = flag.Duration("audit-interval", audit.DefaultInterval, "market-invariant audit sweep cadence; 0 disables")
 
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "server-side deadline per request; 0 disables")
 		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently served requests; 0 disables")
@@ -117,11 +135,37 @@ func main() {
 	// mode ignores these options.
 	opts = append(opts, httpapi.WithHopBreaker(resilience.BreakerConfig{}))
 
+	// Market-health stack, part 1: the self-scraper samples the serving
+	// registry into a bounded ring (served at /metrics/history) and the
+	// SLO evaluator computes burn rates off it after every scrape. Both
+	// modes get this; the invariant auditor below is single-broker only.
+	var scraper *ts.Scraper
+	if *metrics && *scrapeEvery > 0 {
+		st := ts.NewStore(*historyLen, 0)
+		scraper = ts.NewScraper(obs.Default, st, *scrapeEvery)
+		opts = append(opts, httpapi.WithTimeSeries(st))
+		if *sloSpec != "" {
+			objs, err := slo.ParseSpec(*sloSpec, scraper.Interval())
+			if err != nil {
+				fatal(logger, err)
+			}
+			ev := slo.NewEvaluator(st, obs.Default, objs)
+			scraper.OnScrape(ev.Evaluate)
+			opts = append(opts, httpapi.WithSLO(ev))
+		}
+		scraper.Start()
+		logger.Info("metrics scraper running", "interval", scrapeEvery.String(), "history", *historyLen, "slo", *sloSpec)
+	}
+
 	if *dsList != "" {
 		if *storeDir != "" {
 			fatal(logger, errors.New("-store-dir supports single-broker mode only (not -datasets)"))
 		}
-		os.Exit(serveExchange(logger, *addr, strings.Split(*dsList, ","), *scale, *seed, *samples, *pprofOn, opts))
+		code := serveExchange(logger, *addr, strings.Split(*dsList, ","), *scale, *seed, *samples, *pprofOn, opts)
+		if scraper != nil {
+			scraper.Stop()
+		}
+		os.Exit(code)
 	}
 
 	// Warm start: a store directory carries an offer snapshot alongside
@@ -168,6 +212,21 @@ func main() {
 		}
 	}
 
+	// Market-health stack, part 2: the invariant auditor sweeps the live
+	// broker (arbitrage, conservation, WAL health) and degrades /healthz
+	// on violation.
+	var auditor *audit.Auditor
+	if *auditEvery > 0 {
+		acfg := audit.Config{Broker: mp.Broker, Interval: *auditEvery, Seed: *seed, Logger: logger}
+		if dled != nil {
+			acfg.FsyncLag = dled.FsyncLag
+		}
+		auditor = audit.New(acfg)
+		opts = append(opts, httpapi.WithAuditor(auditor))
+		auditor.Start()
+		logger.Info("market auditor running", "interval", auditEvery.String(), "walChecks", dled != nil)
+	}
+
 	api := httpapi.New(mp.Broker, opts...)
 	mux := api.Mux()
 	if *pprofOn {
@@ -177,6 +236,14 @@ func main() {
 		"addr", *addr, "model", mp.Model.String(), "dataset", *dsName,
 		"metrics", *metrics, "traces", *traces, "pprof", *pprofOn, "storeDir", *storeDir)
 	code := serve(logger, *addr, mux, api.Drain)
+	// Stop the auditor before closing the store (it reads FsyncLag) and
+	// the scraper last, so the final samples still land in the ring.
+	if auditor != nil {
+		auditor.Stop()
+	}
+	if scraper != nil {
+		scraper.Stop()
+	}
 	// Close the store after the drain hooks flushed it. A close error
 	// means the tail of the journal may not have hit disk — log it and
 	// fail the exit code rather than pretend the shutdown was clean.

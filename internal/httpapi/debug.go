@@ -1,0 +1,127 @@
+package httpapi
+
+// Market-health wiring: the time-series history endpoint and the
+// /debug/health dashboard. The binary composes the pieces — a ts.Store
+// fed by a scraper, an slo.Evaluator hanging off it, a market auditor —
+// and hands them over via options; this file only serves what it is
+// given.
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"time"
+
+	"github.com/datamarket/mbp/internal/market/audit"
+	"github.com/datamarket/mbp/internal/obs/slo"
+	"github.com/datamarket/mbp/internal/obs/ts"
+)
+
+// WithTimeSeries serves the store's history at GET /metrics/history
+// (?name=...&window=...).
+func WithTimeSeries(st *ts.Store) Option {
+	return func(c *config) { c.tsStore = st }
+}
+
+// WithSLO shows the evaluator's burn-rate state on /debug/health and
+// folds breaching objectives into /healthz as the "slo" check.
+func WithSLO(ev *slo.Evaluator) Option {
+	return func(c *config) {
+		c.sloEval = ev
+		c.health = append(c.health, healthCheck{name: "slo", check: ev.Healthy})
+	}
+}
+
+// WithAuditor shows the auditor's probe history on /debug/health and
+// folds its degraded state into /healthz as the "audit" check.
+func WithAuditor(a *audit.Auditor) Option {
+	return func(c *config) {
+		c.auditor = a
+		c.health = append(c.health, healthCheck{name: "audit", check: a.Healthy})
+	}
+}
+
+// debugHealth is the /debug/health document (also the ?format=json
+// shape).
+type debugHealth struct {
+	Status  string         `json:"status"`
+	Reasons []string       `json:"reasons,omitempty"`
+	SLO     []slo.State    `json:"slo,omitempty"`
+	Audit   *audit.Summary `json:"audit,omitempty"`
+	Probes  []audit.Probe  `json:"probes,omitempty"`
+}
+
+// buildDebugHealth assembles the current market-health view.
+func (c *config) buildDebugHealth() debugHealth {
+	doc := debugHealth{Status: "ok"}
+	if c.sloEval != nil {
+		doc.SLO = c.sloEval.States()
+		doc.Reasons = append(doc.Reasons, c.sloEval.DegradedReasons()...)
+	}
+	if c.auditor != nil {
+		sum := c.auditor.Summary()
+		doc.Audit = &sum
+		doc.Probes = c.auditor.Recent(16)
+		if err := c.auditor.Healthy(); err != nil {
+			doc.Reasons = append(doc.Reasons, err.Error())
+		}
+	}
+	if len(doc.Reasons) > 0 {
+		doc.Status = "degraded"
+	}
+	return doc
+}
+
+var debugHealthTmpl = template.Must(template.New("health").Funcs(template.FuncMap{
+	"burn": func(v float64) string { return fmt.Sprintf("%.2fx", v) },
+	"when": func(t time.Time) string {
+		if t.IsZero() {
+			return "never"
+		}
+		return t.Format(time.RFC3339)
+	},
+}).Parse(`<!doctype html>
+<html><head><title>market health</title><style>
+body { font-family: monospace; margin: 2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+td, th { border: 1px solid #999; padding: 0.3em 0.8em; text-align: left; }
+.bad { color: #b00; font-weight: bold; }
+.ok { color: #080; }
+</style></head><body>
+<h1>market health: <span class="{{if eq .Status "ok"}}ok{{else}}bad{{end}}">{{.Status}}</span></h1>
+{{range .Reasons}}<p class="bad">{{.}}</p>{{end}}
+{{if .SLO}}<h2>SLO burn rates</h2>
+<table><tr><th>objective</th><th>fast burn</th><th>slow burn</th><th>state</th></tr>
+{{range .SLO}}<tr><td>{{.Name}}</td><td>{{burn .FastBurn}}</td><td>{{burn .SlowBurn}}</td>
+<td class="{{if .Breaching}}bad{{else}}ok{{end}}">{{if .Breaching}}breaching{{else}}ok{{end}}</td></tr>
+{{end}}</table>{{end}}
+{{if .Audit}}<h2>auditor</h2>
+<p>{{.Audit.Sweeps}} sweeps, {{.Audit.Probes}} probes, {{.Audit.ViolationsTotal}} violations
+(last: {{when .Audit.LastViolationAt}})</p>
+<table><tr><th>at</th><th>check</th><th>ok</th><th>detail</th></tr>
+{{range .Probes}}<tr><td>{{when .At}}</td><td>{{.Check}}</td>
+<td class="{{if .OK}}ok{{else}}bad{{end}}">{{if .OK}}ok{{else}}FAIL{{end}}</td><td>{{.Detail}}</td></tr>
+{{end}}</table>{{end}}
+</body></html>
+`))
+
+// debugHealthHandler serves GET /debug/health: an HTML dashboard of
+// SLO burn rates and recent audit probes, or the same document as JSON
+// with ?format=json.
+func (c *config) debugHealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		doc := c.buildDebugHealth()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(doc)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := debugHealthTmpl.Execute(w, doc); err != nil {
+			c.log().Error("rendering /debug/health", "err", err)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/datamarket/mbp/internal/market/audit"
+	"github.com/datamarket/mbp/internal/market/markettest"
+	"github.com/datamarket/mbp/internal/obs"
+	"github.com/datamarket/mbp/internal/obs/slo"
+	"github.com/datamarket/mbp/internal/obs/ts"
+)
+
+// newHealthServer builds a server with the full market-health stack:
+// scraper-fed store, SLO evaluator, auditor.
+func newHealthServer(t *testing.T) (*httptest.Server, *ts.Scraper, *obs.Registry, *audit.Auditor) {
+	t.Helper()
+	b := markettest.Broker(t, 31)
+	reg := obs.NewRegistry()
+	st := ts.NewStore(64, 0)
+	sc := ts.NewScraper(reg, st, time.Second)
+	objs, err := slo.ParseSpec(slo.DefaultSpec, sc.Interval())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := slo.NewEvaluator(st, reg, objs)
+	sc.OnScrape(ev.Evaluate)
+	a := audit.New(audit.Config{Broker: b, Registry: reg, Seed: 3, Interval: time.Hour})
+	srv := httptest.NewServer(New(b,
+		WithRegistry(reg), WithoutTracing(),
+		WithTimeSeries(st), WithSLO(ev), WithAuditor(a),
+	).Mux())
+	t.Cleanup(srv.Close)
+	return srv, sc, reg, a
+}
+
+func TestMetricsHistoryEndpoint(t *testing.T) {
+	srv, sc, _, _ := newHealthServer(t)
+	base := time.Now()
+	sc.ScrapeOnce(base.Add(-time.Second))
+	sc.ScrapeOnce(base)
+
+	resp, err := http.Get(srv.URL + "/metrics/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Series []string `json:"series"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Series) == 0 {
+		t.Fatal("no series after two scrapes")
+	}
+
+	name := list.Series[0]
+	resp, err = http.Get(srv.URL + "/metrics/history?name=" + name + "&window=1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist struct {
+		Name   string `json:"name"`
+		Points []struct {
+			V float64 `json:"v"`
+		} `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hist.Name != name || len(hist.Points) == 0 {
+		t.Fatalf("history = %+v", hist)
+	}
+}
+
+func TestDebugHealthDashboard(t *testing.T) {
+	srv, sc, _, a := newHealthServer(t)
+	sc.ScrapeOnce(time.Now())
+	a.Sweep(time.Now())
+
+	resp, err := http.Get(srv.URL + "/debug/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	html := string(body)
+	for _, want := range []string{"market health", "buy-p99", "conservation"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, html)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/health?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Status string      `json:"status"`
+		SLO    []slo.State `json:"slo"`
+		Audit  *struct {
+			Sweeps uint64 `json:"sweeps"`
+		} `json:"audit"`
+		Probes []audit.Probe `json:"probes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if doc.Status != "ok" || len(doc.SLO) != 3 || doc.Audit == nil || doc.Audit.Sweeps != 1 {
+		t.Fatalf("health doc = %+v", doc)
+	}
+	if len(doc.Probes) == 0 {
+		t.Fatal("no recent probes in health doc")
+	}
+}
+
+func TestAuditDegradedFlipsHealthz(t *testing.T) {
+	srv, _, reg, a := newHealthServer(t)
+
+	healthz := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	now := time.Now()
+	a.Sweep(now)
+	if code, body := healthz(); code != http.StatusOK {
+		t.Fatalf("clean healthz = %d: %s", code, body)
+	}
+
+	// Trip the WAL check: a persist failure between sweeps.
+	reg.Counter("market.sales_persist_failed_total").Inc()
+	a.Sweep(now.Add(time.Second))
+	code, body := healthz()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz = %d: %s", code, body)
+	}
+	if !strings.Contains(body, "degraded") || !strings.Contains(body, "audit") ||
+		!strings.Contains(body, "persist") {
+		t.Fatalf("healthz body lacks the named audit reason: %s", body)
+	}
+
+	// /debug/health shows the failing probe too.
+	resp, err := http.Get(srv.URL + "/debug/health?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Status  string   `json:"status"`
+		Reasons []string `json:"reasons"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if doc.Status != "degraded" || len(doc.Reasons) == 0 {
+		t.Fatalf("debug health doc = %+v", doc)
+	}
+
+	// Two clean sweeps clear it.
+	a.Sweep(now.Add(2 * time.Second))
+	a.Sweep(now.Add(3 * time.Second))
+	if code, body := healthz(); code != http.StatusOK {
+		t.Fatalf("recovered healthz = %d: %s", code, body)
+	}
+}

@@ -7,8 +7,11 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/datamarket/mbp/internal/market/audit"
 	"github.com/datamarket/mbp/internal/obs"
+	"github.com/datamarket/mbp/internal/obs/slo"
 	"github.com/datamarket/mbp/internal/obs/trace"
+	"github.com/datamarket/mbp/internal/obs/ts"
 	"github.com/datamarket/mbp/internal/resilience"
 )
 
@@ -30,6 +33,11 @@ type config struct {
 	// Durability wiring; see health.go.
 	health []healthCheck // readiness probes folded into /healthz
 	drains []drainHook   // flush steps for Drain
+
+	// Market-health wiring; see debug.go.
+	tsStore *ts.Store      // /metrics/history, nil = off
+	sloEval *slo.Evaluator // SLO state on /debug/health
+	auditor *audit.Auditor // audit state on /debug/health
 }
 
 func defaultConfig() config {
@@ -175,6 +183,12 @@ func (c *config) mount(mux *http.ServeMux) {
 	}
 	if c.tracer != nil {
 		mux.Handle("GET /debug/traces", c.tracer.Handler())
+	}
+	if c.tsStore != nil {
+		mux.Handle("GET /metrics/history", c.tsStore.Handler())
+	}
+	if c.sloEval != nil || c.auditor != nil {
+		mux.Handle("GET /debug/health", c.debugHealthHandler())
 	}
 	mux.Handle("GET /healthz", c.healthzHandler())
 }

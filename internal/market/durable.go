@@ -287,6 +287,10 @@ func (d *DurableLedger) record(ctx context.Context, tx Transaction, rep *pending
 
 func (d *DurableLedger) view() *ledgerView { return d.mem.view() }
 
+func (d *DurableLedger) totals() (int, float64, float64) { return d.mem.totals() }
+
+func (d *DurableLedger) grossRevenue() float64 { return d.mem.grossRevenue() }
+
 // replayRows returns the journaled idempotency entries (a copy).
 func (d *DurableLedger) replayRows() map[string]walReplay {
 	d.mu.Lock()
@@ -333,6 +337,11 @@ func (d *DurableLedger) Compact() error {
 
 // Flush forces outstanding journal appends to disk (the drain path).
 func (d *DurableLedger) Flush() error { return d.st.Flush() }
+
+// FsyncLag reports how long the journal's oldest unsynced append has
+// waited for durability (see store.Store.FsyncLag); the market auditor
+// watches it.
+func (d *DurableLedger) FsyncLag() time.Duration { return d.st.FsyncLag() }
 
 // Healthy reports nil while the journal accepts appends; /healthz
 // surfaces the failure otherwise.

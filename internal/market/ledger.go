@@ -46,6 +46,20 @@ type Ledger interface {
 	// view returns the current Seq-ordered snapshot. The returned
 	// value is shared and immutable — callers must not mutate it.
 	view() *ledgerView
+	// totals reports the row count and two gross figures maintained by
+	// independent code paths: a re-sum over the stored rows themselves
+	// vs. the running per-stripe totals accumulated at append time.
+	// Comparing them is the conservation audit. Both figures for a
+	// stripe are read under that stripe's lock, so the pair stays
+	// comparable even while sales land mid-call — and the call must stay
+	// cheap (no snapshot build) because the auditor issues it on a tight
+	// cadence against the live broker.
+	totals() (rows int, gross, stripeGross float64)
+	// grossRevenue returns the running stripe-accumulated gross — O(1)
+	// per stripe, no row walk. This is the figure RevenueSplit and the
+	// /metrics snapshot read on every poll; totals() re-derives it from
+	// the rows so the auditor can cross-check the accumulation.
+	grossRevenue() float64
 }
 
 // pendingReplay carries the idempotency entry recorded atomically with
@@ -166,6 +180,31 @@ func (l *shardedLedger) view() *ledgerView {
 // count returns the number of recorded transactions.
 func (l *shardedLedger) count() int {
 	return int(l.recorded.Load())
+}
+
+// totals implements Ledger. It deliberately bypasses view(): building
+// the merged snapshot is O(n log n) plus an n-row allocation, and the
+// cache never helps a live market (every recorded sale bumps the
+// version), so an auditor polling totals through view() would rebuild
+// the world every sweep. Instead each stripe is scanned in place under
+// its lock — the gross re-sum walks the raw rows in append order, the
+// stripe figure reads the running total, and because both come from the
+// same locked read they can only disagree if the append-time accounting
+// itself is broken.
+func (l *shardedLedger) totals() (int, float64, float64) {
+	var rows int
+	var gross, stripeGross float64
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		rows += len(sh.txs)
+		for j := range sh.txs {
+			gross += sh.txs[j].Price
+		}
+		stripeGross += sh.total
+		sh.mu.Unlock()
+	}
+	return rows, gross, stripeGross
 }
 
 // grossRevenue returns the sum of recorded prices across stripes.

@@ -793,11 +793,24 @@ func (b *Broker) Ledger() []Transaction {
 }
 
 // RevenueSplit returns the seller's and broker's cumulative shares.
-// The total is the sum over the same cached snapshot Ledger() serves,
-// so the split always equals the ledger sum a caller can verify.
+// The total is the running stripe-accumulated gross — O(1) per stripe,
+// no snapshot build — so /metrics and listing polls stay cheap under
+// live traffic; it agrees with the sum over Ledger()'s rows up to
+// float addition order, and the background auditor cross-checks the
+// two continuously.
 func (b *Broker) RevenueSplit() (sellerShare, brokerShare float64) {
-	total := b.ledger.view().gross
+	total := b.ledger.grossRevenue()
 	return total * (1 - b.commission), total * b.commission
+}
+
+// LedgerTotals reports the ledger's row count, the gross re-summed
+// from the stored rows themselves, and the independently accumulated
+// per-stripe gross — scanned in place, no snapshot build, so it is
+// safe to poll on a tight cadence. The background auditor
+// (internal/market/audit) cross-checks the two aggregates and the
+// RevenueSplit sum against each other every sweep.
+func (b *Broker) LedgerTotals() (rows int, gross, stripeGross float64) {
+	return b.ledger.totals()
 }
 
 // Optimal exposes the trained optimum for experiment harnesses; the

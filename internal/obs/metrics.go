@@ -67,6 +67,10 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	count  atomic.Uint64
 	sum    Gauge
+	// maxBits is the all-time maximum observation, CAS-maintained on
+	// the float's bit pattern (initialized to -Inf by NewHistogram) so
+	// slow outliers don't silently clip at the top fixed bucket.
+	maxBits atomic.Uint64
 }
 
 // NewHistogram builds a histogram over the given upper bounds. It
@@ -80,7 +84,9 @@ func NewHistogram(bounds []float64) *Histogram {
 		panic("obs: histogram bounds must be sorted")
 	}
 	b := append([]float64(nil), bounds...)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	h := &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // Observe records one value.
@@ -89,6 +95,15 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+	for {
+		cur := h.maxBits.Load()
+		if math.Float64frombits(cur) >= v {
+			return
+		}
+		if h.maxBits.CompareAndSwap(cur, math.Float64bits(v)) {
+			return
+		}
+	}
 }
 
 // ObserveDuration records the seconds elapsed since start:
@@ -109,6 +124,31 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Max returns the largest value ever observed — exact, unlike the
+// bucket-clipped quantiles — or 0 before the first observation.
+func (h *Histogram) Max() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Bounds returns a copy of the finite upper bucket bounds.
+func (h *Histogram) Bounds() []float64 {
+	return append([]float64(nil), h.bounds...)
+}
+
+// Counts returns a point-in-time copy of the per-bucket counts (the
+// last entry is the implicit +Inf bucket). Buckets are read atomically
+// one by one; the slice is not a cross-bucket transaction.
+func (h *Histogram) Counts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
 
 // Quantile estimates the q-quantile (q ∈ [0, 1]) by linear
 // interpolation inside the bucket holding the q·count-th observation.

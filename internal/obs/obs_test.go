@@ -95,6 +95,60 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramMax(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if h.Max() != 0 {
+		t.Fatalf("empty max = %v, want 0", h.Max())
+	}
+	// The max is exact even when the observation overflows the top
+	// bucket (where quantiles clip to the last finite bound).
+	for _, v := range []float64{0.5, 50, 3} {
+		h.Observe(v)
+	}
+	if h.Max() != 50 {
+		t.Fatalf("max = %v, want 50", h.Max())
+	}
+	if q := h.Quantile(0.99); q != 1 {
+		t.Fatalf("clipped p99 = %v, want 1", q)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Max() != 7999 {
+		t.Fatalf("concurrent max = %v, want 7999", h.Max())
+	}
+}
+
+func TestHistogramBoundsCounts(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(9)
+	b := h.Bounds()
+	if len(b) != 2 || b[0] != 1 || b[1] != 2 {
+		t.Fatalf("bounds = %v", b)
+	}
+	b[0] = 99 // caller's copy; the histogram must be unaffected
+	if h.Bounds()[0] != 1 {
+		t.Fatal("Bounds returned shared backing array")
+	}
+	c := h.Counts()
+	want := []uint64{1, 0, 1}
+	for i, w := range want {
+		if c[i] != w {
+			t.Fatalf("counts = %v, want %v", c, want)
+		}
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	h := NewHistogram(LatencyBuckets())
 	var wg sync.WaitGroup
@@ -188,6 +242,16 @@ func TestRegistryGetOrCreate(t *testing.T) {
 	names := r.MetricNames()
 	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
 		t.Fatalf("names = %v", names)
+	}
+	// Map-copy accessors hand back live metric pointers.
+	if r.Counters()["a"] != r.Counter("a") {
+		t.Fatal("Counters copy lost identity")
+	}
+	if r.Gauges()["b"] != r.Gauge("b") {
+		t.Fatal("Gauges copy lost identity")
+	}
+	if r.Histograms()["c"] != h {
+		t.Fatal("Histograms copy lost identity")
 	}
 }
 

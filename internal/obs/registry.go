@@ -108,6 +108,7 @@ type HistogramSnapshot struct {
 	P50     float64       `json:"p50"`
 	P90     float64       `json:"p90"`
 	P99     float64       `json:"p99"`
+	Max     float64       `json:"max"`
 	Buckets []BucketCount `json:"buckets"`
 }
 
@@ -145,6 +146,7 @@ func (r *Registry) Snapshot() Snapshot {
 			P50:     h.Quantile(0.50),
 			P90:     h.Quantile(0.90),
 			P99:     h.Quantile(0.99),
+			Max:     h.Max(),
 			Buckets: make([]BucketCount, len(h.counts)),
 		}
 		if hs.Count > 0 {
@@ -160,6 +162,42 @@ func (r *Registry) Snapshot() Snapshot {
 		snap.Histograms[name] = hs
 	}
 	return snap
+}
+
+// Counters returns a point-in-time copy of the name → counter map.
+// The metric pointers are live (updates after the call are visible
+// through them); only the map itself is copied, so periodic samplers
+// can iterate without holding the registry lock.
+func (r *Registry) Counters() map[string]*Counter {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		out[n] = c
+	}
+	return out
+}
+
+// Gauges returns a point-in-time copy of the name → gauge map.
+func (r *Registry) Gauges() map[string]*Gauge {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		out[n] = g
+	}
+	return out
+}
+
+// Histograms returns a point-in-time copy of the name → histogram map.
+func (r *Registry) Histograms() map[string]*Histogram {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		out[n] = h
+	}
+	return out
 }
 
 // MetricNames returns every registered metric name, sorted.

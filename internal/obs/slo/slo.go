@@ -1,0 +1,212 @@
+// Package slo evaluates service-level objectives over the ts store
+// using multi-window burn rates (the Google SRE alerting shape): each
+// objective has an error budget, and its burn rate is how many times
+// faster than budget the service is consuming it — burn 1 means
+// exactly on budget, burn 10 means the budget is gone in a tenth of
+// the window. An objective breaches only when BOTH a fast window
+// (catches sudden outages quickly) and a slow window (filters blips)
+// are burning at ≥1×, which is what makes the alert both fast and
+// low-noise.
+//
+// Two objective kinds cover the marketplace's serving SLOs:
+//
+//   - Latency: the budget is the fraction of scrape windows whose
+//     windowed p99 (a ts ":p99" series) may exceed the threshold.
+//   - Ratio: the budget is the allowed bad-event fraction, burn =
+//     (bad rate ÷ total rate) ÷ budget over the window means.
+//
+// Evaluate runs off the scraper's OnScrape hook, exports
+// slo.burn_rate{slo=,window=} gauges, and feeds /healthz degradation
+// through DegradedReasons.
+package slo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/datamarket/mbp/internal/obs"
+	"github.com/datamarket/mbp/internal/obs/ts"
+)
+
+// Kind selects how an objective's burn rate is computed.
+type Kind int
+
+const (
+	// Latency objectives watch a windowed-quantile series against a
+	// threshold; the budget is the tolerated fraction of windows over
+	// it.
+	Latency Kind = iota
+	// Ratio objectives divide a bad-event rate series by a total-event
+	// rate series; the budget is the tolerated bad fraction.
+	Ratio
+)
+
+// Objective is one SLO.
+type Objective struct {
+	// Name labels the gauges and degraded reasons, e.g. "buy-p99".
+	Name string
+	Kind Kind
+	// Series is the ts series to watch: a ":p99" series for Latency, a
+	// bad-event ":rate" series for Ratio.
+	Series string
+	// TotalSeries is the total-event ":rate" series (Ratio only).
+	TotalSeries string
+	// Threshold is the latency ceiling in seconds (Latency only).
+	Threshold float64
+	// Budget is the error budget: tolerated fraction of slow windows
+	// (Latency) or of bad events (Ratio). Must be in (0, 1].
+	Budget float64
+	// FastWindow and SlowWindow are the two burn windows.
+	FastWindow, SlowWindow time.Duration
+}
+
+// State is one objective's latest evaluation.
+type State struct {
+	Name      string  `json:"name"`
+	FastBurn  float64 `json:"fastBurn"`
+	SlowBurn  float64 `json:"slowBurn"`
+	Breaching bool    `json:"breaching"`
+	// Reason is a human-readable description, set while breaching.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Evaluator computes burn rates for a set of objectives against a
+// store.
+type Evaluator struct {
+	store *ts.Store
+	objs  []Objective
+
+	// Per-objective gauges, resolved once.
+	fastG, slowG, breachG []*obs.Gauge
+
+	mu     sync.RWMutex
+	states []State
+}
+
+// NewEvaluator wires objectives to the store, exporting burn gauges on
+// reg (nil = obs.Default).
+func NewEvaluator(store *ts.Store, reg *obs.Registry, objs []Objective) *Evaluator {
+	if reg == nil {
+		reg = obs.Default
+	}
+	e := &Evaluator{
+		store:  store,
+		objs:   objs,
+		states: make([]State, len(objs)),
+	}
+	for _, o := range objs {
+		e.fastG = append(e.fastG, reg.Gauge(obs.Name("slo.burn_rate", "slo", o.Name, "window", "fast")))
+		e.slowG = append(e.slowG, reg.Gauge(obs.Name("slo.burn_rate", "slo", o.Name, "window", "slow")))
+		e.breachG = append(e.breachG, reg.Gauge(obs.Name("slo.breaching", "slo", o.Name)))
+		e.states[len(e.fastG)-1] = State{Name: o.Name}
+	}
+	return e
+}
+
+// Objectives returns the configured objectives.
+func (e *Evaluator) Objectives() []Objective {
+	return append([]Objective(nil), e.objs...)
+}
+
+// Evaluate recomputes every objective's burn at the given instant.
+// Hang it off Scraper.OnScrape so each closed window is judged
+// immediately.
+func (e *Evaluator) Evaluate(now time.Time) {
+	states := make([]State, len(e.objs))
+	for i := range e.objs {
+		o := &e.objs[i]
+		fast := e.burn(o, o.FastWindow, now)
+		slow := e.burn(o, o.SlowWindow, now)
+		st := State{Name: o.Name, FastBurn: fast, SlowBurn: slow}
+		if fast >= 1 && slow >= 1 {
+			st.Breaching = true
+			st.Reason = fmt.Sprintf("slo %s burning %.1fx budget over %s (%.1fx over %s)",
+				o.Name, fast, o.FastWindow, slow, o.SlowWindow)
+		}
+		e.fastG[i].Set(fast)
+		e.slowG[i].Set(slow)
+		if st.Breaching {
+			e.breachG[i].Set(1)
+		} else {
+			e.breachG[i].Set(0)
+		}
+		states[i] = st
+	}
+	e.mu.Lock()
+	e.states = states
+	e.mu.Unlock()
+}
+
+// burn computes one objective's burn rate over a window. No data (or a
+// zero budget) reads as burn 0 — absence of traffic is not an outage.
+func (e *Evaluator) burn(o *Objective, window time.Duration, now time.Time) float64 {
+	if o.Budget <= 0 {
+		return 0
+	}
+	switch o.Kind {
+	case Latency:
+		pts := e.store.Query(o.Series, window, now)
+		if len(pts) == 0 {
+			return 0
+		}
+		bad := 0
+		for _, p := range pts {
+			if p.V > o.Threshold {
+				bad++
+			}
+		}
+		return (float64(bad) / float64(len(pts))) / o.Budget
+	case Ratio:
+		bad := mean(e.store.Query(o.Series, window, now))
+		total := mean(e.store.Query(o.TotalSeries, window, now))
+		if total <= 0 {
+			return 0
+		}
+		return (bad / total) / o.Budget
+	}
+	return 0
+}
+
+func mean(pts []ts.Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += p.V
+	}
+	return sum / float64(len(pts))
+}
+
+// States returns the latest evaluation, one entry per objective in
+// configuration order.
+func (e *Evaluator) States() []State {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]State(nil), e.states...)
+}
+
+// DegradedReasons returns the reasons of currently-breaching
+// objectives, sorted — empty when every SLO is healthy.
+func (e *Evaluator) DegradedReasons() []string {
+	var out []string
+	for _, st := range e.States() {
+		if st.Breaching {
+			out = append(out, st.Reason)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Healthy returns nil when no objective is breaching, else an error
+// naming them — the shape httpapi.WithHealthCheck wants.
+func (e *Evaluator) Healthy() error {
+	reasons := e.DegradedReasons()
+	if len(reasons) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%d slo(s) breaching: %s", len(reasons), reasons[0])
+}

@@ -1,0 +1,169 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/datamarket/mbp/internal/obs"
+	"github.com/datamarket/mbp/internal/obs/ts"
+)
+
+func TestLatencyBurn(t *testing.T) {
+	st := ts.NewStore(64, 0)
+	reg := obs.NewRegistry()
+	obj := Objective{
+		Name: "buy-p99", Kind: Latency,
+		Series: "lat:p99", Threshold: 0.25, Budget: 0.1,
+		FastWindow: 10 * time.Second, SlowWindow: 60 * time.Second,
+	}
+	e := NewEvaluator(st, reg, []Objective{obj})
+	base := time.Unix(1000, 0)
+
+	// 60 healthy windows.
+	for i := 0; i < 60; i++ {
+		st.Record("lat:p99", base.Add(time.Duration(i)*time.Second), 0.01)
+	}
+	now := base.Add(59 * time.Second)
+	e.Evaluate(now)
+	s := e.States()[0]
+	if s.FastBurn != 0 || s.SlowBurn != 0 || s.Breaching {
+		t.Fatalf("healthy state = %+v", s)
+	}
+
+	// The last 10 windows all blow the threshold: fast burn = 1/0.1 =
+	// 10×, slow burn = (10/60)/0.1 ≈ 1.67× — both over, breaching.
+	for i := 60; i < 70; i++ {
+		st.Record("lat:p99", base.Add(time.Duration(i)*time.Second), 0.9)
+	}
+	now = base.Add(69 * time.Second)
+	e.Evaluate(now)
+	s = e.States()[0]
+	if !s.Breaching || s.FastBurn < 9.9 || s.SlowBurn < 1.5 {
+		t.Fatalf("degraded state = %+v", s)
+	}
+	if s.Reason == "" || e.Healthy() == nil {
+		t.Fatalf("breaching without reason: %+v, healthy=%v", s, e.Healthy())
+	}
+	if got := reg.Gauge(obs.Name("slo.burn_rate", "slo", "buy-p99", "window", "fast")).Value(); got < 9.9 {
+		t.Fatalf("fast gauge = %v", got)
+	}
+	if got := reg.Gauge(obs.Name("slo.breaching", "slo", "buy-p99")).Value(); got != 1 {
+		t.Fatalf("breaching gauge = %v", got)
+	}
+	if reasons := e.DegradedReasons(); len(reasons) != 1 || !strings.Contains(reasons[0], "buy-p99") {
+		t.Fatalf("reasons = %v", reasons)
+	}
+}
+
+func TestLatencyFastOnlyBlipDoesNotBreach(t *testing.T) {
+	st := ts.NewStore(128, 0)
+	obj := Objective{
+		Name: "buy-p99", Kind: Latency,
+		Series: "lat:p99", Threshold: 0.25, Budget: 0.02,
+		FastWindow: 5 * time.Second, SlowWindow: 120 * time.Second,
+	}
+	e := NewEvaluator(st, obs.NewRegistry(), []Objective{obj})
+	base := time.Unix(1000, 0)
+	// 100 healthy windows then a 2-window blip: the fast window burns
+	// hot but the slow window stays under 1× — no breach.
+	for i := 0; i < 100; i++ {
+		st.Record("lat:p99", base.Add(time.Duration(i)*time.Second), 0.01)
+	}
+	for i := 100; i < 102; i++ {
+		st.Record("lat:p99", base.Add(time.Duration(i)*time.Second), 0.9)
+	}
+	e.Evaluate(base.Add(101 * time.Second))
+	s := e.States()[0]
+	if s.FastBurn < 1 {
+		t.Fatalf("fast burn = %v, want ≥1", s.FastBurn)
+	}
+	if s.SlowBurn >= 1 || s.Breaching {
+		t.Fatalf("blip breached: %+v", s)
+	}
+	if e.Healthy() != nil {
+		t.Fatalf("healthy = %v", e.Healthy())
+	}
+}
+
+func TestRatioBurn(t *testing.T) {
+	st := ts.NewStore(64, 0)
+	obj := Objective{
+		Name: "error-rate", Kind: Ratio,
+		Series: "err:rate", TotalSeries: "req:rate", Budget: 0.01,
+		FastWindow: 10 * time.Second, SlowWindow: 30 * time.Second,
+	}
+	e := NewEvaluator(st, obs.NewRegistry(), []Objective{obj})
+	base := time.Unix(1000, 0)
+	// 5% of 100 req/s failing against a 1% budget → burn 5× on both
+	// windows.
+	for i := 0; i < 30; i++ {
+		ti := base.Add(time.Duration(i) * time.Second)
+		st.Record("req:rate", ti, 100)
+		st.Record("err:rate", ti, 5)
+	}
+	e.Evaluate(base.Add(29 * time.Second))
+	s := e.States()[0]
+	if !s.Breaching || s.FastBurn < 4.9 || s.FastBurn > 5.1 {
+		t.Fatalf("ratio state = %+v", s)
+	}
+}
+
+func TestNoDataIsHealthy(t *testing.T) {
+	st := ts.NewStore(16, 0)
+	objs, err := ParseSpec(DefaultSpec, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(st, obs.NewRegistry(), objs)
+	e.Evaluate(time.Unix(1000, 0))
+	for _, s := range e.States() {
+		if s.Breaching || s.FastBurn != 0 {
+			t.Fatalf("idle state = %+v", s)
+		}
+	}
+	if e.Healthy() != nil {
+		t.Fatal("idle evaluator unhealthy")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	objs, err := ParseSpec("buy-p99=250ms@0.05, error-rate=0.01, shed-rate=0.05", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 3 {
+		t.Fatalf("objectives = %d", len(objs))
+	}
+	p99 := objs[0]
+	if p99.Kind != Latency || p99.Threshold != 0.25 || p99.Budget != 0.05 {
+		t.Fatalf("buy-p99 = %+v", p99)
+	}
+	if p99.Series != "http.request_seconds{route=/buy}:p99" {
+		t.Fatalf("buy-p99 series = %q", p99.Series)
+	}
+	if p99.FastWindow != 20*time.Second || p99.SlowWindow != 120*time.Second {
+		t.Fatalf("windows = %v/%v", p99.FastWindow, p99.SlowWindow)
+	}
+	errs := objs[1]
+	if errs.Kind != Ratio || errs.Series != "http.requests_total{route=/buy,status=5xx}:rate" ||
+		errs.TotalSeries != "http.request_seconds{route=/buy}:rate" {
+		t.Fatalf("error-rate = %+v", errs)
+	}
+	shed := objs[2]
+	if shed.Kind != Ratio || shed.Series != "http.shed_total{route=/buy}:rate" {
+		t.Fatalf("shed-rate = %+v", shed)
+	}
+
+	if objs, err := ParseSpec("", time.Second); err != nil || len(objs) != 0 {
+		t.Fatalf("empty spec: %v, %v", objs, err)
+	}
+	for _, bad := range []string{
+		"nope=1", "buy-p99=250ms", "buy-p99=x@0.1", "buy-p99=250ms@2",
+		"error-rate=0", "error-rate=x", "buy-p99",
+	} {
+		if _, err := ParseSpec(bad, time.Second); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}

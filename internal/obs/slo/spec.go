@@ -1,0 +1,111 @@
+package slo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/datamarket/mbp/internal/obs"
+	"github.com/datamarket/mbp/internal/obs/ts"
+)
+
+// The -slo flag speaks a tiny spec language over the /buy route — the
+// marketplace's money path:
+//
+//	buy-p99=250ms@0.05   p99 latency ≤ 250ms, 5% of windows may exceed
+//	error-rate=0.01      ≤1% of requests may be 5xx
+//	shed-rate=0.05       ≤5% of requests may be load-shed
+//
+// Entries are comma-separated; an empty spec disables SLOs. Window
+// sizes derive from the scrape interval (fast = 10 scrapes, slow = 60)
+// so the semantics don't change when the operator tunes the cadence.
+
+// DefaultSpec is cmd/mbpmarket's out-of-the-box -slo value.
+const DefaultSpec = "buy-p99=250ms@0.05,error-rate=0.01,shed-rate=0.05"
+
+// Window multipliers over the scrape interval.
+const (
+	fastScrapes = 10
+	slowScrapes = 60
+)
+
+// buyRoute is the route the spec keys target.
+const buyRoute = "/buy"
+
+// ParseSpec turns a spec string into objectives, deriving burn windows
+// from the scrape interval.
+func ParseSpec(spec string, scrape time.Duration) ([]Objective, error) {
+	if scrape <= 0 {
+		scrape = ts.DefaultInterval
+	}
+	fast := time.Duration(fastScrapes) * scrape
+	slow := time.Duration(slowScrapes) * scrape
+	latSeries := obs.Name("http.request_seconds", "route", buyRoute)
+	totalRate := latSeries + ts.SuffixRate
+
+	var out []Objective
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("slo: entry %q is not key=value", entry)
+		}
+		o := Objective{Name: key, FastWindow: fast, SlowWindow: slow}
+		switch key {
+		case "buy-p99":
+			thr, budget, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("slo: %s wants <duration>@<budget>, got %q", key, val)
+			}
+			d, err := time.ParseDuration(thr)
+			if err != nil {
+				return nil, fmt.Errorf("slo: %s threshold: %w", key, err)
+			}
+			b, err := parseBudget(budget)
+			if err != nil {
+				return nil, fmt.Errorf("slo: %s: %w", key, err)
+			}
+			o.Kind = Latency
+			o.Series = latSeries + ts.SuffixP99
+			o.Threshold = d.Seconds()
+			o.Budget = b
+		case "error-rate":
+			b, err := parseBudget(val)
+			if err != nil {
+				return nil, fmt.Errorf("slo: %s: %w", key, err)
+			}
+			o.Kind = Ratio
+			o.Series = obs.Name("http.requests_total", "route", buyRoute, "status", "5xx") + ts.SuffixRate
+			o.TotalSeries = totalRate
+			o.Budget = b
+		case "shed-rate":
+			b, err := parseBudget(val)
+			if err != nil {
+				return nil, fmt.Errorf("slo: %s: %w", key, err)
+			}
+			o.Kind = Ratio
+			o.Series = obs.Name("http.shed_total", "route", buyRoute) + ts.SuffixRate
+			o.TotalSeries = totalRate
+			o.Budget = b
+		default:
+			return nil, fmt.Errorf("slo: unknown objective %q (want buy-p99, error-rate, shed-rate)", key)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func parseBudget(s string) (float64, error) {
+	b, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("budget %q: %w", s, err)
+	}
+	if b <= 0 || b > 1 {
+		return 0, fmt.Errorf("budget %v outside (0, 1]", b)
+	}
+	return b, nil
+}

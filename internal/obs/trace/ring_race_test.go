@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRingEvictionUnderConcurrentWriters hammers a tiny ring with
+// multi-span traces from many writers while readers drain Traces,
+// Lookup and the /debug/traces handler. The contract under test: a
+// trace becomes visible only as a whole — a reader must never see a
+// partially-flushed or partially-evicted trace tree, no matter how
+// fast the ring is turning over. Run with -race to also catch unsynced
+// access to the records themselves.
+func TestRingEvictionUnderConcurrentWriters(t *testing.T) {
+	const (
+		writers  = 8
+		traces   = 200
+		children = 3
+		spans    = children + 1
+	)
+	tr := NewTracer(4) // tiny: near-total eviction churn
+
+	// checkRecord asserts one served trace is internally complete.
+	checkRecord := func(rec *TraceRecord) error {
+		if rec == nil {
+			return fmt.Errorf("nil record in ring")
+		}
+		if len(rec.Spans) != spans {
+			return fmt.Errorf("trace %s served with %d spans, want %d", rec.TraceID, len(rec.Spans), spans)
+		}
+		for _, s := range rec.Spans {
+			if s.TraceID != rec.TraceID {
+				return fmt.Errorf("trace %s contains span from trace %s", rec.TraceID, s.TraceID)
+			}
+		}
+		tree := Tree(rec.Spans)
+		if len(tree) != 1 || tree[0].Name != "root" {
+			return fmt.Errorf("trace %s tree has %d roots", rec.TraceID, len(tree))
+		}
+		if len(tree[0].Children) != children {
+			return fmt.Errorf("trace %s root has %d children, want %d", rec.TraceID, len(tree[0].Children), children)
+		}
+		return nil
+	}
+
+	var done atomic.Bool
+	errc := make(chan error, 16)
+	report := func(err error) {
+		if err != nil {
+			select {
+			case errc <- err:
+			default:
+			}
+		}
+	}
+
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for !done.Load() {
+				for _, rec := range tr.Traces(0) {
+					report(checkRecord(rec))
+				}
+				if recs := tr.Traces(2); len(recs) > 0 {
+					if rec, ok := tr.Lookup(mustParse(recs[0].TraceID)); ok {
+						report(checkRecord(rec))
+					}
+				}
+			}
+		}()
+	}
+	// One reader through the HTTP explorer, like a dashboard polling
+	// during the storm.
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		h := tr.Handler()
+		for !done.Load() {
+			rw := httptest.NewRecorder()
+			h.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/traces?limit=10", nil))
+			var doc struct {
+				Traces []TraceSummary `json:"traces"`
+			}
+			if err := json.Unmarshal(rw.Body.Bytes(), &doc); err != nil {
+				report(fmt.Errorf("explorer list: %v", err))
+				continue
+			}
+			for _, s := range doc.Traces {
+				if s.Spans != spans {
+					report(fmt.Errorf("explorer served trace %s with %d spans, want %d", s.TraceID, s.Spans, spans))
+				}
+			}
+		}
+	}()
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < traces; i++ {
+				ctx, root := tr.Start(context.Background(), "root",
+					"writer", strconv.Itoa(w), "seq", strconv.Itoa(i))
+				var ends []*Span
+				for c := 0; c < children; c++ {
+					_, sp := tr.Start(ctx, "child-"+strconv.Itoa(c))
+					ends = append(ends, sp)
+				}
+				for _, sp := range ends {
+					sp.End()
+				}
+				root.End()
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	done.Store(true)
+	readers.Wait()
+
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	st := tr.Stats()
+	if st.Stored != st.Capacity {
+		t.Fatalf("ring not full after %d traces: %+v", writers*traces, st)
+	}
+	if st.Pending != 0 || st.Dropped != 0 {
+		t.Fatalf("leaked pending traces or drops: %+v", st)
+	}
+	if want := uint64(writers*traces - st.Capacity); st.Evicted != want {
+		t.Fatalf("evicted = %d, want %d", st.Evicted, want)
+	}
+	// Every survivor is still a complete tree.
+	for _, rec := range tr.Traces(0) {
+		if err := checkRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func mustParse(s string) TraceID {
+	id, err := ParseTraceID(s)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}

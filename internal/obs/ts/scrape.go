@@ -1,0 +1,195 @@
+package ts
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"github.com/datamarket/mbp/internal/obs"
+)
+
+// Derived-series suffixes. A registry metric named M yields:
+//
+//	gauge      M
+//	counter    M (cumulative) and M:rate (per-second delta)
+//	histogram  M:rate (observations/sec), M:p50 and M:p99 (quantiles of
+//	           the observations that landed in the last interval, from
+//	           bucket-count deltas), M:max (all-time exact max)
+//
+// Windowed quantiles are the point: a single cumulative histogram
+// converges to its lifetime distribution and stops moving, while the
+// per-interval deltas show the p99 the buyers of the last second saw.
+const (
+	SuffixRate = ":rate"
+	SuffixP50  = ":p50"
+	SuffixP99  = ":p99"
+	SuffixMax  = ":max"
+)
+
+// Scraper samples a registry into a Store on a fixed interval.
+type Scraper struct {
+	reg      *obs.Registry
+	store    *Store
+	interval time.Duration
+
+	mu           sync.Mutex
+	lastT        time.Time
+	lastCounters map[string]uint64
+	lastBuckets  map[string][]uint64
+	onScrape     []func(time.Time)
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// DefaultInterval is the scrape cadence when the caller doesn't pick
+// one.
+const DefaultInterval = time.Second
+
+// NewScraper wires a registry to a store. Non-positive intervals take
+// DefaultInterval.
+func NewScraper(reg *obs.Registry, store *Store, interval time.Duration) *Scraper {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	return &Scraper{
+		reg:          reg,
+		store:        store,
+		interval:     interval,
+		lastCounters: make(map[string]uint64),
+		lastBuckets:  make(map[string][]uint64),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+}
+
+// Interval reports the scrape cadence.
+func (s *Scraper) Interval() time.Duration { return s.interval }
+
+// Store returns the store being written.
+func (s *Scraper) Store() *Store { return s.store }
+
+// OnScrape registers f to run after every sample lands — the SLO
+// evaluator and the auditor's WAL check hang off this so they see each
+// window the moment it closes. Register before Start; hooks run on the
+// scraper goroutine.
+func (s *Scraper) OnScrape(f func(now time.Time)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onScrape = append(s.onScrape, f)
+}
+
+// Start launches the scrape loop. Safe to call once; Stop ends it.
+func (s *Scraper) Start() {
+	s.startOnce.Do(func() {
+		go func() {
+			defer close(s.done)
+			tick := time.NewTicker(s.interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case now := <-tick.C:
+					s.ScrapeOnce(now)
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the loop and waits for the in-flight scrape to finish.
+// Safe to call without Start (and more than once).
+func (s *Scraper) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.startOnce.Do(func() { close(s.done) }) // never started: nothing to wait for
+	<-s.done
+}
+
+// ScrapeOnce takes one sample at the given instant. Exported so tests
+// and mbpload (whose sub-second runs may end between ticks) can force a
+// final window closed.
+func (s *Scraper) ScrapeOnce(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	dt := now.Sub(s.lastT).Seconds()
+	first := s.lastT.IsZero()
+
+	for name, g := range s.reg.Gauges() {
+		s.store.Record(name, now, g.Value())
+	}
+
+	for name, c := range s.reg.Counters() {
+		v := c.Value()
+		s.store.Record(name, now, float64(v))
+		if last, ok := s.lastCounters[name]; ok && !first && dt > 0 && v >= last {
+			s.store.Record(name+SuffixRate, now, float64(v-last)/dt)
+		}
+		s.lastCounters[name] = v
+	}
+
+	for name, h := range s.reg.Histograms() {
+		counts := h.Counts()
+		last, seen := s.lastBuckets[name]
+		s.lastBuckets[name] = counts
+		if !seen || first || dt <= 0 || len(last) != len(counts) {
+			continue
+		}
+		delta := make([]uint64, len(counts))
+		var n uint64
+		for i := range counts {
+			if counts[i] >= last[i] {
+				delta[i] = counts[i] - last[i]
+				n += delta[i]
+			}
+		}
+		s.store.Record(name+SuffixRate, now, float64(n)/dt)
+		if n == 0 {
+			// No observations this interval: skip the quantile points
+			// rather than record a meaningless zero.
+			continue
+		}
+		bounds := h.Bounds()
+		s.store.Record(name+SuffixP50, now, QuantileFromCounts(bounds, delta, n, 0.50))
+		s.store.Record(name+SuffixP99, now, QuantileFromCounts(bounds, delta, n, 0.99))
+		s.store.Record(name+SuffixMax, now, h.Max())
+	}
+
+	s.lastT = now
+	for _, f := range s.onScrape {
+		f(now)
+	}
+}
+
+// QuantileFromCounts estimates the q-quantile of one interval's bucket
+// deltas by linear interpolation, mirroring obs.Histogram.Quantile.
+// counts has len(bounds)+1 entries (the last is +Inf, reported as the
+// last finite bound). Exported for the market auditor, which judges
+// windowed WAL append latency from the same bucket deltas.
+func QuantileFromCounts(bounds []float64, counts []uint64, total uint64, q float64) float64 {
+	rank := q * float64(total)
+	var seen float64
+	lower := 0.0
+	if bounds[0] < 0 {
+		lower = math.Inf(-1)
+	}
+	for i := range counts {
+		if i == len(bounds) {
+			return bounds[len(bounds)-1]
+		}
+		upper := bounds[i]
+		n := float64(counts[i])
+		if seen+n >= rank {
+			if n == 0 || math.IsInf(lower, -1) {
+				return upper
+			}
+			return lower + (upper-lower)*(rank-seen)/n
+		}
+		seen += n
+		lower = upper
+	}
+	return bounds[len(bounds)-1]
+}

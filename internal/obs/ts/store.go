@@ -1,0 +1,224 @@
+// Package ts is a bounded in-process time-series store for the obs
+// registry: each named series is a fixed-capacity ring of (time, value)
+// points, so memory is capped at maxSeries × capacity points no matter
+// how long the broker runs. A Scraper goroutine samples the registry at
+// a fixed interval, turning cumulative counters into per-second rates
+// and histogram bucket deltas into windowed quantiles; the HTTP layer
+// serves the result as GET /metrics/history.
+//
+// The store is the substrate the SLO evaluator (internal/obs/slo) and
+// the market auditor (internal/market/audit) read from — the continuous
+// record that lets "is pricing still healthy?" be answered over a
+// window instead of from a single instant.
+package ts
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point is one sample in a series.
+type Point struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// DefaultCapacity is the per-series ring size: at a 1 s scrape
+// interval, about 8½ minutes of history.
+const DefaultCapacity = 512
+
+// DefaultMaxSeries bounds how many distinct series the store accepts.
+// The registry today registers well under 200 names; the headroom
+// covers the derived :rate/:p50/:p99/:max series.
+const DefaultMaxSeries = 1024
+
+// series is a fixed-capacity ring of points. head is the index of the
+// next write; n is the number of valid points (≤ cap).
+type series struct {
+	pts  []Point
+	head int
+	n    int
+}
+
+func (s *series) push(p Point) {
+	s.pts[s.head] = p
+	s.head = (s.head + 1) % len(s.pts)
+	if s.n < len(s.pts) {
+		s.n++
+	}
+}
+
+// oldestFirst appends the ring's points in time order to dst.
+func (s *series) oldestFirst(dst []Point) []Point {
+	start := s.head - s.n
+	if start < 0 {
+		start += len(s.pts)
+	}
+	for i := 0; i < s.n; i++ {
+		dst = append(dst, s.pts[(start+i)%len(s.pts)])
+	}
+	return dst
+}
+
+// Store holds the rings. All methods are safe for concurrent use.
+type Store struct {
+	mu        sync.RWMutex
+	capacity  int
+	maxSeries int
+	series    map[string]*series
+	dropped   uint64 // Record calls refused because maxSeries was hit
+}
+
+// NewStore builds a store with the given per-series ring capacity and
+// series cap. Non-positive arguments take the defaults.
+func NewStore(capacity, maxSeries int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if maxSeries <= 0 {
+		maxSeries = DefaultMaxSeries
+	}
+	return &Store{
+		capacity:  capacity,
+		maxSeries: maxSeries,
+		series:    make(map[string]*series),
+	}
+}
+
+// Record appends one point to the named series, creating the ring on
+// first use. Once maxSeries distinct names exist, points for new names
+// are dropped (and counted) rather than growing without bound.
+func (st *Store) Record(name string, t time.Time, v float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.series[name]
+	if !ok {
+		if len(st.series) >= st.maxSeries {
+			st.dropped++
+			return
+		}
+		s = &series{pts: make([]Point, st.capacity)}
+		st.series[name] = s
+	}
+	s.push(Point{T: t, V: v})
+}
+
+// Query returns the named series' points with T > now−window, oldest
+// first. A non-positive window returns everything retained. Unknown
+// names return nil.
+func (st *Store) Query(name string, window time.Duration, now time.Time) []Point {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok := st.series[name]
+	if !ok {
+		return nil
+	}
+	all := s.oldestFirst(make([]Point, 0, s.n))
+	if window <= 0 {
+		return all
+	}
+	cut := now.Add(-window)
+	i := sort.Search(len(all), func(i int) bool { return all[i].T.After(cut) })
+	return all[i:]
+}
+
+// Latest returns the most recent point of the named series, or false
+// if the series is empty or unknown.
+func (st *Store) Latest(name string) (Point, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok := st.series[name]
+	if !ok || s.n == 0 {
+		return Point{}, false
+	}
+	i := s.head - 1
+	if i < 0 {
+		i += len(s.pts)
+	}
+	return s.pts[i], true
+}
+
+// Names returns every series name, sorted.
+func (st *Store) Names() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, 0, len(st.series))
+	for n := range st.series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dropped reports how many Record calls were refused by the series cap.
+func (st *Store) Dropped() uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.dropped
+}
+
+// Dump returns every retained series oldest-first — the shape mbpload
+// writes with -history-out and CI uploads as an artifact.
+func (st *Store) Dump() map[string][]Point {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make(map[string][]Point, len(st.series))
+	for n, s := range st.series {
+		out[n] = s.oldestFirst(make([]Point, 0, s.n))
+	}
+	return out
+}
+
+// WriteJSON renders Dump() as indented JSON.
+func (st *Store) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st.Dump())
+}
+
+// historyResponse is the GET /metrics/history JSON shape.
+type historyResponse struct {
+	Name          string  `json:"name"`
+	WindowSeconds float64 `json:"windowSeconds"`
+	Points        []Point `json:"points"`
+}
+
+// Handler serves the store:
+//
+//	GET /metrics/history                     → {"series": [names...]}
+//	GET /metrics/history?name=N[&window=5m]  → {"name", "windowSeconds", "points"}
+//
+// window accepts time.ParseDuration syntax and defaults to everything
+// retained.
+func (st *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		name := req.URL.Query().Get("name")
+		if name == "" {
+			json.NewEncoder(w).Encode(map[string]any{"series": st.Names()})
+			return
+		}
+		var window time.Duration
+		if ws := req.URL.Query().Get("window"); ws != "" {
+			d, err := time.ParseDuration(ws)
+			if err != nil {
+				http.Error(w, `{"error":"bad window: `+err.Error()+`"}`, http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		pts := st.Query(name, window, time.Now())
+		if pts == nil {
+			pts = []Point{}
+		}
+		json.NewEncoder(w).Encode(historyResponse{
+			Name:          name,
+			WindowSeconds: window.Seconds(),
+			Points:        pts,
+		})
+	})
+}

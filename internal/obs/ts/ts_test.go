@@ -1,0 +1,259 @@
+package ts
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/datamarket/mbp/internal/obs"
+)
+
+func TestRingEvictsOldest(t *testing.T) {
+	st := NewStore(4, 0)
+	base := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		st.Record("s", base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	pts := st.Query("s", 0, base)
+	if len(pts) != 4 {
+		t.Fatalf("retained %d points, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if want := float64(6 + i); p.V != want {
+			t.Fatalf("point %d = %v, want %v (oldest-first)", i, p.V, want)
+		}
+	}
+	if p, ok := st.Latest("s"); !ok || p.V != 9 {
+		t.Fatalf("latest = %+v, %v", p, ok)
+	}
+}
+
+func TestQueryWindow(t *testing.T) {
+	st := NewStore(16, 0)
+	base := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		st.Record("s", base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	now := base.Add(9 * time.Second)
+	pts := st.Query("s", 3*time.Second, now)
+	if len(pts) != 3 {
+		t.Fatalf("window returned %d points, want 3", len(pts))
+	}
+	if pts[0].V != 7 || pts[2].V != 9 {
+		t.Fatalf("window points = %+v", pts)
+	}
+	if st.Query("missing", 0, now) != nil {
+		t.Fatal("unknown series not nil")
+	}
+}
+
+func TestSeriesCap(t *testing.T) {
+	st := NewStore(4, 2)
+	now := time.Unix(1000, 0)
+	st.Record("a", now, 1)
+	st.Record("b", now, 2)
+	st.Record("c", now, 3) // over the cap: dropped
+	st.Record("a", now, 4) // existing series still accepts
+	if got := st.Names(); len(got) != 2 {
+		t.Fatalf("names = %v", got)
+	}
+	if st.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped())
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	st := NewStore(64, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("s%d", w%4)
+			for i := 0; i < 500; i++ {
+				st.Record(name, time.Unix(int64(i), 0), float64(i))
+				st.Query(name, 0, time.Unix(int64(i), 0))
+				st.Latest(name)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(st.Names()); got != 4 {
+		t.Fatalf("series = %d, want 4", got)
+	}
+}
+
+func TestScrapeCountersAndGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := NewStore(16, 0)
+	sc := NewScraper(reg, st, time.Second)
+
+	c := reg.Counter("hits")
+	g := reg.Gauge("level")
+	base := time.Unix(1000, 0)
+
+	c.Add(10)
+	g.Set(3.5)
+	sc.ScrapeOnce(base)
+	c.Add(20)
+	g.Set(7)
+	sc.ScrapeOnce(base.Add(2 * time.Second))
+
+	if pts := st.Query("hits", 0, base); len(pts) != 2 || pts[1].V != 30 {
+		t.Fatalf("cumulative = %+v", pts)
+	}
+	// Rate needs two samples: one point, (30-10)/2s = 10/s.
+	rates := st.Query("hits"+SuffixRate, 0, base)
+	if len(rates) != 1 || math.Abs(rates[0].V-10) > 1e-9 {
+		t.Fatalf("rate = %+v", rates)
+	}
+	if pts := st.Query("level", 0, base); len(pts) != 2 || pts[0].V != 3.5 || pts[1].V != 7 {
+		t.Fatalf("gauge = %+v", pts)
+	}
+}
+
+func TestScrapeHistogramWindowedQuantiles(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := NewStore(16, 0)
+	sc := NewScraper(reg, st, time.Second)
+	h := reg.Histogram("lat", []float64{1, 2, 4})
+	base := time.Unix(1000, 0)
+
+	// Baseline scrape, then a first interval of fast traffic.
+	sc.ScrapeOnce(base)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	sc.ScrapeOnce(base.Add(time.Second))
+	p99 := st.Query("lat"+SuffixP99, 0, base)
+	if len(p99) != 1 || p99[0].V > 1+1e-9 {
+		t.Fatalf("first-window p99 = %+v, want ≤1", p99)
+	}
+
+	// Second interval: the traffic degrades to the (2,4] bucket. The
+	// windowed p99 must jump even though the lifetime histogram is
+	// still dominated by the fast first interval.
+	for i := 0; i < 50; i++ {
+		h.Observe(3)
+	}
+	sc.ScrapeOnce(base.Add(2 * time.Second))
+	p99 = st.Query("lat"+SuffixP99, 0, base)
+	if len(p99) != 2 || p99[1].V <= 2 {
+		t.Fatalf("degraded-window p99 = %+v, want >2", p99)
+	}
+	if full := h.Quantile(0.99); full > 4 {
+		t.Fatalf("lifetime p99 = %v", full)
+	}
+
+	// Rate points: 100/s then 50/s.
+	rates := st.Query("lat"+SuffixRate, 0, base)
+	if len(rates) != 2 || rates[0].V != 100 || rates[1].V != 50 {
+		t.Fatalf("rates = %+v", rates)
+	}
+
+	// Quiet interval: rate 0, no quantile point recorded.
+	sc.ScrapeOnce(base.Add(3 * time.Second))
+	rates = st.Query("lat"+SuffixRate, 0, base)
+	if len(rates) != 3 || rates[2].V != 0 {
+		t.Fatalf("quiet rate = %+v", rates)
+	}
+	if got := st.Query("lat"+SuffixP99, 0, base); len(got) != 2 {
+		t.Fatalf("quiet interval recorded a quantile: %+v", got)
+	}
+}
+
+func TestScrapeOnScrapeHook(t *testing.T) {
+	reg := obs.NewRegistry()
+	sc := NewScraper(reg, NewStore(4, 0), time.Second)
+	var calls []time.Time
+	sc.OnScrape(func(now time.Time) { calls = append(calls, now) })
+	base := time.Unix(1000, 0)
+	sc.ScrapeOnce(base)
+	sc.ScrapeOnce(base.Add(time.Second))
+	if len(calls) != 2 || !calls[1].Equal(base.Add(time.Second)) {
+		t.Fatalf("hook calls = %v", calls)
+	}
+}
+
+func TestScraperStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("hits").Add(1)
+	st := NewStore(128, 0)
+	sc := NewScraper(reg, st, 2*time.Millisecond)
+	sc.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(st.Query("hits", 0, time.Now())) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("scraper produced no samples")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sc.Stop()
+	n := len(st.Query("hits", 0, time.Now()))
+	time.Sleep(10 * time.Millisecond)
+	if got := len(st.Query("hits", 0, time.Now())); got != n {
+		t.Fatalf("scraper still writing after Stop: %d → %d", n, got)
+	}
+	sc.Stop() // idempotent
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	sc := NewScraper(obs.NewRegistry(), NewStore(4, 0), time.Second)
+	done := make(chan struct{})
+	go func() { sc.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop without Start hung")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	st := NewStore(16, 0)
+	now := time.Now()
+	st.Record("a", now.Add(-time.Minute), 1)
+	st.Record("a", now, 2)
+
+	srv := httptest.NewServer(st.Handler())
+	defer srv.Close()
+
+	get := func(path string, into any) int {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == 200 {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	var list struct {
+		Series []string `json:"series"`
+	}
+	if code := get("/", &list); code != 200 || len(list.Series) != 1 || list.Series[0] != "a" {
+		t.Fatalf("list: code %d, %+v", code, list)
+	}
+
+	var hist historyResponse
+	if code := get("/?name=a", &hist); code != 200 || len(hist.Points) != 2 {
+		t.Fatalf("full history: code %d, %+v", code, hist)
+	}
+	if code := get("/?name=a&window=5s", &hist); code != 200 || len(hist.Points) != 1 || hist.Points[0].V != 2 {
+		t.Fatalf("windowed history: code %d, %+v", code, hist)
+	}
+	if code := get("/?name=missing", &hist); code != 200 || len(hist.Points) != 0 {
+		t.Fatalf("missing series: code %d, %+v", code, hist)
+	}
+	if code := get("/?name=a&window=bogus", &hist); code != 400 {
+		t.Fatalf("bad window: code %d", code)
+	}
+}

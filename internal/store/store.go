@@ -164,6 +164,10 @@ type Store struct {
 	scratch []byte   // frame-encoding buffer, reused across appends
 	closed  bool
 	failErr error
+	// dirtySince is when the oldest not-yet-synced append landed (zero
+	// when everything durable). FsyncLag reads it; the market auditor
+	// alarms when the background syncer falls behind.
+	dirtySince time.Time
 
 	dirty atomic.Bool   // unsynced appends outstanding (interval/never)
 	stop  chan struct{} // closes the background syncer
@@ -356,6 +360,20 @@ func (s *Store) Healthy() error {
 	return nil
 }
 
+// FsyncLag reports how long the oldest unsynced append has been
+// waiting for durability — 0 when every acknowledged record is on
+// disk. Under FsyncAlways it is always 0 (appends return durable);
+// under FsyncInterval it normally stays below the sync interval, and a
+// growing lag means the background syncer is stuck or failing.
+func (s *Store) FsyncLag() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dirtySince.IsZero() {
+		return 0
+	}
+	return time.Since(s.dirtySince)
+}
+
 // fail latches the store into the failed state: every later Append,
 // Flush and Snapshot reports the original cause.
 func (s *Store) fail(err error) {
@@ -421,6 +439,9 @@ func (s *Store) Append(rec []byte) error {
 		}
 	} else {
 		s.dirty.Store(true)
+		if s.dirtySince.IsZero() {
+			s.dirtySince = start
+		}
 	}
 	if s.hooks.OnAppend != nil {
 		s.hooks.OnAppend(time.Since(start))
@@ -476,6 +497,7 @@ func (s *Store) syncLocked() error {
 	if err := s.f.Sync(); err != nil {
 		return err
 	}
+	s.dirtySince = time.Time{}
 	if s.hooks.OnFsync != nil {
 		s.hooks.OnFsync()
 	}

@@ -1,0 +1,64 @@
+package workload
+
+// Market-health summary embedded in the run report. The structs here
+// are plain data: mbpload fills them from the obs/slo evaluator and
+// the market auditor it wires for in-process runs, keeping this
+// package free of those dependencies (HTTP-endpoint runs monitor
+// health server-side instead; see /debug/health).
+
+import "fmt"
+
+// SLOStatus is one objective's final burn-rate state.
+type SLOStatus struct {
+	Name      string  `json:"name"`
+	FastBurn  float64 `json:"fastBurn"`
+	SlowBurn  float64 `json:"slowBurn"`
+	Breaching bool    `json:"breaching"`
+	Reason    string  `json:"reason,omitempty"`
+}
+
+// AuditStatus is the invariant auditor's cumulative verdict for the
+// run.
+type AuditStatus struct {
+	Sweeps          uint64            `json:"sweeps"`
+	Probes          uint64            `json:"probes"`
+	Violations      map[string]uint64 `json:"violations,omitempty"`
+	ViolationsTotal uint64            `json:"violationsTotal"`
+	LastViolation   string            `json:"lastViolation,omitempty"`
+	Degraded        bool              `json:"degraded"`
+}
+
+// HealthReport is the report's optional "health" section.
+type HealthReport struct {
+	ScrapeIntervalSeconds float64      `json:"scrapeIntervalSeconds,omitempty"`
+	AuditIntervalSeconds  float64      `json:"auditIntervalSeconds,omitempty"`
+	SLO                   []SLOStatus  `json:"slo,omitempty"`
+	Audit                 *AuditStatus `json:"audit,omitempty"`
+	// Healthy is false when the auditor found violations or any SLO is
+	// still breaching at the end of the run.
+	Healthy bool `json:"healthy"`
+}
+
+// AttachHealth embeds the health section and folds audit violations
+// into the invariant verdict: an auditor violation is a correctness
+// failure on par with the harness's own checks (SLO breaches are
+// informational — load scenarios breach latency objectives by design).
+func (r *Report) AttachHealth(h *HealthReport) {
+	if h == nil {
+		return
+	}
+	h.Healthy = true
+	for _, s := range h.SLO {
+		if s.Breaching {
+			h.Healthy = false
+		}
+	}
+	if a := h.Audit; a != nil && a.ViolationsTotal > 0 {
+		h.Healthy = false
+		r.Invariants.Failures = append(r.Invariants.Failures, fmt.Sprintf(
+			"market audit recorded %d invariant violation(s) over %d sweeps (last: %s)",
+			a.ViolationsTotal, a.Sweeps, a.LastViolation))
+		r.Invariants.Passed = false
+	}
+	r.Health = h
+}

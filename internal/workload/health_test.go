@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAttachHealthCleanRun(t *testing.T) {
+	rep := &Report{Invariants: InvariantReport{Passed: true}}
+	rep.AttachHealth(&HealthReport{
+		SLO:   []SLOStatus{{Name: "buy-p99"}},
+		Audit: &AuditStatus{Sweeps: 3, Probes: 12},
+	})
+	if rep.Health == nil || !rep.Health.Healthy {
+		t.Fatalf("health = %+v", rep.Health)
+	}
+	if !rep.Invariants.Passed {
+		t.Fatal("clean health failed the invariants")
+	}
+}
+
+func TestAttachHealthAuditViolationFailsInvariants(t *testing.T) {
+	rep := &Report{Invariants: InvariantReport{Passed: true}}
+	rep.AttachHealth(&HealthReport{
+		Audit: &AuditStatus{Sweeps: 3, ViolationsTotal: 2, LastViolation: "conservation: stripe gross drifted"},
+	})
+	if rep.Health.Healthy {
+		t.Fatal("violations left health healthy")
+	}
+	if rep.Invariants.Passed || len(rep.Invariants.Failures) != 1 {
+		t.Fatalf("invariants = %+v", rep.Invariants)
+	}
+	if f := rep.Invariants.Failures[0]; !strings.Contains(f, "audit") || !strings.Contains(f, "conservation") {
+		t.Fatalf("failure text = %q", f)
+	}
+}
+
+func TestAttachHealthSLOBreachIsInformational(t *testing.T) {
+	rep := &Report{Invariants: InvariantReport{Passed: true}}
+	rep.AttachHealth(&HealthReport{
+		SLO:   []SLOStatus{{Name: "buy-p99", Breaching: true, Reason: "burning"}},
+		Audit: &AuditStatus{Sweeps: 1},
+	})
+	if rep.Health.Healthy {
+		t.Fatal("breaching SLO left health healthy")
+	}
+	if !rep.Invariants.Passed {
+		t.Fatal("SLO breach failed the invariants; it should be informational")
+	}
+	// Nil is a no-op: endpoint runs without monitoring stay unchanged.
+	rep2 := &Report{Invariants: InvariantReport{Passed: true}}
+	rep2.AttachHealth(nil)
+	if rep2.Health != nil || !rep2.Invariants.Passed {
+		t.Fatalf("nil health mutated the report: %+v", rep2)
+	}
+}

@@ -84,6 +84,10 @@ type Report struct {
 
 	Revenue    RevenueReport   `json:"revenue"`
 	Invariants InvariantReport `json:"invariants"`
+
+	// Health is the market-health summary for in-process runs that
+	// monitored the run (mbpload wires it; see health.go).
+	Health *HealthReport `json:"health,omitempty"`
 }
 
 // buildReport assembles everything but the invariant section (which
@@ -115,7 +119,7 @@ func buildReport(sched *Schedule, opts Options, workers int, elapsed time.Durati
 			P50:   h.Quantile(0.50),
 			P90:   h.Quantile(0.90),
 			P99:   h.Quantile(0.99),
-			Max:   met.max[k].value(),
+			Max:   h.Max(),
 			Mean:  mean,
 		}
 	}

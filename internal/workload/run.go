@@ -25,7 +25,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/datamarket/mbp/internal/obs"
@@ -72,14 +71,15 @@ type buyerResult struct {
 	proberViolations int // arbitrage violations observed in quotes
 }
 
-// runMetrics is the shared, thread-safe measurement state.
+// runMetrics is the shared, thread-safe measurement state. Exact
+// latency maxima come straight from the histograms (obs.Histogram
+// tracks an all-time max alongside its buckets).
 type runMetrics struct {
 	lat  [3]*obs.Histogram // per OpKind
 	ops  [3]*obs.Counter
 	errs *obs.Counter
 	shed *obs.Counter
 	viol *obs.Counter
-	max  [3]atomicMax
 }
 
 func newRunMetrics(reg *obs.Registry) *runMetrics {
@@ -94,26 +94,6 @@ func newRunMetrics(reg *obs.Registry) *runMetrics {
 	}
 	return m
 }
-
-// atomicMax tracks a running maximum of non-negative float64s: the
-// bit patterns of non-negative floats order like the values, so a CAS
-// loop over the raw bits suffices.
-type atomicMax struct{ bits atomic.Uint64 }
-
-func (a *atomicMax) observe(v float64) {
-	nb := math.Float64bits(v)
-	for {
-		cur := a.bits.Load()
-		if cur >= nb {
-			return
-		}
-		if a.bits.CompareAndSwap(cur, nb) {
-			return
-		}
-	}
-}
-
-func (a *atomicMax) value() float64 { return math.Float64frombits(a.bits.Load()) }
 
 // Run drives the schedule against the client and assembles the report.
 func Run(ctx context.Context, client Client, sched *Schedule, opts Options) (*Report, error) {
@@ -284,9 +264,7 @@ func runBuyer(ctx context.Context, client Client, sched *Schedule, p *BuyerPlan,
 
 // observe records an op latency.
 func (m *runMetrics) observe(k OpKind, start time.Time) {
-	d := time.Since(start).Seconds()
-	m.lat[k].Observe(d)
-	m.max[k].observe(d)
+	m.lat[k].Observe(time.Since(start).Seconds())
 }
 
 // count tallies a non-OK outcome.

@@ -8,6 +8,12 @@
 # Phases present in the baseline but missing from the fresh report also
 # fail — a silently dropped phase must not pass the gate.
 #
+# Throughput only compares apples to apples on matching hardware: when
+# the two reports disagree on gomaxprocs or numCpu, every FAIL is
+# downgraded to WARN (the run still prints the drops, but a slower or
+# wider machine cannot fail the gate — nor sneak a regression past it
+# by being faster, which is why the mismatch is loudly reported).
+#
 # Usage: bench_gate.sh <baseline.json> <fresh.json> [warn_pct] [fail_pct]
 #   warn_pct  warn when opsPerSec drops more than this percent (default 10)
 #   fail_pct  fail when opsPerSec drops more than this percent (default 25)
@@ -37,11 +43,30 @@ extract() {
   ' "$1"
 }
 
+# Emit "gomaxprocs numCpu" from a report's header.
+environment() {
+  awk '
+    /"gomaxprocs":/ { gsub(/,/, "", $2); gmp = $2 }
+    /"numCpu":/     { gsub(/,/, "", $2); ncpu = $2 }
+    END { print gmp+0, ncpu+0 }
+  ' "$1"
+}
+
 base_rows=$(extract "$baseline")
 fresh_rows=$(extract "$fresh")
 if [ -z "$base_rows" ]; then
   echo "bench_gate: no phases found in baseline $baseline" >&2
   exit 2
+fi
+
+# Environment guard: regressions are only actionable when baseline and
+# candidate ran on the same shape of machine.
+base_env=$(environment "$baseline")
+fresh_env=$(environment "$fresh")
+env_mismatch=0
+if [ "$base_env" != "$fresh_env" ]; then
+  env_mismatch=1
+  echo "bench_gate: WARN environment mismatch: baseline gomaxprocs/numCpu = ${base_env// //}, current = ${fresh_env// //} — failures downgraded to warnings" >&2
 fi
 
 status=0
@@ -60,6 +85,9 @@ while read -r key base; do
   }')
   drop=${verdict% *}
   level=${verdict#* }
+  if [ "$level" = FAIL ] && [ "$env_mismatch" -eq 1 ]; then
+    level=WARN
+  fi
   printf 'bench_gate: %-4s %-10s baseline %12.0f ops/s, current %12.0f ops/s (drop %s%%)\n' \
     "$level" "$key" "$base" "$cur" "$drop"
   if [ "$level" = FAIL ]; then
