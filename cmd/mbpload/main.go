@@ -28,6 +28,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +43,7 @@ import (
 	"github.com/datamarket/mbp/internal/obs"
 	"github.com/datamarket/mbp/internal/obs/slo"
 	"github.com/datamarket/mbp/internal/obs/ts"
+	"github.com/datamarket/mbp/internal/repricer"
 	"github.com/datamarket/mbp/internal/workload"
 )
 
@@ -65,6 +67,12 @@ type cfg struct {
 	scrape     time.Duration
 	auditEvery time.Duration
 	historyOut string
+
+	repriceEvery  int
+	repriceWindow int
+	explore       float64
+	repricerOut   string
+	minRecovery   float64
 }
 
 func main() {
@@ -87,6 +95,11 @@ func main() {
 	flag.DurationVar(&c.scrape, "scrape-interval", 200*time.Millisecond, "harness metrics scrape cadence for SLO burn rates; 0 disables health monitoring")
 	flag.DurationVar(&c.auditEvery, "audit-interval", 200*time.Millisecond, "market-invariant audit sweep cadence (in-process runs only); 0 disables")
 	flag.StringVar(&c.historyOut, "history-out", "", "dump the scraped time-series ring (JSON) to this path after the run")
+	flag.IntVar(&c.repriceEvery, "reprice-every", 0, "run a repricer epoch every this many buyers (in-process runs only); 0 disables")
+	flag.IntVar(&c.repriceWindow, "reprice-window", repricer.DefaultWindow, "repricer demand window, in epochs")
+	flag.Float64Var(&c.explore, "explore", repricer.DefaultExplore, "repricer per-arm exploration amplitude")
+	flag.StringVar(&c.repricerOut, "repricer-out", "", "dump the repricer epoch ring (JSON) to this path after the run")
+	flag.Float64Var(&c.minRecovery, "min-recovery", 0, "invariant floor on the demand-shift tail recovery ratio; 0 disables")
 	flag.Parse()
 
 	if c.scenario == "list" {
@@ -137,12 +150,14 @@ func sloObjectives(scrape time.Duration) []slo.Objective {
 }
 
 // start builds and starts the health stack. broker is nil for
-// -endpoint runs, which disables the auditor.
-func startMonitor(c *cfg, broker *workload.BrokerClient) *monitor {
+// -endpoint runs, which disables the auditor. rp (optional) gets the
+// auditor's repricer publish-atomicity probe; its epochs are barrier-
+// driven, so no staleness ceiling applies.
+func startMonitor(c *cfg, broker *workload.BrokerClient, rp *repricer.Repricer, reg *obs.Registry) *monitor {
 	if c.scrape <= 0 && (c.auditEvery <= 0 || broker == nil) {
 		return nil
 	}
-	m := &monitor{reg: obs.NewRegistry(), scrape: c.scrape, audit: c.auditEvery}
+	m := &monitor{reg: reg, scrape: c.scrape, audit: c.auditEvery}
 	if c.scrape > 0 {
 		m.store = ts.NewStore(ts.DefaultCapacity, 0)
 		m.scraper = ts.NewScraper(m.reg, m.store, c.scrape)
@@ -153,6 +168,7 @@ func startMonitor(c *cfg, broker *workload.BrokerClient) *monitor {
 	if c.auditEvery > 0 && broker != nil {
 		m.auditor = audit.New(audit.Config{
 			Broker: broker.B, Registry: m.reg, Interval: c.auditEvery, Seed: c.seed,
+			Repricer: rp,
 		})
 		m.auditor.Start()
 	}
@@ -191,6 +207,57 @@ func (m *monitor) finish() *workload.HealthReport {
 		}
 	}
 	return h
+}
+
+// attachRepricer folds the repricer's final state into the report,
+// enforces the repricing invariants (every published menu certified —
+// rejections are violations — and, with -min-recovery, the demand-
+// shift tail revenue floor), and dumps the epoch ring.
+func attachRepricer(c *cfg, rep *workload.Report, rp *repricer.Repricer) error {
+	fail := func(format string, args ...any) {
+		rep.Invariants.Failures = append(rep.Invariants.Failures, fmt.Sprintf(format, args...))
+		rep.Invariants.Passed = false
+	}
+	if rp != nil {
+		sum := rp.Summary()
+		rep.Repricer = &workload.RepricerStatus{
+			Epochs: sum.Epochs, Published: sum.Published,
+			Rejected: sum.Rejected, Skipped: sum.Skipped,
+			WindowEpochs: sum.WindowEpochs, Explore: sum.Explore,
+			LastObjective: sum.LastObjective,
+		}
+		if sum.Rejected > 0 {
+			fail("repricer rejected %d candidate menu(s) — certification failed on a solved menu", sum.Rejected)
+		}
+		if c.repricerOut != "" {
+			doc := struct {
+				Summary repricer.Summary  `json:"summary"`
+				Epochs  []repricer.Record `json:"epochs"`
+			}{Summary: sum, Epochs: rp.Recent(0)}
+			f, err := os.Create(c.repricerOut)
+			if err != nil {
+				return err
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(doc); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	if c.minRecovery > 0 {
+		if rep.Shift == nil {
+			return fmt.Errorf("-min-recovery needs a scenario with a population shift (e.g. demand-shift)")
+		}
+		if rep.Shift.Recovery < c.minRecovery {
+			fail("demand-shift tail recovery %.3f below floor %.3f", rep.Shift.Recovery, c.minRecovery)
+		}
+	}
+	return nil
 }
 
 // dumpHistory writes the scraped time-series ring to path.
@@ -270,12 +337,13 @@ func run(c *cfg) error {
 		}
 	}
 
-	mon := startMonitor(c, fixture)
-	var reg *obs.Registry
-	if mon != nil {
-		reg = mon.reg
-	}
-	rep, err := workload.Run(ctx, client, sched, workload.Options{
+	// The repricer (in-process only) runs an epoch at every
+	// -reprice-every buyer barrier: the pool is fully drained when the
+	// menu moves, so each session sees exactly one menu and the run's
+	// economics stay deterministic across worker counts.
+	reg := obs.NewRegistry()
+	var rp *repricer.Repricer
+	opts := workload.Options{
 		Workers:      c.workers,
 		ClosedLoop:   c.closed,
 		Horizon:      c.horizon,
@@ -284,7 +352,25 @@ func run(c *cfg) error {
 		// A shared endpoint has traffic besides this harness; only the
 		// in-process broker's ledger is wholly ours to reconcile.
 		SkipLedgerCheck: c.endpoint != "",
-	})
+	}
+	if c.repriceEvery > 0 {
+		if fixture == nil {
+			return fmt.Errorf("-reprice-every needs the in-process fixture broker (drop -endpoint)")
+		}
+		rp = repricer.New(repricer.Config{
+			Broker:   fixture.B,
+			Model:    markettest.Model,
+			Window:   c.repriceWindow,
+			Explore:  c.explore,
+			Seed:     c.seed,
+			Registry: reg,
+		})
+		opts.BarrierEvery = c.repriceEvery
+		opts.AtBarrier = func(int) { rp.Epoch(time.Now()) }
+	}
+
+	mon := startMonitor(c, fixture, rp, reg)
+	rep, err := workload.Run(ctx, client, sched, opts)
 	if err != nil {
 		mon.finish()
 		return err
@@ -294,6 +380,9 @@ func run(c *cfg) error {
 		if err := mon.dumpHistory(c.historyOut); err != nil {
 			return err
 		}
+	}
+	if err := attachRepricer(c, rep, rp); err != nil {
+		return err
 	}
 
 	out := c.out
@@ -310,6 +399,14 @@ func run(c *cfg) error {
 	fmt.Printf("revenue: realized %.2f vs predicted optimum %.2f (ratio %.3f); shed %d, errors %d, replays %d\n",
 		rep.Revenue.Realized, rep.Revenue.PredictedOptimal, rep.Revenue.Ratio,
 		rep.Ops["total"].Shed, rep.Ops["total"].Errors, rep.Ops["total"].Replays)
+	if sh := rep.Shift; sh != nil {
+		fmt.Printf("shift@%.2f: pre ratio %.3f, post ratio %.3f, tail recovery %.3f (vs post-shift DP optimum)\n",
+			sh.At, sh.Pre.Ratio, sh.Post.Ratio, sh.Recovery)
+	}
+	if rs := rep.Repricer; rs != nil {
+		fmt.Printf("repricer: %d epochs — %d published, %d rejected, %d skipped (window %d, explore %.3f)\n",
+			rs.Epochs, rs.Published, rs.Rejected, rs.Skipped, rs.WindowEpochs, rs.Explore)
+	}
 	if h := rep.Health; h != nil {
 		var breaching []string
 		for _, s := range h.SLO {

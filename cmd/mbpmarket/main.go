@@ -13,6 +13,7 @@
 //	GET  /metrics/history           — time-series of scraped metrics (?name=&window=)
 //	GET  /debug/traces              — recent purchase span trees (disable: -traces=false)
 //	GET  /debug/health              — market-health dashboard: SLO burn rates + audit probes
+//	GET  /debug/repricer            — repricer epoch ring with accepted/rejected verdicts (-reprice-interval)
 //	GET  /healthz                   — liveness + uptime + degraded checks
 //	GET  /debug/pprof/              — profiling endpoints (enable: -pprof)
 //
@@ -70,6 +71,7 @@ import (
 	"github.com/datamarket/mbp/internal/obs/slo"
 	"github.com/datamarket/mbp/internal/obs/trace"
 	"github.com/datamarket/mbp/internal/obs/ts"
+	"github.com/datamarket/mbp/internal/repricer"
 	"github.com/datamarket/mbp/internal/resilience"
 	"github.com/datamarket/mbp/internal/store"
 )
@@ -95,6 +97,10 @@ func main() {
 		historyLen  = flag.Int("history", ts.DefaultCapacity, "samples retained per time series")
 		sloSpec     = flag.String("slo", slo.DefaultSpec, "SLO objectives, e.g. buy-p99=250ms@0.05,error-rate=0.01; empty disables")
 		auditEvery  = flag.Duration("audit-interval", audit.DefaultInterval, "market-invariant audit sweep cadence; 0 disables")
+
+		repriceEvery  = flag.Duration("reprice-interval", 0, "online revenue re-optimization epoch cadence; 0 disables (see docs/repricing.md)")
+		repriceWindow = flag.Int("reprice-window", repricer.DefaultWindow, "demand window in epochs the repricer fits over")
+		explore       = flag.Float64("explore", repricer.DefaultExplore, "repricer per-arm exploration amplitude (and starved-arm decay = explore/2)")
 
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "server-side deadline per request; 0 disables")
 		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently served requests; 0 disables")
@@ -212,14 +218,42 @@ func main() {
 		}
 	}
 
+	// Online revenue re-optimization: the repricer re-fits demand from
+	// the ledger every -reprice-interval and republishes the menu through
+	// the copy-on-write snapshot after re-certification. Note a repriced
+	// menu is not re-snapshotted to offers.json, so a warm restart
+	// reverts to the trained prices (see docs/repricing.md).
+	var reprice *repricer.Repricer
+	if *repriceEvery > 0 {
+		reprice = repricer.New(repricer.Config{
+			Broker:   mp.Broker,
+			Model:    mp.Model,
+			Interval: *repriceEvery,
+			Window:   *repriceWindow,
+			Explore:  *explore,
+			Seed:     *seed,
+			Logger:   logger,
+		})
+		opts = append(opts, httpapi.WithRepricer(reprice))
+		reprice.Start()
+		logger.Info("repricer running",
+			"interval", repriceEvery.String(), "window", *repriceWindow, "explore", *explore)
+	}
+
 	// Market-health stack, part 2: the invariant auditor sweeps the live
-	// broker (arbitrage, conservation, WAL health) and degrades /healthz
-	// on violation.
+	// broker (arbitrage, conservation, WAL health, repricer publish
+	// atomicity) and degrades /healthz on violation.
 	var auditor *audit.Auditor
 	if *auditEvery > 0 {
 		acfg := audit.Config{Broker: mp.Broker, Interval: *auditEvery, Seed: *seed, Logger: logger}
 		if dled != nil {
 			acfg.FsyncLag = dled.FsyncLag
+		}
+		if reprice != nil {
+			acfg.Repricer = reprice
+			// Allow a generous multiple of the epoch cadence before
+			// calling the repricer stalled.
+			acfg.MaxEpochAge = 4 * *repriceEvery
 		}
 		auditor = audit.New(acfg)
 		opts = append(opts, httpapi.WithAuditor(auditor))
@@ -236,8 +270,13 @@ func main() {
 		"addr", *addr, "model", mp.Model.String(), "dataset", *dsName,
 		"metrics", *metrics, "traces", *traces, "pprof", *pprofOn, "storeDir", *storeDir)
 	code := serve(logger, *addr, mux, api.Drain)
-	// Stop the auditor before closing the store (it reads FsyncLag) and
-	// the scraper last, so the final samples still land in the ring.
+	// Stop the repricer first (it publishes into the broker the auditor
+	// probes), then the auditor before closing the store (it reads
+	// FsyncLag), and the scraper last, so the final samples still land
+	// in the ring.
+	if reprice != nil {
+		reprice.Stop()
+	}
 	if auditor != nil {
 		auditor.Stop()
 	}

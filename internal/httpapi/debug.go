@@ -16,6 +16,7 @@ import (
 	"github.com/datamarket/mbp/internal/market/audit"
 	"github.com/datamarket/mbp/internal/obs/slo"
 	"github.com/datamarket/mbp/internal/obs/ts"
+	"github.com/datamarket/mbp/internal/repricer"
 )
 
 // WithTimeSeries serves the store's history at GET /metrics/history
@@ -40,6 +41,30 @@ func WithAuditor(a *audit.Auditor) Option {
 		c.auditor = a
 		c.health = append(c.health, healthCheck{name: "audit", check: a.Healthy})
 	}
+}
+
+// WithRepricer serves the repricer's epoch ring at GET /debug/repricer:
+// cumulative counters plus the recent epochs with their
+// published/rejected/skipped verdicts.
+func WithRepricer(rp *repricer.Repricer) Option {
+	return func(c *config) { c.repricer = rp }
+}
+
+// debugRepricerHandler serves GET /debug/repricer as JSON.
+func (c *config) debugRepricerHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		doc := struct {
+			Summary repricer.Summary  `json:"summary"`
+			Epochs  []repricer.Record `json:"epochs"`
+		}{
+			Summary: c.repricer.Summary(),
+			Epochs:  c.repricer.Recent(0),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
 }
 
 // debugHealth is the /debug/health document (also the ?format=json

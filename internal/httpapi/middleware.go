@@ -12,6 +12,7 @@ import (
 	"github.com/datamarket/mbp/internal/obs/slo"
 	"github.com/datamarket/mbp/internal/obs/trace"
 	"github.com/datamarket/mbp/internal/obs/ts"
+	"github.com/datamarket/mbp/internal/repricer"
 	"github.com/datamarket/mbp/internal/resilience"
 )
 
@@ -35,9 +36,10 @@ type config struct {
 	drains []drainHook   // flush steps for Drain
 
 	// Market-health wiring; see debug.go.
-	tsStore *ts.Store      // /metrics/history, nil = off
-	sloEval *slo.Evaluator // SLO state on /debug/health
-	auditor *audit.Auditor // audit state on /debug/health
+	tsStore  *ts.Store          // /metrics/history, nil = off
+	sloEval  *slo.Evaluator     // SLO state on /debug/health
+	auditor  *audit.Auditor     // audit state on /debug/health
+	repricer *repricer.Repricer // epoch ring on /debug/repricer
 }
 
 func defaultConfig() config {
@@ -189,6 +191,9 @@ func (c *config) mount(mux *http.ServeMux) {
 	}
 	if c.sloEval != nil || c.auditor != nil {
 		mux.Handle("GET /debug/health", c.debugHealthHandler())
+	}
+	if c.repricer != nil {
+		mux.Handle("GET /debug/repricer", c.debugRepricerHandler())
 	}
 	mux.Handle("GET /healthz", c.healthzHandler())
 }

@@ -33,6 +33,7 @@ import (
 	"github.com/datamarket/mbp/internal/obs"
 	"github.com/datamarket/mbp/internal/obs/trace"
 	"github.com/datamarket/mbp/internal/obs/ts"
+	"github.com/datamarket/mbp/internal/repricer"
 	"github.com/datamarket/mbp/internal/rng"
 )
 
@@ -42,6 +43,7 @@ const (
 	CheckArbitrage    = "arbitrage"
 	CheckConservation = "conservation"
 	CheckWAL          = "wal"
+	CheckReprice      = "reprice"
 )
 
 // Defaults.
@@ -87,6 +89,15 @@ type Config struct {
 	// RecoverAfter is how many consecutive clean sweeps clear the
 	// degraded state (default 2).
 	RecoverAfter int
+	// Repricer, when set, is probed each sweep: the menu it last
+	// published must be the menu the broker is actually serving
+	// (publish atomicity), and with MaxEpochAge > 0 its epochs must
+	// keep coming.
+	Repricer *repricer.Repricer
+	// MaxEpochAge is the staleness ceiling on the repricer's last
+	// epoch; 0 disables the stall check (harness-driven epochs have no
+	// wall-clock cadence).
+	MaxEpochAge time.Duration
 }
 
 // Probe is one recorded check outcome; /debug/health shows the last
@@ -180,7 +191,7 @@ func New(cfg Config) *Auditor {
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
-	for _, check := range []string{CheckArbitrage, CheckConservation, CheckWAL} {
+	for _, check := range []string{CheckArbitrage, CheckConservation, CheckWAL, CheckReprice} {
 		a.metViol[check] = cfg.Registry.Counter(obs.Name("audit.violations_total", "check", check))
 	}
 	return a
@@ -260,6 +271,7 @@ func (a *Auditor) Sweep(now time.Time) {
 	a.sweepArbitrage(r, record)
 	a.sweepConservation(now, record)
 	a.sweepWAL(record)
+	a.sweepReprice(now, record)
 
 	if clean {
 		a.cleanStreak++
@@ -439,6 +451,57 @@ func (a *Auditor) sweepWAL(record func(check, detail string, ok bool)) {
 	} else {
 		record(CheckWAL, fmt.Sprintf("append p99 %.4fs over %d appends", p99, n), true)
 	}
+}
+
+// sweepReprice cross-checks the repricer against the live menu: the
+// points it last published must be exactly what the broker serves. A
+// mismatch means a candidate escaped the certify-then-publish gate or
+// the copy-on-write swap tore — the two failure modes the repricer
+// property tests pin down, watched here in production. The epoch
+// counter is re-read after the comparison: if an epoch landed
+// mid-probe the mismatch is a benign race, not a violation.
+func (a *Auditor) sweepReprice(now time.Time, record func(check, detail string, ok bool)) {
+	rp := a.cfg.Repricer
+	if rp == nil {
+		return
+	}
+	if at, ok := rp.LastEpochAt(); ok && a.cfg.MaxEpochAge > 0 {
+		if age := now.Sub(at); age > a.cfg.MaxEpochAge {
+			record(CheckReprice, fmt.Sprintf(
+				"repricer stalled: last epoch %v ago exceeds ceiling %v", age, a.cfg.MaxEpochAge), false)
+		}
+	}
+	pts, epoch1, ok := rp.LastPublished()
+	if !ok {
+		record(CheckReprice, "no repriced menu published yet", true)
+		return
+	}
+	curve, err := a.cfg.Broker.Curve(rp.Model())
+	if err != nil {
+		record(CheckReprice, fmt.Sprintf("model %v: %v", rp.Model(), err), false)
+		return
+	}
+	live := curve.Points()
+	_, epoch2, _ := rp.LastPublished()
+	if epoch1 != epoch2 {
+		record(CheckReprice, "repricer advanced mid-probe, comparison deferred", true)
+		return
+	}
+	if len(live) != len(pts) {
+		record(CheckReprice, fmt.Sprintf(
+			"live menu has %d points, repricer published %d (epoch %d)", len(live), len(pts), epoch1), false)
+		return
+	}
+	for i := range pts {
+		if live[i].X != pts[i].X || live[i].Price != pts[i].Price {
+			record(CheckReprice, fmt.Sprintf(
+				"live menu diverges from published epoch %d at point %d: (%.9g, %.9g) vs (%.9g, %.9g)",
+				epoch1, i, live[i].X, live[i].Price, pts[i].X, pts[i].Price), false)
+			return
+		}
+	}
+	record(CheckReprice, fmt.Sprintf(
+		"live menu matches repricer epoch %d (%d points)", epoch1, len(pts)), true)
 }
 
 // recordProbeLocked files one probe into the recent ring.

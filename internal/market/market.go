@@ -831,3 +831,47 @@ func (b *Broker) Curve(m ml.Model) (*pricing.Curve, error) {
 	}
 	return off.curve, nil
 }
+
+// ErrCurveRejected wraps every reason RepublishCurve refuses a
+// candidate: the old menu stays published and quotes were never
+// affected.
+var ErrCurveRejected = errors.New("market: candidate curve rejected")
+
+// RepublishCurve atomically replaces model m's published price curve
+// with c — the online-repricing publish step. The candidate must pass
+// the full arbitrage-freeness certification (monotone, subadditive,
+// non-negative) and must be defined on exactly the grid the current
+// curve prices, so the published menu rows keep their δ axis. On any
+// rejection the previous menu remains published untouched; on success
+// the swap is copy-on-write under b.mu, so concurrent Quote/Buy
+// readers never block and never observe a torn offer: they serve
+// either the old certified curve or the new one.
+func (b *Broker) RepublishCurve(m ml.Model, c *pricing.Curve) error {
+	if c == nil {
+		return fmt.Errorf("%w: nil curve", ErrCurveRejected)
+	}
+	if err := c.Certify(); err != nil {
+		return fmt.Errorf("%w: certification failed: %v", ErrCurveRejected, err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	off, ok := b.lookup(m)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownModel, m)
+	}
+	oldPts, newPts := off.curve.Points(), c.Points()
+	if len(oldPts) != len(newPts) {
+		return fmt.Errorf("%w: candidate has %d grid points, published menu has %d",
+			ErrCurveRejected, len(newPts), len(oldPts))
+	}
+	for i := range oldPts {
+		if math.Abs(newPts[i].X-oldPts[i].X) > 1e-12*(1+oldPts[i].X) {
+			return fmt.Errorf("%w: grid point %d moved from x=%v to x=%v",
+				ErrCurveRejected, i, oldPts[i].X, newPts[i].X)
+		}
+	}
+	next := *off
+	next.curve = c
+	b.publishLocked(m, &next)
+	return nil
+}

@@ -1,0 +1,137 @@
+package repricer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/datamarket/mbp/internal/curves"
+)
+
+// gridTol is the relative x tolerance separating on-grid sales (a
+// buyer took a menu row at its posted price) from off-grid sales (a
+// budget buyer binary-searched a δ between rows, paying their budget
+// rather than a posted price).
+const gridTol = 1e-9
+
+// Sample is one observed sale projected onto the pricing axis: the
+// buyer's chosen x = 1/δ and the price they paid for it.
+type Sample struct {
+	X     float64
+	Price float64
+}
+
+// Estimate fits an (aⱼ, vⱼ, bⱼ) market surface from window samples on
+// the menu grid. Each sale is bucketed onto the nearest grid arm, but
+// the two sale kinds carry different information and are used
+// differently:
+//
+//   - An on-grid sale (x within gridTol of a grid point) is a buyer
+//     deliberately accepting a menu row at its posted — possibly
+//     exploration-perturbed — price: a revealed lower bound on that
+//     arm's valuation. v̂ⱼ for an arm with on-grid sales is the
+//     maximum on-grid price paid there in the window.
+//   - An off-grid sale is a budget buyer who binary-searched a δ
+//     between rows and paid exactly their budget; the price says where
+//     the curve happens to sit, not what the arm is worth, so it
+//     counts toward demand weight only. (Treating these as valuation
+//     evidence lets stray budgets ratchet prices above what posted-
+//     price buyers accept — and, worse, masks a demand collapse: an
+//     overpriced arm still skimmed by pass-through budget traffic
+//     would never look starved and never come back down.)
+//   - An arm with no on-grid sales in the window is starved: its
+//     prior — the currently published price — decays by the decay
+//     factor, since the ledger carries only positive signals and an
+//     overpriced arm would otherwise stay overpriced forever.
+//   - b̂ⱼ is the arm's share of all window sales (both kinds);
+//     zero-demand arms are valid and simply contribute nothing to the
+//     DP objective.
+//
+// The fitted V is then made monotone (running max), matching the
+// paper's assumption that more accurate versions are worth at least
+// as much.
+//
+// prior must be the currently published price vector on grid. decay is
+// the per-epoch starved-arm price decay in [0, 1).
+func Estimate(grid, prior []float64, samples []Sample, decay float64) (*curves.Market, error) {
+	if len(grid) == 0 {
+		return nil, errors.New("repricer: empty grid")
+	}
+	if len(prior) != len(grid) {
+		return nil, fmt.Errorf("repricer: prior has %d entries, grid has %d", len(prior), len(grid))
+	}
+	if len(samples) == 0 {
+		return nil, errors.New("repricer: no samples in window")
+	}
+	if decay < 0 || decay >= 1 {
+		return nil, fmt.Errorf("repricer: decay %v outside [0, 1)", decay)
+	}
+
+	counts := make([]float64, len(grid))
+	onGrid := make([]float64, len(grid))
+	vmax := make([]float64, len(grid))
+	for _, s := range samples {
+		j := nearestArm(grid, s.X)
+		counts[j]++
+		if math.Abs(s.X-grid[j]) <= gridTol*(1+grid[j]) {
+			onGrid[j]++
+			if s.Price > vmax[j] {
+				vmax[j] = s.Price
+			}
+		}
+	}
+	var total float64
+	for _, c := range counts {
+		total += c
+	}
+
+	v := make([]float64, len(grid))
+	b := make([]float64, len(grid))
+	for j := range grid {
+		if onGrid[j] > 0 {
+			v[j] = vmax[j]
+		} else {
+			v[j] = prior[j] * (1 - decay)
+		}
+		b[j] = counts[j] / total
+	}
+	for j := 1; j < len(v); j++ {
+		if v[j] < v[j-1] {
+			v[j] = v[j-1]
+		}
+	}
+
+	m := &curves.Market{
+		A: append([]float64(nil), grid...),
+		V: v,
+		B: b,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("repricer: fitted surface invalid: %w", err)
+	}
+	return m, nil
+}
+
+// nearestArm returns the index of the grid point closest to x. grid is
+// strictly increasing.
+func nearestArm(grid []float64, x float64) int {
+	lo, hi := 0, len(grid)-1
+	if x <= grid[lo] {
+		return lo
+	}
+	if x >= grid[hi] {
+		return hi
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if grid[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if x-grid[lo] <= grid[hi]-x {
+		return lo
+	}
+	return hi
+}

@@ -79,6 +79,13 @@ type BuyerPlan struct {
 	Valuation float64 `json:"valuation"`
 	// Arrival is the normalized arrival time in [0, 1).
 	Arrival float64 `json:"arrival"`
+	// Phase is 0 for the pre-shift population, 1 for post-shift; always
+	// 0 in scenarios without a Shift.
+	Phase int `json:"phase,omitempty"`
+	// Tail marks post-shift buyers in the last half of the post-shift
+	// span — the window the recovery ratio is measured over, after the
+	// repricer has had time to adapt.
+	Tail bool `json:"tail,omitempty"`
 	// Ops is the session, executed in order on one connection.
 	Ops []Op `json:"ops"`
 }
@@ -106,6 +113,16 @@ type Schedule struct {
 	Buyers []BuyerPlan
 	// Intents counts buyers with purchase intent (all but probers).
 	Intents int
+
+	// PostMarket and PostOptRevenuePerBuyer are the post-shift
+	// population and its own DP optimum, set only when the scenario has
+	// a Shift. The post-shift optimum is the reference the demand-shift
+	// recovery ratio is measured against.
+	PostMarket             *curves.Market
+	PostOptRevenuePerBuyer float64
+	// PreIntents/PostIntents partition Intents by phase; TailIntents
+	// counts the post-shift intents inside the recovery tail.
+	PreIntents, PostIntents, TailIntents int
 }
 
 // browsePool caps how many distinct menu rows a browser samples quotes
@@ -162,6 +179,27 @@ func BuildSchedule(sc Scenario, menu []pricing.PriceError, n int, seed uint64) (
 		OptRevenuePerBuyer: opt.Revenue,
 		Buyers:             make([]BuyerPlan, n),
 	}
+
+	// A shifted scenario synthesizes a second population on the same
+	// grid; buyers arriving at or after Shift.At sample from it, and
+	// its own DP optimum becomes the recovery reference.
+	var post *curves.Market
+	var postCum []float64
+	var tailStart float64
+	if sh := sc.Shift; sh != nil {
+		post, err = curves.BuildOn(sh.ValueShape, sh.DemandShape, grid, sh.ValueScale*maxPrice)
+		if err != nil {
+			return nil, fmt.Errorf("workload: synthesizing post-shift population: %w", err)
+		}
+		postOpt, err := revopt.MaximizeRevenueDP(post)
+		if err != nil {
+			return nil, fmt.Errorf("workload: predicting post-shift optimal revenue: %w", err)
+		}
+		postCum = post.CumDemand()
+		sched.PostMarket = post
+		sched.PostOptRevenuePerBuyer = postOpt.Revenue
+		tailStart = sh.At + (1-sh.At)/2
+	}
 	// The largest x on the menu bounds the prober's subadditivity
 	// probe: x₁+x₂ must stay on the offered curve.
 	maxX := grid[len(grid)-1]
@@ -174,8 +212,14 @@ func BuildSchedule(sc Scenario, menu []pricing.PriceError, n int, seed uint64) (
 			Archetype: sc.Blend.pick(rs.Float64()),
 			Arrival:   arrivals.At(rs.Float64()),
 		}
-		p.J = curves.SampleIndex(cum, rs.Float64())
-		p.Valuation = pop.V[p.J]
+		wantCum, wantPop := cum, pop
+		if post != nil && p.Arrival >= sc.Shift.At {
+			p.Phase = 1
+			p.Tail = p.Arrival >= tailStart
+			wantCum, wantPop = postCum, post
+		}
+		p.J = curves.SampleIndex(wantCum, rs.Float64())
+		p.Valuation = wantPop.V[p.J]
 		want := menu[p.J]
 		switch p.Archetype {
 		case Browser:
@@ -218,6 +262,14 @@ func BuildSchedule(sc Scenario, menu []pricing.PriceError, n int, seed uint64) (
 		}
 		if p.Archetype != Prober {
 			sched.Intents++
+			if p.Phase == 1 {
+				sched.PostIntents++
+				if p.Tail {
+					sched.TailIntents++
+				}
+			} else {
+				sched.PreIntents++
+			}
 		}
 		sched.Buyers[i] = p
 	}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/datamarket/mbp/internal/market/markettest"
+	"github.com/datamarket/mbp/internal/obs"
+	"github.com/datamarket/mbp/internal/repricer"
+)
+
+// TestRunDeterminismWithRepricer is the CI race-mode pin for the full
+// closed loop: a demand-shift run with repricer epochs at buyer-count
+// barriers must produce a byte-identical epoch sequence — same window
+// bounds, same objectives, same published price vectors — and
+// identical economics, regardless of how many workers interleave the
+// buyer sessions. The barriers drain the pool before each epoch, so
+// every buyer faces exactly one menu and every epoch sees exactly the
+// same ledger prefix; wall time lands only in Record.At, which is
+// zeroed before comparison.
+func TestRunDeterminismWithRepricer(t *testing.T) {
+	sc, err := ScenarioByName("demand-shift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		report *Report
+		epochs []byte
+	}
+	var outs []outcome
+	for _, workers := range []int{2, 8} {
+		client, menu := fixtureClient(t, 21)
+		rp := repricer.New(repricer.Config{
+			Broker:   client.B,
+			Model:    markettest.Model,
+			Seed:     7,
+			Registry: obs.NewRegistry(),
+		})
+		sched, err := BuildSchedule(sc, menu, 2000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(context.Background(), client, sched, Options{
+			Workers:      workers,
+			BarrierEvery: 100,
+			AtBarrier:    func(int) { rp.Epoch(time.Now()) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Invariants.Passed {
+			t.Fatalf("workers=%d invariants failed: %v", workers, rep.Invariants.Failures)
+		}
+		epochs := rp.Recent(0)
+		if len(epochs) != 2000/100 {
+			t.Fatalf("workers=%d ran %d epochs, want %d", workers, len(epochs), 2000/100)
+		}
+		published := 0
+		for i := range epochs {
+			epochs[i].At = time.Time{}
+			if epochs[i].Outcome == repricer.OutcomeRejected {
+				t.Fatalf("workers=%d epoch %d rejected: %s", workers, epochs[i].Epoch, epochs[i].Reason)
+			}
+			if epochs[i].Outcome == repricer.OutcomePublished {
+				published++
+			}
+		}
+		if published == 0 {
+			t.Fatalf("workers=%d published nothing — the determinism check would be vacuous", workers)
+		}
+		js, err := json.Marshal(epochs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, outcome{report: rep, epochs: js})
+	}
+
+	a, b := outs[0], outs[1]
+	if !bytes.Equal(a.epochs, b.epochs) {
+		t.Fatalf("epoch sequences diverged across worker counts:\n%s\n%s", a.epochs, b.epochs)
+	}
+	if a.report.Revenue != b.report.Revenue {
+		t.Fatalf("revenue diverged:\n%+v\n%+v", a.report.Revenue, b.report.Revenue)
+	}
+	ja, _ := json.Marshal(a.report.Shift)
+	jb, _ := json.Marshal(b.report.Shift)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("shift reports diverged:\n%s\n%s", ja, jb)
+	}
+	if a.report.Shift == nil || a.report.Shift.Recovery <= 0 {
+		t.Fatalf("degenerate shift report: %+v", a.report.Shift)
+	}
+}

@@ -51,6 +51,16 @@ type Options struct {
 	// SkipLedgerCheck disables the harness-paid-equals-ledger-gross
 	// invariant, for endpoints with traffic besides this harness.
 	SkipLedgerCheck bool
+	// BarrierEvery, when positive, splits the run into arrival-order
+	// segments of this many buyers and fully drains the pool between
+	// them. AtBarrier (if set) runs in the gap with no buyer in flight,
+	// which is where mbpload drives repricer epochs: every buyer
+	// session sees exactly one menu, so economic totals stay
+	// deterministic across worker counts even while prices move.
+	BarrierEvery int
+	// AtBarrier is called after each segment completes, with the number
+	// of buyers dispatched so far. Ignored unless BarrierEvery > 0.
+	AtBarrier func(done int)
 	// Registry receives the harness-side metrics (workload.ops_total,
 	// workload.latency_seconds, ...); nil uses a private registry.
 	Registry *obs.Registry
@@ -113,10 +123,65 @@ func Run(ctx context.Context, client Client, sched *Schedule, opts Options) (*Re
 	results := make([]buyerResult, len(sched.Buyers))
 
 	start := time.Now()
-	var wg sync.WaitGroup
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// With a barrier cadence, the population runs in arrival-order
+	// segments with a full pool drain between them; AtBarrier runs in
+	// the quiescent gap. Without one, the whole schedule is a single
+	// segment — the original dispatch shape.
+	segSize := len(sched.Buyers)
+	if opts.BarrierEvery > 0 && opts.BarrierEvery < segSize {
+		segSize = opts.BarrierEvery
+	}
+	for lo := 0; lo < len(sched.Buyers) && runCtx.Err() == nil; lo += segSize {
+		hi := lo + segSize
+		if hi > len(sched.Buyers) {
+			hi = len(sched.Buyers)
+		}
+		runPool(runCtx, client, sched, sched.Buyers[lo:hi], results, met, opts, workers, start)
+		if opts.BarrierEvery > 0 && opts.AtBarrier != nil && runCtx.Err() == nil {
+			opts.AtBarrier(hi)
+		}
+	}
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Sequential reduce: deterministic totals independent of worker
+	// interleaving.
+	var agg buyerResult
+	for i := range results {
+		r := &results[i]
+		agg.paid += r.paid
+		agg.sales += r.sales
+		for k := range agg.ops {
+			agg.ops[k] += r.ops[k]
+		}
+		agg.failed += r.failed
+		agg.shed += r.shed
+		agg.noSale += r.noSale
+		agg.replays += r.replays
+		agg.replayMismatches += r.replayMismatches
+		agg.proberViolations += r.proberViolations
+	}
+	rep := buildReport(sched, opts, workers, elapsed, &agg, results, met)
+
+	// Post-run ledger invariants.
+	led, err := client.Ledger(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("workload: fetching ledger for invariant checks: %w", err)
+	}
+	checkInvariants(rep, &agg, led, maxErrRate, opts.SkipLedgerCheck)
+	return rep, nil
+}
+
+// runPool drives one arrival-order segment through a fresh worker pool
+// and blocks until every session in it has completed.
+func runPool(runCtx context.Context, client Client, sched *Schedule, seg []BuyerPlan,
+	results []buyerResult, met *runMetrics, opts Options, workers int, start time.Time) {
+	var wg sync.WaitGroup
 	if opts.ClosedLoop {
 		// Worker w owns buyers w, w+W, w+2W, ... and drives them
 		// back-to-back.
@@ -124,11 +189,11 @@ func Run(ctx context.Context, client Client, sched *Schedule, opts Options) (*Re
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				for i := w; i < len(sched.Buyers); i += workers {
+				for i := w; i < len(seg); i += workers {
 					if runCtx.Err() != nil {
 						return
 					}
-					runBuyer(runCtx, client, sched, &sched.Buyers[i], &results[sched.Buyers[i].ID], met)
+					runBuyer(runCtx, client, sched, &seg[i], &results[seg[i].ID], met)
 				}
 			}(w)
 		}
@@ -152,9 +217,11 @@ func Run(ctx context.Context, client Client, sched *Schedule, opts Options) (*Re
 			defer timer.Stop()
 		}
 	dispatch:
-		for i := range sched.Buyers {
-			p := &sched.Buyers[i]
+		for i := range seg {
+			p := &seg[i]
 			if timer != nil {
+				// Arrival pacing stays anchored to the run's global
+				// start, so barriers shift, not compress, the horizon.
 				due := time.Duration(p.Arrival * float64(opts.Horizon))
 				if wait := due - time.Since(start); wait > 0 {
 					timer.Reset(wait)
@@ -174,37 +241,6 @@ func Run(ctx context.Context, client Client, sched *Schedule, opts Options) (*Re
 		close(feed)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	// Sequential reduce: deterministic totals independent of worker
-	// interleaving.
-	var agg buyerResult
-	for i := range results {
-		r := &results[i]
-		agg.paid += r.paid
-		agg.sales += r.sales
-		for k := range agg.ops {
-			agg.ops[k] += r.ops[k]
-		}
-		agg.failed += r.failed
-		agg.shed += r.shed
-		agg.noSale += r.noSale
-		agg.replays += r.replays
-		agg.replayMismatches += r.replayMismatches
-		agg.proberViolations += r.proberViolations
-	}
-	rep := buildReport(sched, opts, workers, elapsed, &agg, met)
-
-	// Post-run ledger invariants.
-	led, err := client.Ledger(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("workload: fetching ledger for invariant checks: %w", err)
-	}
-	checkInvariants(rep, &agg, led, maxErrRate, opts.SkipLedgerCheck)
-	return rep, nil
 }
 
 // runBuyer executes one buyer session.

@@ -135,6 +135,26 @@ type Scenario struct {
 	// most accurate version with room to spare, while the value curve's
 	// shape prices out the rest.
 	ValueScale float64
+	// Shift, when set, swaps the buyer population mid-run: buyers
+	// arriving at or after Shift.At are synthesized from the post-shift
+	// families instead. This is the repricer's recovery drill — a menu
+	// priced for the pre-shift population suddenly faces buyers who
+	// value the versions differently.
+	Shift *PopulationShift
+}
+
+// PopulationShift describes the post-shift population of a demand-shift
+// scenario. The fields mirror the Scenario's own population knobs.
+type PopulationShift struct {
+	// At is the normalized arrival time of the shift, in (0, 1).
+	At float64
+	// ValueShape and DemandShape select the post-shift curve families.
+	ValueShape, DemandShape curves.Shape
+	// ValueScale scales the post-shift peak valuation against the same
+	// menu top price as the pre-shift population. Below the pre-shift
+	// scale, the published menu overprices the new buyers and only
+	// repricing wins the revenue back.
+	ValueScale float64
 }
 
 // Validate checks the scenario is well-formed.
@@ -150,6 +170,14 @@ func (s Scenario) Validate() error {
 	}
 	if _, err := arrivalIntensity(s.Arrival, 0); err != nil {
 		return fmt.Errorf("workload: scenario %q: %w", s.Name, err)
+	}
+	if sh := s.Shift; sh != nil {
+		if sh.At <= 0 || sh.At >= 1 {
+			return fmt.Errorf("workload: scenario %q: shift time %v outside (0, 1)", s.Name, sh.At)
+		}
+		if sh.ValueScale <= 0 {
+			return fmt.Errorf("workload: scenario %q: non-positive post-shift value scale %v", s.Name, sh.ValueScale)
+		}
 	}
 	return nil
 }
@@ -201,6 +229,21 @@ func Scenarios() []Scenario {
 			ValueShape:  curves.Convex,
 			DemandShape: curves.BimodalExtremes,
 			ValueScale:  1.1,
+		},
+		{
+			Name:        "demand-shift",
+			Description: "population swaps mid-run — the repricer's revenue-recovery drill",
+			Arrival:     Steady,
+			Blend:       Blend{Browser: 0.15, Point: 0.40, Budget: 0.30, Retrier: 0.10, Prober: 0.05},
+			ValueShape:  curves.Concave,
+			DemandShape: curves.UnimodalMid,
+			ValueScale:  1.3,
+			Shift: &PopulationShift{
+				At:          0.4,
+				ValueShape:  curves.Concave,
+				DemandShape: curves.Uniform,
+				ValueScale:  0.8,
+			},
 		},
 		{
 			Name:        "arbitrage-storm",

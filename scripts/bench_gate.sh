@@ -25,9 +25,17 @@ fresh=${2:?$usage}
 warn=${3:-10}
 fail=${4:-25}
 
+# Report sanity: a missing, empty, or unparseable report must be its
+# own loud, correctly-attributed failure — never a cascade of
+# missing-phase errors, and never (via a garbage "0 0" environment
+# header tripping the mismatch downgrade below) a silent pass.
 for f in "$baseline" "$fresh"; do
   if [ ! -f "$f" ]; then
-    echo "bench_gate: no such report: $f" >&2
+    echo "bench_gate: FAIL no such report: $f" >&2
+    exit 2
+  fi
+  if [ ! -s "$f" ]; then
+    echo "bench_gate: FAIL empty report: $f" >&2
     exit 2
   fi
 done
@@ -52,17 +60,42 @@ environment() {
   ' "$1"
 }
 
+# check_rows rejects rows whose opsPerSec is not a plain positive
+# number — a truncated or hand-mangled report must fail here, not feed
+# garbage into the float math below.
+check_rows() {
+  awk -v src="$2" '
+    $2 !~ /^[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/ || $2 + 0 <= 0 {
+      printf "bench_gate: FAIL unparseable opsPerSec %q for phase %s in %s\n", $2, $1, src > "/dev/stderr"
+      bad = 1
+    }
+    END { exit bad }
+  ' <<<"$1"
+}
+
 base_rows=$(extract "$baseline")
 fresh_rows=$(extract "$fresh")
 if [ -z "$base_rows" ]; then
-  echo "bench_gate: no phases found in baseline $baseline" >&2
+  echo "bench_gate: FAIL no phases found in baseline $baseline — corrupt or unparseable report" >&2
   exit 2
 fi
+if [ -z "$fresh_rows" ]; then
+  echo "bench_gate: FAIL no phases found in candidate $fresh — corrupt or unparseable report" >&2
+  exit 2
+fi
+check_rows "$base_rows" "$baseline" || exit 2
+check_rows "$fresh_rows" "$fresh" || exit 2
 
 # Environment guard: regressions are only actionable when baseline and
 # candidate ran on the same shape of machine.
 base_env=$(environment "$baseline")
 fresh_env=$(environment "$fresh")
+for pair in "$base_env:$baseline" "$fresh_env:$fresh"; do
+  if [ "${pair%%:*}" = "0 0" ]; then
+    echo "bench_gate: FAIL no environment header (gomaxprocs/numCpu) in ${pair#*:} — corrupt report" >&2
+    exit 2
+  fi
+done
 env_mismatch=0
 if [ "$base_env" != "$fresh_env" ]; then
   env_mismatch=1

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# test_bench_gate.sh — unit tests for bench_gate.sh.
+#
+# Exercises the gate against synthetic reports: clean passes, warn and
+# fail thresholds, the environment-mismatch downgrade, and — the cases
+# that once failed confusingly or risked passing silently — missing,
+# empty, truncated, and hand-mangled candidate reports. Each of those
+# must exit nonzero with a FAIL message attributing the right cause.
+#
+# Usage: test_bench_gate.sh   (no arguments; exits nonzero on any failure)
+set -u
+
+here=$(cd "$(dirname "$0")" && pwd)
+gate="$here/bench_gate.sh"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+failures=0
+
+# report <file> <gomaxprocs> <numCpu> <op:workers=opsPerSec>...
+report() {
+  local f=$1 gmp=$2 ncpu=$3
+  shift 3
+  {
+    printf '{\n  "gomaxprocs": %s,\n  "numCpu": %s,\n  "phases": [\n' "$gmp" "$ncpu"
+    local first=1
+    for spec in "$@"; do
+      local key=${spec%%=*} ops=${spec#*=}
+      local op=${key%%:*} workers=${key#*:}
+      [ "$first" -eq 1 ] || printf ',\n'
+      first=0
+      printf '    {\n      "op": "%s",\n      "workers": %s,\n      "opsPerSec": %s\n    }' \
+        "$op" "$workers" "$ops"
+    done
+    printf '\n  ]\n}\n'
+  } >"$f"
+}
+
+# expect <name> <want_status> <must_mention> <gate args>...
+expect() {
+  local name=$1 want=$2 mention=$3
+  shift 3
+  local out status
+  out=$("$gate" "$@" 2>&1)
+  status=$?
+  if [ "$status" -ne "$want" ]; then
+    echo "FAIL $name: exit $status, want $want" >&2
+    echo "$out" | sed 's/^/  | /' >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if [ -n "$mention" ] && ! grep -qF "$mention" <<<"$out"; then
+    echo "FAIL $name: output does not mention '$mention'" >&2
+    echo "$out" | sed 's/^/  | /' >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok   $name"
+}
+
+report "$tmp/base.json" 8 8 quote:4=10000 buy:4=5000
+report "$tmp/same.json" 8 8 quote:4=10000 buy:4=5000
+report "$tmp/faster.json" 8 8 quote:4=12000 buy:4=6000
+report "$tmp/warn.json" 8 8 quote:4=8500 buy:4=5000   # 15% drop: warn, not fail
+report "$tmp/slow.json" 8 8 quote:4=5000 buy:4=5000   # 50% drop: fail
+report "$tmp/slow_otherenv.json" 4 4 quote:4=5000 buy:4=5000
+report "$tmp/missing_phase.json" 8 8 quote:4=10000
+report "$tmp/mangled.json" 8 8 quote:4=banana buy:4=5000
+report "$tmp/no_env.json" '"x"' '"y"' quote:4=10000 buy:4=5000
+: >"$tmp/empty.json"
+echo 'not json at all' >"$tmp/garbage.json"
+
+expect identical-pass          0 ""                                 "$tmp/base.json" "$tmp/same.json"
+expect faster-pass             0 ""                                 "$tmp/base.json" "$tmp/faster.json"
+expect warn-zone-passes        0 "WARN"                             "$tmp/base.json" "$tmp/warn.json"
+expect big-drop-fails          1 "FAIL"                             "$tmp/base.json" "$tmp/slow.json"
+expect env-mismatch-downgrades 0 "environment mismatch"             "$tmp/base.json" "$tmp/slow_otherenv.json"
+expect dropped-phase-fails     1 "missing from"                     "$tmp/base.json" "$tmp/missing_phase.json"
+expect missing-candidate       2 "no such report"                   "$tmp/base.json" "$tmp/nowhere.json"
+expect empty-candidate         2 "empty report"                     "$tmp/base.json" "$tmp/empty.json"
+expect garbage-candidate       2 "no phases found in candidate"     "$tmp/base.json" "$tmp/garbage.json"
+expect mangled-opsPerSec       2 "unparseable opsPerSec"            "$tmp/base.json" "$tmp/mangled.json"
+expect headerless-candidate    2 "no environment header"            "$tmp/base.json" "$tmp/no_env.json"
+expect garbage-baseline        2 "no phases found in baseline"      "$tmp/garbage.json" "$tmp/same.json"
+expect missing-baseline        2 "no such report"                   "$tmp/nowhere.json" "$tmp/same.json"
+
+if [ "$failures" -ne 0 ]; then
+  echo "test_bench_gate: $failures case(s) failed" >&2
+  exit 1
+fi
+echo "test_bench_gate: all cases passed"
