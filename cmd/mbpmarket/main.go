@@ -16,6 +16,10 @@
 //	GET  /debug/repricer            — repricer epoch ring with accepted/rejected verdicts (-reprice-interval)
 //	GET  /healthz                   — liveness + uptime + degraded checks
 //	GET  /debug/pprof/              — profiling endpoints (enable: -pprof)
+//	GET  /replica/status            — replication role, epoch, frame cursor (-role/-replicas)
+//	POST /replica/frames            — WAL frames from the leader (replication wire protocol)
+//	POST /replica/snapshot          — snapshot bootstrap for a lagging follower
+//	POST /admin/promote             — manual failover: promote this node to leader
 //
 // Logs are JSON (log/slog); lines emitted while serving a request carry
 // the request's trace_id and span_id, joining them to /debug/traces.
@@ -39,6 +43,12 @@
 // retraining, and startup replays the journal — ledger, sequence
 // numbers and idempotency keys all survive a crash. See
 // docs/durability.md.
+//
+// With -replicas the leader ships that WAL to follower processes
+// (started with -role follower), keeping warm standbys a manual
+// POST /admin/promote turns into the leader; -ack quorum withholds
+// /buy acknowledgements until a majority of the cluster durably holds
+// the sale. See docs/replication.md and scripts/cluster_smoke.sh.
 //
 // Example:
 //
@@ -71,6 +81,7 @@ import (
 	"github.com/datamarket/mbp/internal/obs/slo"
 	"github.com/datamarket/mbp/internal/obs/trace"
 	"github.com/datamarket/mbp/internal/obs/ts"
+	"github.com/datamarket/mbp/internal/replica"
 	"github.com/datamarket/mbp/internal/repricer"
 	"github.com/datamarket/mbp/internal/resilience"
 	"github.com/datamarket/mbp/internal/store"
@@ -102,6 +113,13 @@ func main() {
 		repriceWindow = flag.Int("reprice-window", repricer.DefaultWindow, "demand window in epochs the repricer fits over")
 		explore       = flag.Float64("explore", repricer.DefaultExplore, "repricer per-arm exploration amplitude (and starved-arm decay = explore/2)")
 
+		role        = flag.String("role", "leader", "replication role: leader | follower (see docs/replication.md)")
+		follow      = flag.String("follow", "", "follower mode: the current leader's base URL, surfaced to clients as the write redirect")
+		replicaList = flag.String("replicas", "", "comma-separated follower base URLs to ship WAL frames to")
+		ackMode     = flag.String("ack", replica.AckAsync, "replication acknowledgement mode: async | quorum")
+		ackTimeout  = flag.Duration("ack-timeout", 5*time.Second, "quorum mode: max time a /buy may wait for follower acks before a retryable 503")
+		advertise   = flag.String("advertise", "", "this node's advertised base URL for peer redirects; default http://<addr>")
+
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "server-side deadline per request; 0 disables")
 		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently served requests; 0 disables")
 		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for an admission slot before shedding with 503")
@@ -113,6 +131,25 @@ func main() {
 	// every line a request emits can be joined to its /debug/traces tree.
 	logger := slog.New(trace.NewLogHandler(slog.NewJSONHandler(os.Stderr, nil)))
 	slog.SetDefault(logger)
+
+	// Replication sanity checks, before anything expensive starts. A
+	// node replicates when it is a follower or has followers to ship to.
+	if *role != "leader" && *role != "follower" {
+		fatal(logger, fmt.Errorf("-role %q: want leader or follower", *role))
+	}
+	replicating := *role == "follower" || *replicaList != ""
+	if replicating && *storeDir == "" {
+		fatal(logger, errors.New("replication needs the WAL: set -store-dir"))
+	}
+	if *role == "follower" && *repriceEvery > 0 {
+		fatal(logger, errors.New("followers do not reprice; -reprice-interval requires -role leader"))
+	}
+	// A leader shipping to followers watches its own lag: fold the
+	// replica-lag objective into the SLO spec unless the operator
+	// already chose one.
+	if *role == "leader" && *replicaList != "" && *sloSpec != "" && !strings.Contains(*sloSpec, "replica-lag") {
+		*sloSpec += ",replica-lag=500@0.05"
+	}
 
 	var opts []httpapi.Option
 	if !*metrics {
@@ -218,6 +255,48 @@ func main() {
 		}
 	}
 
+	// Replication: every replicating node serves the wire protocol and
+	// can apply frames (so a deposed leader rejoins as a follower); the
+	// leader additionally ships its WAL to the configured followers.
+	var repl *replica.Node
+	if replicating {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + *addr
+		}
+		var targets []string
+		for _, raw := range strings.Split(*replicaList, ",") {
+			if tgt := strings.TrimSpace(raw); tgt != "" {
+				targets = append(targets, tgt)
+			}
+		}
+		if *role == "follower" {
+			mp.Broker.SetFollower(*follow)
+		}
+		repl, err = replica.New(replica.Config{
+			Store:      dled.Store(),
+			Applier:    market.NewFollowerApplier(mp.Broker, dled),
+			Broker:     mp.Broker,
+			Self:       adv,
+			Targets:    targets,
+			Ack:        *ackMode,
+			AckTimeout: *ackTimeout,
+			Chaos:      chaos,
+			Logger:     logger,
+			Seed:       *seed,
+		})
+		if err != nil {
+			fatal(logger, err)
+		}
+		opts = append(opts, httpapi.WithReplication(repl))
+		if *role == "leader" {
+			repl.StartLeading()
+		}
+		logger.Info("replication active",
+			"role", *role, "ack", *ackMode, "targets", len(targets),
+			"epoch", dled.Store().Epoch(), "frames", dled.Store().Frames(), "advertise", adv)
+	}
+
 	// Online revenue re-optimization: the repricer re-fits demand from
 	// the ledger every -reprice-interval and republishes the menu through
 	// the copy-on-write snapshot after re-certification. Note a repriced
@@ -255,6 +334,9 @@ func main() {
 			// calling the repricer stalled.
 			acfg.MaxEpochAge = 4 * *repriceEvery
 		}
+		if repl != nil {
+			acfg.Replication = repl.AuditProbe
+		}
 		auditor = audit.New(acfg)
 		opts = append(opts, httpapi.WithAuditor(auditor))
 		auditor.Start()
@@ -282,6 +364,10 @@ func main() {
 	}
 	if scraper != nil {
 		scraper.Stop()
+	}
+	// Stop the shippers before closing the store they tail.
+	if repl != nil {
+		repl.Stop()
 	}
 	// Close the store after the drain hooks flushed it. A close error
 	// means the tail of the journal may not have hit disk — log it and

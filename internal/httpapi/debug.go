@@ -16,6 +16,7 @@ import (
 	"github.com/datamarket/mbp/internal/market/audit"
 	"github.com/datamarket/mbp/internal/obs/slo"
 	"github.com/datamarket/mbp/internal/obs/ts"
+	"github.com/datamarket/mbp/internal/replica"
 	"github.com/datamarket/mbp/internal/repricer"
 )
 
@@ -70,11 +71,12 @@ func (c *config) debugRepricerHandler() http.Handler {
 // debugHealth is the /debug/health document (also the ?format=json
 // shape).
 type debugHealth struct {
-	Status  string         `json:"status"`
-	Reasons []string       `json:"reasons,omitempty"`
-	SLO     []slo.State    `json:"slo,omitempty"`
-	Audit   *audit.Summary `json:"audit,omitempty"`
-	Probes  []audit.Probe  `json:"probes,omitempty"`
+	Status      string          `json:"status"`
+	Reasons     []string        `json:"reasons,omitempty"`
+	SLO         []slo.State     `json:"slo,omitempty"`
+	Audit       *audit.Summary  `json:"audit,omitempty"`
+	Probes      []audit.Probe   `json:"probes,omitempty"`
+	Replication *replica.Status `json:"replication,omitempty"`
 }
 
 // buildDebugHealth assembles the current market-health view.
@@ -91,6 +93,10 @@ func (c *config) buildDebugHealth() debugHealth {
 		if err := c.auditor.Healthy(); err != nil {
 			doc.Reasons = append(doc.Reasons, err.Error())
 		}
+	}
+	if c.replica != nil {
+		st := c.replica.Status()
+		doc.Replication = &st
 	}
 	if len(doc.Reasons) > 0 {
 		doc.Status = "degraded"
@@ -121,6 +127,12 @@ td, th { border: 1px solid #999; padding: 0.3em 0.8em; text-align: left; }
 {{range .SLO}}<tr><td>{{.Name}}</td><td>{{burn .FastBurn}}</td><td>{{burn .SlowBurn}}</td>
 <td class="{{if .Breaching}}bad{{else}}ok{{end}}">{{if .Breaching}}breaching{{else}}ok{{end}}</td></tr>
 {{end}}</table>{{end}}
+{{if .Replication}}<h2>replication</h2>
+<p>role {{.Replication.Role}}, ack {{.Replication.Ack}}, epoch {{.Replication.Epoch}}, {{.Replication.Frames}} frames</p>
+{{if .Replication.Targets}}<table><tr><th>target</th><th>acked</th><th>lag (frames)</th><th>lag (s)</th><th>breaker</th></tr>
+{{range .Replication.Targets}}<tr><td>{{.Target}}</td><td>{{.Acked}}</td>
+<td class="{{if .LagFrames}}bad{{else}}ok{{end}}">{{.LagFrames}}</td><td>{{printf "%.1f" .LagSeconds}}</td><td>{{.Breaker}}</td></tr>
+{{end}}</table>{{end}}{{end}}
 {{if .Audit}}<h2>auditor</h2>
 <p>{{.Audit.Sweeps}} sweeps, {{.Audit.Probes}} probes, {{.Audit.ViolationsTotal}} violations
 (last: {{when .Audit.LastViolationAt}})</p>

@@ -289,6 +289,13 @@ func (s *Server) buy(w http.ResponseWriter, r *http.Request) {
 	}
 	p, replayed, err := s.broker.BuyIdempotent(r.Context(), r.Header.Get("Idempotency-Key"), buy)
 	if err != nil {
+		// A follower refuses writes; tell the client where the leader is
+		// so it can redirect instead of guessing.
+		if errors.Is(err, market.ErrFollower) {
+			if hint := s.broker.LeaderHint(); hint != "" {
+				w.Header().Set("X-Leader", hint)
+			}
+		}
 		s.writeErr(r, w, statusFor(err), err)
 		return
 	}
@@ -332,6 +339,14 @@ func statusFor(err error) int {
 		// The journal refused the write: the sale was rolled back and
 		// the buyer not charged. 503 tells clients (and the idempotency
 		// machinery) this is the broker's fault and safe to retry.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, market.ErrFollower):
+		// Writes only land on the leader; the X-Leader header points
+		// there. 503 keeps idempotent retries safe.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, market.ErrReplicationLag):
+		// Journaled but not quorum-acknowledged in time: retrying the
+		// same Idempotency-Key replays the sale once the quorum heals.
 		return http.StatusServiceUnavailable
 	case errors.Is(err, market.ErrUnknownModel):
 		return http.StatusNotFound

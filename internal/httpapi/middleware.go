@@ -12,6 +12,7 @@ import (
 	"github.com/datamarket/mbp/internal/obs/slo"
 	"github.com/datamarket/mbp/internal/obs/trace"
 	"github.com/datamarket/mbp/internal/obs/ts"
+	"github.com/datamarket/mbp/internal/replica"
 	"github.com/datamarket/mbp/internal/repricer"
 	"github.com/datamarket/mbp/internal/resilience"
 )
@@ -40,6 +41,9 @@ type config struct {
 	sloEval  *slo.Evaluator     // SLO state on /debug/health
 	auditor  *audit.Auditor     // audit state on /debug/health
 	repricer *repricer.Repricer // epoch ring on /debug/repricer
+
+	// Replication wiring; see replication.go.
+	replica *replica.Node // /replica/* + /admin/promote, nil = off
 }
 
 func defaultConfig() config {
@@ -189,11 +193,14 @@ func (c *config) mount(mux *http.ServeMux) {
 	if c.tsStore != nil {
 		mux.Handle("GET /metrics/history", c.tsStore.Handler())
 	}
-	if c.sloEval != nil || c.auditor != nil {
+	if c.sloEval != nil || c.auditor != nil || c.replica != nil {
 		mux.Handle("GET /debug/health", c.debugHealthHandler())
 	}
 	if c.repricer != nil {
 		mux.Handle("GET /debug/repricer", c.debugRepricerHandler())
+	}
+	if c.replica != nil {
+		c.mountReplication(mux)
 	}
 	mux.Handle("GET /healthz", c.healthzHandler())
 }

@@ -44,6 +44,7 @@ const (
 	CheckConservation = "conservation"
 	CheckWAL          = "wal"
 	CheckReprice      = "reprice"
+	CheckReplication  = "replication"
 )
 
 // Defaults.
@@ -98,6 +99,12 @@ type Config struct {
 	// epoch; 0 disables the stall check (harness-driven epochs have no
 	// wall-clock cadence).
 	MaxEpochAge time.Duration
+	// Replication, when set, samples the replication topology each
+	// sweep — on a leader, replica.Node.AuditProbe compares every
+	// reachable follower's stream digest at its exact frame cursor
+	// against the leader's digest history. A false return raises
+	// audit.violations_total{check="replication"}.
+	Replication func() (detail string, ok bool)
 }
 
 // Probe is one recorded check outcome; /debug/health shows the last
@@ -191,7 +198,7 @@ func New(cfg Config) *Auditor {
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
-	for _, check := range []string{CheckArbitrage, CheckConservation, CheckWAL, CheckReprice} {
+	for _, check := range []string{CheckArbitrage, CheckConservation, CheckWAL, CheckReprice, CheckReplication} {
 		a.metViol[check] = cfg.Registry.Counter(obs.Name("audit.violations_total", "check", check))
 	}
 	return a
@@ -272,6 +279,7 @@ func (a *Auditor) Sweep(now time.Time) {
 	a.sweepConservation(now, record)
 	a.sweepWAL(record)
 	a.sweepReprice(now, record)
+	a.sweepReplication(record)
 
 	if clean {
 		a.cleanStreak++
@@ -502,6 +510,17 @@ func (a *Auditor) sweepReprice(now time.Time, record func(check, detail string, 
 	}
 	record(CheckReprice, fmt.Sprintf(
 		"live menu matches repricer epoch %d (%d points)", epoch1, len(pts)), true)
+}
+
+// sweepReplication delegates to the configured topology probe (the
+// replication layer owns the wire protocol; the auditor owns the
+// cadence, the violation counter, and the degraded latch).
+func (a *Auditor) sweepReplication(record func(check, detail string, ok bool)) {
+	if a.cfg.Replication == nil {
+		return
+	}
+	detail, ok := a.cfg.Replication()
+	record(CheckReplication, detail, ok)
 }
 
 // recordProbeLocked files one probe into the recent ring.

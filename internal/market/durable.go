@@ -20,13 +20,15 @@ import (
 
 	"github.com/datamarket/mbp/internal/ml"
 	"github.com/datamarket/mbp/internal/obs/trace"
+	"github.com/datamarket/mbp/internal/pricing"
 	"github.com/datamarket/mbp/internal/store"
 )
 
 // WAL record kinds.
 const (
-	walKindTx   = "tx"
-	walKindSkip = "skip"
+	walKindTx    = "tx"
+	walKindSkip  = "skip"
+	walKindCurve = "curve"
 )
 
 // walRecord is one journal entry. Kind "tx" carries a transaction
@@ -35,9 +37,19 @@ const (
 // allocated, canceled under concurrent traffic, and could not be
 // handed back, so recovery can account for the gap.
 type walRecord struct {
-	Kind string `json:"kind"`
-	Tx   *walTx `json:"tx,omitempty"`
-	Seq  uint64 `json:"seq,omitempty"`
+	Kind  string    `json:"kind"`
+	Tx    *walTx    `json:"tx,omitempty"`
+	Seq   uint64    `json:"seq,omitempty"`
+	Curve *walCurve `json:"curve,omitempty"`
+}
+
+// walCurve journals a repriced menu: the certified curve RepublishCurve
+// accepted for a model. Recovery (and replicating followers) republish
+// the newest one per model so a restarted or promoted broker serves the
+// repriced menu, not the boot-time one.
+type walCurve struct {
+	Model  ml.Model        `json:"model"`
+	Points []pricing.Point `json:"points"`
 }
 
 // walTx is a journaled transaction plus its idempotency entry.
@@ -68,6 +80,7 @@ type ledgerState struct {
 	Txs     []Transaction `json:"txs"`
 	Skips   []uint64      `json:"skips,omitempty"`
 	Replays []walReplay   `json:"replays,omitempty"`
+	Curves  []walCurve    `json:"curves,omitempty"`
 }
 
 // RecoveredState summarizes what OpenDurableLedger rebuilt; Broker.
@@ -88,6 +101,10 @@ type RecoveredState struct {
 	// Replays is the number of journaled idempotency entries found
 	// (before TTL filtering at seed time).
 	Replays int
+	// Curves holds the newest journaled repriced curve per model;
+	// AttachDurableLedger republishes them so the recovered broker
+	// serves the repriced menu.
+	Curves map[ml.Model][]pricing.Point
 	// Lost lists sequence numbers below MaxSeq with neither a
 	// transaction nor a skip record: sales in flight at the crash,
 	// allocated but never journaled — and therefore never acknowledged
@@ -110,6 +127,7 @@ type DurableLedger struct {
 	mu      sync.Mutex
 	skips   []uint64
 	replays map[string]walReplay
+	curves  map[ml.Model][]pricing.Point
 }
 
 // OpenDurableLedger opens (creating if needed) the journal in dir and
@@ -117,7 +135,10 @@ type DurableLedger struct {
 // Broker.AttachDurableLedger. Store metrics hooks are installed on top
 // of any the caller provided.
 func OpenDurableLedger(dir string, o store.Options) (*DurableLedger, *RecoveredState, error) {
-	d := &DurableLedger{replays: make(map[string]walReplay)}
+	d := &DurableLedger{
+		replays: make(map[string]walReplay),
+		curves:  make(map[ml.Model][]pricing.Point),
+	}
 	rs := &RecoveredState{}
 
 	userAppend, userFsync := o.Hooks.OnAppend, o.Hooks.OnFsync
@@ -162,6 +183,9 @@ func OpenDurableLedger(dir string, o store.Options) (*DurableLedger, *RecoveredS
 			for _, rp := range snap.Replays {
 				d.replays[rp.Key] = rp
 			}
+			for _, cv := range snap.Curves {
+				d.curves[cv.Model] = cv.Points
+			}
 			track(snap.MaxSeq, snap.Logical)
 			return nil
 		},
@@ -185,6 +209,11 @@ func OpenDurableLedger(dir string, o store.Options) (*DurableLedger, *RecoveredS
 				d.skips = append(d.skips, wr.Seq)
 				rs.Skips++
 				track(wr.Seq, 0)
+			case walKindCurve:
+				if wr.Curve == nil {
+					return fmt.Errorf("market: wal curve record without body")
+				}
+				d.curves[wr.Curve.Model] = wr.Curve.Points
 			default:
 				return fmt.Errorf("market: unknown wal record kind %q", wr.Kind)
 			}
@@ -197,6 +226,10 @@ func OpenDurableLedger(dir string, o store.Options) (*DurableLedger, *RecoveredS
 	d.mem.seq.Store(rs.MaxSeq)
 	rs.Stats = stats
 	rs.Replays = len(d.replays)
+	rs.Curves = make(map[ml.Model][]pricing.Point, len(d.curves))
+	for m, pts := range d.curves {
+		rs.Curves[m] = pts
+	}
 
 	// Journal order is append order, not sequence order: a crash can
 	// cut off a sale whose number is below a journaled one (allocated,
@@ -285,6 +318,23 @@ func (d *DurableLedger) record(ctx context.Context, tx Transaction, rep *pending
 	return nil
 }
 
+// journalCurve appends a repriced-curve record so recovery and
+// replicating followers republish the same certified menu. The newest
+// points per model are also retained for compaction snapshots.
+func (d *DurableLedger) journalCurve(m ml.Model, pts []pricing.Point) error {
+	rec, err := json.Marshal(walRecord{Kind: walKindCurve, Curve: &walCurve{Model: m, Points: pts}})
+	if err != nil {
+		return fmt.Errorf("market: encoding curve record: %w", err)
+	}
+	if err := d.st.Append(rec); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.curves[m] = pts
+	d.mu.Unlock()
+	return nil
+}
+
 func (d *DurableLedger) view() *ledgerView { return d.mem.view() }
 
 func (d *DurableLedger) totals() (int, float64, float64) { return d.mem.totals() }
@@ -323,7 +373,11 @@ func (d *DurableLedger) Compact() error {
 		}
 		state.Replays = append(state.Replays, rp)
 	}
+	for m, pts := range d.curves {
+		state.Curves = append(state.Curves, walCurve{Model: m, Points: pts})
+	}
 	d.mu.Unlock()
+	sort.Slice(state.Curves, func(i, j int) bool { return state.Curves[i].Model < state.Curves[j].Model })
 	sort.Slice(state.Replays, func(i, j int) bool { return state.Replays[i].At.Before(state.Replays[j].At) })
 	for i := range v.txs {
 		if l := v.txs[i].Stamp.Logical; l > state.Logical {
@@ -353,6 +407,10 @@ func (d *DurableLedger) Close() error { return d.st.Close() }
 // Dir returns the journal directory.
 func (d *DurableLedger) Dir() string { return d.st.Dir() }
 
+// Store exposes the underlying WAL engine; the replication layer ships
+// and installs frames through it.
+func (d *DurableLedger) Store() *store.Store { return d.st }
+
 // AttachDurableLedger swaps the broker's in-memory ledger for d and
 // resumes serving state from the recovered journal: the sequence
 // counter and logical clock continue past their pre-crash maxima, and
@@ -377,20 +435,34 @@ func (b *Broker) AttachDurableLedger(d *DurableLedger, rs *RecoveredState) {
 		if i >= len(v.txs) || v.txs[i].Seq != rp.Seq {
 			continue // journal damage already surfaced at Open; skip defensively
 		}
-		tx := v.txs[i]
-		p := &Purchase{
-			Instance: &ml.Instance{
-				Model:     tx.Model,
-				W:         append([]float64(nil), rp.W...),
-				Mu:        rp.Mu,
-				TrainLoss: rp.TrainLoss,
-			},
-			Model:         tx.Model,
-			Delta:         tx.Delta,
-			ExpectedError: tx.ExpectedError,
-			Price:         tx.Price,
-			Seq:           tx.Seq,
+		b.replay.Seed(key, purchaseFromReplay(v.txs[i], rp), rp.At)
+	}
+	// Republish the newest journaled repriced curve per model, without
+	// re-journaling it. Best effort: a curve for a model not on this
+	// broker's menu (or whose grid no longer matches) is skipped — the
+	// boot-time certified menu keeps serving.
+	for m, pts := range rs.Curves {
+		if c, err := pricing.NewCurve(pts); err == nil {
+			b.republishCurve(m, c, false)
 		}
-		b.replay.Seed(key, p, rp.At)
+	}
+}
+
+// purchaseFromReplay rebuilds the original *Purchase from a ledger row
+// plus its journaled idempotency entry — byte-identical weights, no
+// fresh noise draw.
+func purchaseFromReplay(tx Transaction, rp walReplay) *Purchase {
+	return &Purchase{
+		Instance: &ml.Instance{
+			Model:     tx.Model,
+			W:         append([]float64(nil), rp.W...),
+			Mu:        rp.Mu,
+			TrainLoss: rp.TrainLoss,
+		},
+		Model:         tx.Model,
+		Delta:         tx.Delta,
+		ExpectedError: tx.ExpectedError,
+		Price:         tx.Price,
+		Seq:           tx.Seq,
 	}
 }

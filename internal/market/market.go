@@ -141,6 +141,13 @@ type Broker struct {
 	// Purchase back (same Seq, same weights, same ledger row) instead
 	// of being charged twice.
 	replay *resilience.ReplayCache[*Purchase]
+	// follower, leaderHint and barrier implement the replication
+	// stances (see follower.go): a follower broker refuses sells until
+	// promoted, and a quorum-ack leader blocks acknowledgements on the
+	// barrier until enough replicas hold the journaled frame.
+	follower   atomic.Bool
+	leaderHint atomic.Pointer[string]
+	barrier    atomic.Pointer[ackBarrier]
 }
 
 // Replay-cache sizing: entries expire ReplayTTL after the purchase
@@ -642,12 +649,30 @@ func (b *Broker) BuyWithPriceBudgetContext(ctx context.Context, m ml.Model, budg
 func (b *Broker) BuyIdempotent(ctx context.Context, key string, buy func(context.Context) (*Purchase, error)) (p *Purchase, replayed bool, err error) {
 	if key == "" {
 		p, err = buy(ctx)
-		return p, false, err
+		if err == nil {
+			err = b.waitAck(ctx)
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		return p, false, nil
 	}
 	// The owning flight carries the key in its context so a durable
 	// ledger can journal the idempotency entry with the transaction.
 	keyed := withIdempotencyKey(ctx, key)
 	p, replayed, err = b.replay.Do(ctx, key, func() (*Purchase, error) { return buy(keyed) })
+	if err == nil {
+		// The acknowledgement barrier runs outside the replay flight so
+		// a quorum timeout does not evict the cached success: the sale
+		// is journaled and shipping, and a retry under the same key
+		// replays the original Seq (and re-waits for the quorum) rather
+		// than charging twice. Replayed successes wait too — under a
+		// partition, quorum mode stalls acknowledgements, it never
+		// invents them.
+		if aerr := b.waitAck(ctx); aerr != nil {
+			return nil, replayed, aerr
+		}
+	}
 	if replayed && err == nil {
 		metReplayed.Inc()
 		if span := trace.FromContext(ctx); span != nil {
@@ -707,6 +732,10 @@ func (b *Broker) QuoteContext(ctx context.Context, m ml.Model, delta float64) (p
 func (b *Broker) sell(ctx context.Context, m ml.Model, off *offer, delta float64) (*Purchase, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if b.follower.Load() {
+		metRejected.Inc()
+		return nil, ErrFollower
 	}
 	_, eval := trace.Start(ctx, "pricing.curve_eval", "delta", strconv.FormatFloat(delta, 'g', -1, 64))
 	price := off.curve.Price(1 / delta)
@@ -847,6 +876,14 @@ var ErrCurveRejected = errors.New("market: candidate curve rejected")
 // readers never block and never observe a torn offer: they serve
 // either the old certified curve or the new one.
 func (b *Broker) RepublishCurve(m ml.Model, c *pricing.Curve) error {
+	return b.republishCurve(m, c, true)
+}
+
+// republishCurve is RepublishCurve's core. journal controls whether the
+// accepted curve is journaled to a durable ledger for replication and
+// recovery: live repricing journals, while the recovery and follower
+// apply paths (whose input IS the journal) must not re-journal.
+func (b *Broker) republishCurve(m ml.Model, c *pricing.Curve, journal bool) error {
 	if c == nil {
 		return fmt.Errorf("%w: nil curve", ErrCurveRejected)
 	}
@@ -873,5 +910,13 @@ func (b *Broker) RepublishCurve(m ml.Model, c *pricing.Curve) error {
 	next := *off
 	next.curve = c
 	b.publishLocked(m, &next)
+	if journal {
+		if d, ok := b.ledger.(*DurableLedger); ok {
+			// Best effort: a journal failure latches the store failed and
+			// every subsequent sale refuses to record, which /healthz
+			// surfaces far more loudly than a lost curve frame would.
+			d.journalCurve(m, c.Points())
+		}
+	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 //	buy-p99=250ms@0.05   p99 latency ≤ 250ms, 5% of windows may exceed
 //	error-rate=0.01      ≤1% of requests may be 5xx
 //	shed-rate=0.05       ≤5% of requests may be load-shed
+//	replica-lag=500@0.05 follower lag ≤ 500 frames, 5% of windows may exceed
 //
 // Entries are comma-separated; an empty spec disables SLOs. Window
 // sizes derive from the scrape interval (fast = 10 scrapes, slow = 60)
@@ -82,6 +83,26 @@ func ParseSpec(spec string, scrape time.Duration) ([]Objective, error) {
 			o.Series = obs.Name("http.requests_total", "route", buyRoute, "status", "5xx") + ts.SuffixRate
 			o.TotalSeries = totalRate
 			o.Budget = b
+		case "replica-lag":
+			thr, budget, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("slo: %s wants <frames>@<budget>, got %q", key, val)
+			}
+			frames, err := strconv.ParseFloat(thr, 64)
+			if err != nil || frames < 0 {
+				return nil, fmt.Errorf("slo: %s threshold %q: want a non-negative frame count", key, thr)
+			}
+			b, err := parseBudget(budget)
+			if err != nil {
+				return nil, fmt.Errorf("slo: %s: %w", key, err)
+			}
+			// Latency-kind over the plain lag gauge: the objective burns
+			// in every scrape window where the worst follower's lag
+			// exceeds the frame threshold.
+			o.Kind = Latency
+			o.Series = "replica.lag_frames"
+			o.Threshold = frames
+			o.Budget = b
 		case "shed-rate":
 			b, err := parseBudget(val)
 			if err != nil {
@@ -92,7 +113,7 @@ func ParseSpec(spec string, scrape time.Duration) ([]Objective, error) {
 			o.TotalSeries = totalRate
 			o.Budget = b
 		default:
-			return nil, fmt.Errorf("slo: unknown objective %q (want buy-p99, error-rate, shed-rate)", key)
+			return nil, fmt.Errorf("slo: unknown objective %q (want buy-p99, error-rate, shed-rate, replica-lag)", key)
 		}
 		out = append(out, o)
 	}

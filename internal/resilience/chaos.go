@@ -24,6 +24,7 @@ var (
 	metChaosTorn    = obs.Default.Counter(obs.Name("resilience.chaos_injected_total", "kind", "torn_write"))
 	metChaosShort   = obs.Default.Counter(obs.Name("resilience.chaos_injected_total", "kind", "short_write"))
 	metChaosFsync   = obs.Default.Counter(obs.Name("resilience.chaos_injected_total", "kind", "fsync_error"))
+	metChaosPart    = obs.Default.Counter(obs.Name("resilience.chaos_injected_total", "kind", "partition"))
 )
 
 // ChaosConfig sets the per-decision fault probabilities. All
@@ -55,6 +56,12 @@ type ChaosConfig struct {
 	ShortProb float64
 	// FsyncErrProb is the probability a StoreFaults fsync fails.
 	FsyncErrProb float64
+	// PartitionProb is the probability Partition reports the link cut:
+	// a replication shipment is dropped on the floor as if the network
+	// between leader and follower had failed. Combined with Delay it
+	// models a flaky WAN hop; quorum acknowledgement must stall, not
+	// lose data, while it fires.
+	PartitionProb float64
 }
 
 // Chaos injects faults probabilistically. Every decision draws from
@@ -158,6 +165,24 @@ func (c *Chaos) Drop() bool {
 	return false
 }
 
+// Partition returns ErrInjected with probability PartitionProb —
+// wired on the leader→follower frame-shipping hop, where it drops the
+// shipment before it reaches the wire (the follower sees nothing; the
+// shipper's retry loop re-sends from the follower's cursor).
+func (c *Chaos) Partition(ctx context.Context) error {
+	if c == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if c.draw().Bernoulli(c.cfg.Load().PartitionProb) {
+		metChaosPart.Inc()
+		return ErrInjected
+	}
+	return nil
+}
+
 // StoreFaults adapts the injector to the storage engine's fault hooks
 // (store.Options.Faults): torn writes (TornProb) leave a partial frame
 // on disk and fail the store exactly like a crash mid-append, short
@@ -199,7 +224,8 @@ func (c *Chaos) StoreFaults() *store.Faults {
 //	err=0.1,latency=0.05,latency-ms=20,hang=0.01,drop=0.02,seed=7
 //
 // The storage-engine fault keys torn, short and fsync-err feed
-// StoreFaults.
+// StoreFaults; partition feeds the replication shipping hop (see
+// Partition).
 //
 // Unknown keys, unparsable values, or out-of-range probabilities are
 // errors. An empty spec returns (nil, nil): chaos disabled.
@@ -233,7 +259,7 @@ func ParseChaos(spec string) (*Chaos, error) {
 			}
 			cfg.Latency = time.Duration(f * float64(time.Millisecond))
 			continue
-		case "err", "latency", "hang", "drop", "torn", "short", "fsync-err":
+		case "err", "latency", "hang", "drop", "torn", "short", "fsync-err", "partition":
 			if f < 0 || f > 1 {
 				return nil, fmt.Errorf("resilience: chaos %s must be in [0, 1], got %v", key, f)
 			}
@@ -255,6 +281,8 @@ func ParseChaos(spec string) (*Chaos, error) {
 			cfg.ShortProb = f
 		case "fsync-err":
 			cfg.FsyncErrProb = f
+		case "partition":
+			cfg.PartitionProb = f
 		}
 	}
 	return NewChaos(seed, cfg), nil

@@ -16,6 +16,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -172,6 +173,21 @@ type Store struct {
 	dirty atomic.Bool   // unsynced appends outstanding (interval/never)
 	stop  chan struct{} // closes the background syncer
 	done  chan struct{} // background syncer exited
+
+	// Replication bookkeeping (see replicate.go). frames is the logical
+	// record cursor: how many records the full stream holds (snapshot
+	// base + everything appended since), identical across replicas
+	// because every node appends the same record sequence. digest chains
+	// a CRC32C over every payload in stream order; epoch is the
+	// persisted leader-fencing epoch. base, segStart and the digest ring
+	// are guarded by mu.
+	frames   atomic.Uint64
+	digest   atomic.Uint32
+	epoch    atomic.Uint64
+	base     uint64            // frames covered by the newest snapshot
+	segStart map[uint64]uint64 // segment index → global frame index of its first record
+	ring     []digestPoint     // recent (frames, digest) pairs for divergence audits
+	ringHead int
 }
 
 // Open opens (creating if needed) the store in dir and replays its
@@ -201,11 +217,14 @@ func Open(dir string, o Options, onSnapshot func(io.Reader) error, onRecord func
 	// Recover: newest snapshot first, then every segment at or past its
 	// index. Segments older than the snapshot are compacted leftovers.
 	first := uint64(1)
+	var hdr snapHeader
 	if len(snaps) > 0 {
 		snapIdx := snaps[len(snaps)-1]
-		if err := loadSnapshot(filepath.Join(dir, snapName(snapIdx)), onSnapshot); err != nil {
+		h, err := loadSnapshot(filepath.Join(dir, snapName(snapIdx)), onSnapshot)
+		if err != nil {
 			return nil, stats, err
 		}
+		hdr = h
 		stats.SnapshotLoaded = true
 		first = snapIdx
 	}
@@ -213,9 +232,17 @@ func Open(dir string, o Options, onSnapshot func(io.Reader) error, onRecord func
 	for len(live) > 0 && live[0] < first {
 		live = live[1:]
 	}
+	// Rebuild the logical frame cursor as the segments replay: the
+	// snapshot header anchors the base, each valid record advances the
+	// cursor and folds its payload into the stream digest, and every
+	// segment remembers which global frame it starts at so ReadFrom can
+	// seek a cursor to a file position.
+	digest := hdr.Digest
+	segStart := make(map[uint64]uint64, len(live)+1)
 	for i, idx := range live {
 		name := segName(idx)
 		last := i == len(live)-1
+		segStart[idx] = hdr.FramesBefore + uint64(stats.Records)
 		buf, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			return nil, stats, fmt.Errorf("store: reading segment %s: %w", name, err)
@@ -233,6 +260,7 @@ func Open(dir string, o Options, onSnapshot func(io.Reader) error, onRecord func
 		stats.Segments++
 		for _, rec := range records {
 			stats.Records++
+			digest = crc32.Update(digest, castagnoli, rec)
 			if onRecord != nil {
 				if err := onRecord(rec); err != nil {
 					return nil, stats, fmt.Errorf("store: replaying %s: %w", name, err)
@@ -269,6 +297,22 @@ func Open(dir string, o Options, onSnapshot func(io.Reader) error, onRecord func
 	}
 	s.f, s.size = f, sz
 	s.removeObsolete(segs, snaps, first)
+
+	s.base = hdr.FramesBefore
+	s.frames.Store(hdr.FramesBefore + uint64(stats.Records))
+	s.digest.Store(digest)
+	if _, ok := segStart[s.index]; !ok {
+		segStart[s.index] = s.frames.Load()
+	}
+	s.segStart = segStart
+	s.ring = make([]digestPoint, digestRingSize)
+	s.pushDigestLocked()
+	epoch, err := readEpoch(dir)
+	if err != nil {
+		f.Close()
+		return nil, stats, err
+	}
+	s.epoch.Store(epoch)
 
 	if s.policy == FsyncInterval {
 		go s.syncLoop()
@@ -312,19 +356,24 @@ func parseIndex(name, prefix, suffix string) (uint64, error) {
 	return strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), 10, 64)
 }
 
-func loadSnapshot(path string, onSnapshot func(io.Reader) error) error {
-	if onSnapshot == nil {
-		return nil
-	}
+// loadSnapshot reads a snapshot file: the framed snapHeader first (see
+// replicate.go), then the caller payload streamed to onSnapshot.
+func loadSnapshot(path string, onSnapshot func(io.Reader) error) (snapHeader, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("store: opening snapshot: %w", err)
+		return snapHeader{}, fmt.Errorf("store: opening snapshot: %w", err)
 	}
 	defer f.Close()
-	if err := onSnapshot(f); err != nil {
-		return fmt.Errorf("store: loading snapshot %s: %w", filepath.Base(path), err)
+	hdr, err := readSnapHeader(f, filepath.Base(path))
+	if err != nil {
+		return snapHeader{}, err
 	}
-	return nil
+	if onSnapshot != nil {
+		if err := onSnapshot(f); err != nil {
+			return snapHeader{}, fmt.Errorf("store: loading snapshot %s: %w", filepath.Base(path), err)
+		}
+	}
+	return hdr, nil
 }
 
 // removeObsolete deletes segments and snapshots made redundant by the
@@ -443,6 +492,12 @@ func (s *Store) Append(rec []byte) error {
 			s.dirtySince = start
 		}
 	}
+	// The record is committed: advance the logical frame cursor and fold
+	// the payload into the stream digest (both after the durability
+	// barrier, so a scrubbed frame is never counted).
+	s.digest.Store(crc32.Update(s.digest.Load(), castagnoli, rec))
+	s.frames.Add(1)
+	s.pushDigestLocked()
 	if s.hooks.OnAppend != nil {
 		s.hooks.OnAppend(time.Since(start))
 	}
@@ -547,6 +602,7 @@ func (s *Store) rotateLocked() error {
 	}
 	s.f, s.size = f, 0
 	s.dirty.Store(false)
+	s.segStart[s.index] = s.frames.Load()
 	return s.syncDir()
 }
 
@@ -602,6 +658,14 @@ func (s *Store) Snapshot(write func(w io.Writer) error) error {
 	if err != nil {
 		return fmt.Errorf("store: creating snapshot: %w", err)
 	}
+	// The header rides inside the snapshot file, so the frame cursor it
+	// anchors is atomic with the rename that publishes the state.
+	hdr := snapHeader{FramesBefore: s.frames.Load(), Digest: s.digest.Load()}
+	if err := writeSnapHeader(f, hdr); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
@@ -624,6 +688,12 @@ func (s *Store) Snapshot(write func(w io.Writer) error) error {
 		return fmt.Errorf("store: syncing directory after snapshot: %w", err)
 	}
 	// The snapshot now owns everything before the boundary.
+	s.base = hdr.FramesBefore
+	for idx := range s.segStart {
+		if idx < boundary {
+			delete(s.segStart, idx)
+		}
+	}
 	segs, snaps, err := scanDir(s.dir)
 	if err == nil {
 		s.removeObsolete(segs, snaps, boundary)

@@ -1,0 +1,222 @@
+#!/usr/bin/env bash
+# Replication smoke: a three-node cluster (leader + two followers,
+# quorum acks) survives losing its leader without losing a single
+# acknowledged sale.
+#
+#   1. boot leader + two followers; followers warm-start from the
+#      leader's offer snapshot and refuse writes with an X-Leader hint,
+#   2. drive keyed and background purchases, kill -9 the leader
+#      mid-traffic,
+#   3. promote the follower with the most frames, wait for the cluster
+#      to converge,
+#   4. retry every acknowledged idempotency key against the new leader:
+#      each must replay (Idempotency-Replayed: true, same seq, same
+#      price) rather than charge again,
+#   5. reconcile every acknowledged sale — keyed and background —
+#      against the new leader's ledger: present exactly once, exact
+#      price, no duplicate seqs (python3 does the exact-match sweep),
+#   6. a quorum write still succeeds on the new leader,
+#   7. restart the dead leader on its stale store: it must be fenced by
+#      the higher epoch, step down to follower, and 503 writes with
+#      X-Leader pointing at the new leader.
+#
+# Set CLUSTER_SMOKE_LOGDIR to keep the per-node logs (CI uploads them
+# as artifacts); otherwise they vanish with the temp dir.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+LADDR=127.0.0.1:8801
+F1ADDR=127.0.0.1:8802
+F2ADDR=127.0.0.1:8803
+LBASE="http://$LADDR"; F1BASE="http://$F1ADDR"; F2BASE="http://$F2ADDR"
+
+WORK=$(mktemp -d)
+LDIR="$WORK/leader"; F1DIR="$WORK/f1"; F2DIR="$WORK/f2"
+mkdir -p "$LDIR" "$F1DIR" "$F2DIR"
+BIN="$WORK/mbpmarket"
+ACKED="$WORK/acked.jsonl"   # keyed sales: {"key":...,"resp":<buy body>}
+BGACKED="$WORK/bg.jsonl"    # unkeyed acknowledged buy bodies, one per line
+: >"$ACKED"; : >"$BGACKED"
+LPID=""; F1PID=""; F2PID=""; L2PID=""
+cleanup() {
+  kill $LPID $F1PID $F2PID $L2PID 2>/dev/null || true
+  if [ -n "${CLUSTER_SMOKE_LOGDIR:-}" ]; then
+    mkdir -p "$CLUSTER_SMOKE_LOGDIR"
+    cp "$WORK"/*.log "$CLUSTER_SMOKE_LOGDIR"/ 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/mbpmarket
+
+wait_healthy() { # wait_healthy <base> <log> <pid>
+  local base=$1 log=$2 pid=$3
+  for _ in $(seq 1 150); do
+    curl -fsS "$base/healthz" >/dev/null 2>&1 && return 0
+    kill -0 "$pid" 2>/dev/null || { echo "node at $base died on startup"; tail -20 "$log"; exit 1; }
+    sleep 0.2
+  done
+  echo "node at $base never became healthy"; tail -20 "$log"; exit 1
+}
+
+buy() { # buy <base> [curl-args...]
+  local base=$1; shift
+  curl -fsS -X POST "$@" -d '{"model":"linear-regression","priceBudget":40}' "$base/buy"
+}
+
+frames_of() { # frames_of <base>
+  curl -fsS "$1/replica/status" | grep -o '"frames":[0-9]*' | grep -o '[0-9]*'
+}
+
+role_of() { # role_of <base>
+  curl -fsS "$1/replica/status" | grep -o '"role":"[a-z]*"' | cut -d'"' -f4
+}
+
+echo "== start leader: trains CASP, quorum acks to two followers =="
+"$BIN" -dataset CASP -addr "$LADDR" -store-dir "$LDIR" -fsync always \
+  -role leader -replicas "$F1BASE,$F2BASE" -ack quorum -ack-timeout 10s \
+  -advertise "$LBASE" >>"$WORK/leader.log" 2>&1 &
+LPID=$!
+wait_healthy "$LBASE" "$WORK/leader.log" "$LPID"
+
+echo "== start followers: warm-start from the leader's offer snapshot =="
+cp "$LDIR/offers.json" "$F1DIR/offers.json"
+cp "$LDIR/offers.json" "$F2DIR/offers.json"
+"$BIN" -dataset CASP -addr "$F1ADDR" -store-dir "$F1DIR" -fsync always \
+  -role follower -follow "$LBASE" -replicas "$F2BASE" -ack quorum -ack-timeout 10s \
+  -advertise "$F1BASE" >>"$WORK/f1.log" 2>&1 &
+F1PID=$!
+"$BIN" -dataset CASP -addr "$F2ADDR" -store-dir "$F2DIR" -fsync always \
+  -role follower -follow "$LBASE" -replicas "$F1BASE" -ack quorum -ack-timeout 10s \
+  -advertise "$F2BASE" >>"$WORK/f2.log" 2>&1 &
+F2PID=$!
+wait_healthy "$F1BASE" "$WORK/f1.log" "$F1PID"
+wait_healthy "$F2BASE" "$WORK/f2.log" "$F2PID"
+
+echo "== followers refuse writes and point at the leader =="
+HDRS=$(mktemp)
+CODE=$(curl -s -o /dev/null -D "$HDRS" -X POST \
+  -d '{"model":"linear-regression","priceBudget":40}' -w '%{http_code}' "$F1BASE/buy")
+[ "$CODE" = 503 ] || { echo "follower /buy returned $CODE, want 503"; exit 1; }
+grep -qi "^X-Leader: $LBASE" "$HDRS" || { echo "follower 503 missing X-Leader hint"; cat "$HDRS"; exit 1; }
+rm -f "$HDRS"
+
+echo "== keyed quorum buys (the sales that must survive failover) =="
+for i in $(seq 1 5); do
+  RESP=$(buy "$LBASE" -H "Idempotency-Key: cluster-key-$i")
+  echo "{\"key\":\"cluster-key-$i\",\"resp\":$RESP}" >>"$ACKED"
+done
+
+echo "== kill -9 the leader under live load =="
+load() { # load <out-file> <n>
+  local t; t=$(mktemp)
+  for _ in $(seq 1 "$2"); do
+    if buy "$LBASE" >"$t" 2>/dev/null; then cat "$t" >>"$1"; echo >>"$1"; fi
+  done
+  rm -f "$t"
+}
+load "$WORK/bg1.jsonl" 200 & BG1=$!
+load "$WORK/bg2.jsonl" 200 & BG2=$!
+sleep 1
+kill -9 "$LPID"
+wait "$BG1" "$BG2" 2>/dev/null || true
+wait "$LPID" 2>/dev/null || true
+cat "$WORK/bg1.jsonl" "$WORK/bg2.jsonl" 2>/dev/null >>"$BGACKED" || true
+echo "   $(grep -c . "$BGACKED" || true) background sales acknowledged before the crash"
+
+echo "== promote the follower with the most frames =="
+F1F=$(frames_of "$F1BASE"); F2F=$(frames_of "$F2BASE")
+if [ "$F1F" -ge "$F2F" ]; then NEW=$F1BASE; OTHER=$F2BASE; else NEW=$F2BASE; OTHER=$F1BASE; fi
+echo "   frames: f1=$F1F f2=$F2F -> promoting $NEW"
+PROMOTE=$(curl -fsS -X POST "$NEW/admin/promote")
+echo "$PROMOTE" | grep -q '"epoch":1' || { echo "promote did not bump the epoch: $PROMOTE"; exit 1; }
+for _ in $(seq 1 50); do [ "$(role_of "$NEW")" = leader ] && break; sleep 0.1; done
+[ "$(role_of "$NEW")" = leader ] || { echo "promoted node never became leader"; exit 1; }
+
+echo "== wait for the surviving follower to converge on the new leader =="
+for _ in $(seq 1 100); do
+  [ "$(frames_of "$OTHER")" = "$(frames_of "$NEW")" ] && break
+  sleep 0.2
+done
+[ "$(frames_of "$OTHER")" = "$(frames_of "$NEW")" ] || {
+  echo "follower never converged: $(frames_of "$OTHER") != $(frames_of "$NEW")"; exit 1; }
+
+echo "== replay every acked key on the new leader; reconcile the ledger =="
+python3 - "$NEW" "$ACKED" "$BGACKED" <<'PYEOF'
+import json, sys, urllib.request
+
+base, acked_path, bg_path = sys.argv[1], sys.argv[2], sys.argv[3]
+keyed = [json.loads(l) for l in open(acked_path) if l.strip()]
+bg = [json.loads(l) for l in open(bg_path) if l.strip()]
+
+# Every acked idempotency key must replay the original sale.
+for rec in keyed:
+    req = urllib.request.Request(
+        base + "/buy",
+        data=json.dumps({"model": "linear-regression", "priceBudget": 40}).encode(),
+        headers={"Idempotency-Key": rec["key"], "Content-Type": "application/json"},
+        method="POST")
+    with urllib.request.urlopen(req) as r:
+        body = json.load(r)
+        replayed = r.headers.get("Idempotency-Replayed")
+    if replayed != "true":
+        sys.exit(f"key {rec['key']}: retry on the new leader was not a replay")
+    if body["seq"] != rec["resp"]["seq"]:
+        sys.exit(f"key {rec['key']}: replayed seq {body['seq']} != acked seq {rec['resp']['seq']}")
+    if body["price"] != rec["resp"]["price"]:
+        sys.exit(f"key {rec['key']}: replayed price {body['price']} != acked price {rec['resp']['price']}")
+
+# Exact reconciliation: every acknowledged sale — keyed or not — is in
+# the new leader's ledger exactly once at the acknowledged price, and
+# no seq appears twice. (The ledger may hold MORE rows: sales that were
+# journaled and shipped but whose ack never reached the client.)
+with urllib.request.urlopen(base + "/ledger") as r:
+    led = json.load(r)
+rows = led["transactions"]
+seqs = [t["Seq"] for t in rows]
+if len(seqs) != len(set(seqs)):
+    dupes = sorted({s for s in seqs if seqs.count(s) > 1})
+    sys.exit(f"duplicate seqs in ledger after failover: {dupes}")
+by_seq = {t["Seq"]: t for t in rows}
+acked = [r["resp"] for r in keyed] + bg
+for sale in acked:
+    row = by_seq.get(sale["seq"])
+    if row is None:
+        sys.exit(f"acked sale seq={sale['seq']} lost in failover")
+    if row["Price"] != sale["price"]:
+        sys.exit(f"seq={sale['seq']}: ledger price {row['Price']} != acked price {sale['price']}")
+acked_rev = sum(s["price"] for s in acked)
+ledger_rev = sum(t["Price"] for t in rows)
+if ledger_rev + 1e-9 < acked_rev:
+    sys.exit(f"ledger revenue {ledger_rev} below acknowledged revenue {acked_rev}")
+print(f"   reconciled: {len(acked)} acked sales present exactly once "
+      f"({len(rows)} ledger rows, revenue {ledger_rev:.2f} >= acked {acked_rev:.2f})")
+PYEOF
+
+echo "== quorum writes work on the new leader =="
+POST_SEQ=$(buy "$NEW" | grep -o '"seq":[0-9]*' | grep -o '[0-9]*')
+[ -n "$POST_SEQ" ] || { echo "post-failover quorum buy failed"; exit 1; }
+echo "   post-failover sale acked as seq $POST_SEQ"
+
+echo "== restart the dead leader: it must be fenced and step down =="
+"$BIN" -dataset CASP -addr "$LADDR" -store-dir "$LDIR" -fsync always \
+  -role leader -replicas "$F1BASE,$F2BASE" -ack quorum -ack-timeout 10s \
+  -advertise "$LBASE" >>"$WORK/leader-restart.log" 2>&1 &
+L2PID=$!
+wait_healthy "$LBASE" "$WORK/leader-restart.log" "$L2PID"
+for _ in $(seq 1 100); do [ "$(role_of "$LBASE")" = follower ] && break; sleep 0.1; done
+[ "$(role_of "$LBASE")" = follower ] || { echo "stale leader was never deposed"; exit 1; }
+HDRS=$(mktemp)
+CODE=$(curl -s -o /dev/null -D "$HDRS" -X POST \
+  -d '{"model":"linear-regression","priceBudget":40}' -w '%{http_code}' "$LBASE/buy")
+[ "$CODE" = 503 ] || { echo "deposed leader /buy returned $CODE, want 503"; exit 1; }
+grep -qi "^X-Leader: $NEW" "$HDRS" || {
+  echo "deposed leader 503 does not point at the new leader"; cat "$HDRS"; exit 1; }
+rm -f "$HDRS"
+
+KEYED_N=$(grep -c . "$ACKED"); BG_N=$(grep -c . "$BGACKED" || true)
+EPOCH=$(curl -fsS "$NEW/replica/status" | grep -o '"epoch":[0-9]*' | grep -o '[0-9]*')
+echo "cluster smoke OK: $KEYED_N keyed + $BG_N background acked sales survived failover," \
+  "stale leader fenced out of epoch $EPOCH"

@@ -5,7 +5,8 @@
 #   1. every pre-crash sale is still in the ledger (same count, same
 #      sequence numbers, contiguous from 1),
 #   2. retrying the captured idempotency key replays the original sale
-#      (Idempotency-Replayed: true, same seq) instead of charging again.
+#      (Idempotency-Replayed: true, same seq, same price) instead of
+#      charging again.
 # Stdlib tools only — JSON is picked apart with grep -o, no jq.
 set -euo pipefail
 
@@ -44,6 +45,7 @@ start
 for i in 1 2 3; do buy >/dev/null; done
 KEYED=$(buy -H 'Idempotency-Key: smoke-key-1')
 KEYED_SEQ=$(echo "$KEYED" | grep -o '"seq":[0-9]*' | grep -o '[0-9]*')
+KEYED_PRICE=$(echo "$KEYED" | grep -o '"price":[0-9.eE+-]*' | head -1)
 buy >/dev/null
 BEFORE=$(ledger_seqs)
 COUNT=$(echo "$BEFORE" | wc -l)
@@ -80,6 +82,10 @@ grep -qi '^Idempotency-Replayed: true' "$REPLAY_HDRS" || {
 rm -f "$REPLAY_HDRS"
 REPLAY_SEQ=$(echo "$REPLAY" | grep -o '"seq":[0-9]*' | grep -o '[0-9]*')
 [ "$REPLAY_SEQ" = "$KEYED_SEQ" ] || { echo "replayed seq $REPLAY_SEQ != original $KEYED_SEQ"; exit 1; }
+# The replay must return the originally charged price, byte for byte —
+# a retrained model or recomputed menu would betray a fresh charge.
+REPLAY_PRICE=$(echo "$REPLAY" | grep -o '"price":[0-9.eE+-]*' | head -1)
+[ "$REPLAY_PRICE" = "$KEYED_PRICE" ] || { echo "replayed $REPLAY_PRICE != original $KEYED_PRICE"; exit 1; }
 FINAL=$(ledger_seqs | wc -l)
 AFTER_N=$(echo "$AFTER" | wc -l)
 [ "$FINAL" -eq "$AFTER_N" ] || { echo "replay appended a ledger row ($AFTER_N -> $FINAL)"; exit 1; }
