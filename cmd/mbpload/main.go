@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"github.com/datamarket/mbp/internal/curves"
+	"github.com/datamarket/mbp/internal/market"
 	"github.com/datamarket/mbp/internal/market/audit"
 	"github.com/datamarket/mbp/internal/market/markettest"
 	"github.com/datamarket/mbp/internal/obs"
@@ -304,8 +305,15 @@ func run(c *cfg) error {
 	var fixture *workload.BrokerClient
 	if c.endpoint == "" {
 		// In-process: a fresh fixture broker, so the harness owns the
-		// whole ledger and every invariant is checkable.
-		b, err := markettest.New(c.seed)
+		// whole ledger and every invariant is checkable. A churn
+		// scenario starts from the multi-seller fixture (Shapley-derived
+		// stakes) so there is a seller to withdraw mid-run.
+		var b *market.Broker
+		if ch := sc.Churn; ch != nil {
+			b, err = markettest.NewMultiSeller(c.seed, ch.Sellers)
+		} else {
+			b, err = markettest.New(c.seed)
+		}
 		if err != nil {
 			return fmt.Errorf("building fixture broker: %w", err)
 		}
@@ -367,6 +375,36 @@ func run(c *cfg) error {
 		})
 		opts.BarrierEvery = c.repriceEvery
 		opts.AtBarrier = func(int) { rp.Epoch(time.Now()) }
+	}
+	// Seller churn executes at the barrier nearest Churn.At: the pool is
+	// drained, so every sale is split under exactly one stake table and
+	// the exact-conservation invariant must hold across the regime
+	// change. Composes with the repricer barrier when both are set.
+	if ch := sc.Churn; ch != nil && fixture != nil {
+		churnAt := int(ch.At * float64(c.buyers))
+		if opts.BarrierEvery <= 0 {
+			opts.BarrierEvery = churnAt
+			if opts.BarrierEvery < 1 {
+				opts.BarrierEvery = 1
+			}
+		}
+		withdrawn := fmt.Sprintf("seller-%d", ch.Sellers-1)
+		prev := opts.AtBarrier
+		churned := false
+		opts.AtBarrier = func(done int) {
+			if prev != nil {
+				prev(done)
+			}
+			if !churned && done >= churnAt {
+				churned = true
+				if err := fixture.B.WithdrawSeller(withdrawn); err != nil {
+					fmt.Fprintln(os.Stderr, "mbpload: seller withdrawal failed:", err)
+				} else {
+					fmt.Printf("churn@%d buyers: withdrew %s; stakes renormalized over %d sellers\n",
+						done, withdrawn, ch.Sellers-1)
+				}
+			}
+		}
 	}
 
 	mon := startMonitor(c, fixture, rp, reg)

@@ -1,0 +1,248 @@
+// Package attr computes per-seller revenue attribution weights for
+// jointly-trained model instances: each seller contributes a dataset,
+// the broker trains one instance on the union, and every sale's price
+// is divided among the sellers in proportion to their Shapley value
+// under a pluggable coalition-value function (for the marketplace,
+// marginal loss reduction — see ValueFromDatasets).
+//
+// The Shapley value is the unique attribution satisfying efficiency
+// (Σᵢ φᵢ = v(N) − v(∅)), symmetry (interchangeable sellers earn the
+// same), the dummy axiom (a seller that never changes any coalition's
+// value earns zero), and additivity. Triple-Win-Pricing's SV_{i|j}
+// coupling and Dealer (arXiv 2003.13103) use the same construction to
+// tie dataset prices to model prices.
+//
+// Exact enumeration visits all 2^n coalitions and is the default for
+// small seller counts; beyond ExactLimit sellers a seeded
+// sampled-permutation estimator is used instead, reporting a
+// Hoeffding-style confidence half-width alongside the estimate.
+package attr
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+// ExactLimit is the largest seller count Shapley enumerates exactly by
+// default: 2^10 coalition evaluations is cheap; growth past that is
+// better spent on sampled permutations.
+const ExactLimit = 10
+
+// maxExact hard-caps exact enumeration: beyond 2^20 coalitions the
+// enumeration itself (independent of the value function) is no longer
+// "small".
+const maxExact = 20
+
+// ValueFunc is a coalition-value function over seller subsets. The
+// coalition is a bitmask: bit i set means seller i participates.
+// Implementations should be deterministic; Memoize caches evaluations
+// so exact enumeration calls the underlying function at most 2^n times
+// and sampling at most once per distinct prefix.
+type ValueFunc func(coalition uint64) float64
+
+// Memoize wraps v with a cache keyed by coalition mask.
+func Memoize(v ValueFunc) ValueFunc {
+	cache := make(map[uint64]float64)
+	return func(c uint64) float64 {
+		if got, ok := cache[c]; ok {
+			return got
+		}
+		val := v(c)
+		cache[c] = val
+		return val
+	}
+}
+
+// Result is a computed attribution.
+type Result struct {
+	// Values are the (estimated) Shapley values φᵢ, one per seller.
+	// They sum to v(N) − v(∅) (exactly for Exact, in expectation for
+	// sampled), and may be negative for free-rider sellers whose data
+	// hurts the model.
+	Values []float64
+	// Weights are the Values projected onto the attribution simplex:
+	// negatives clamped to zero, then normalized to sum to 1. These are
+	// the stakes the market splits revenue by. If no seller has a
+	// positive value the weights fall back to uniform.
+	Weights []float64
+	// Exact reports whether Values came from full enumeration.
+	Exact bool
+	// Samples is the number of permutations drawn (0 when Exact).
+	Samples int
+	// Bound is a per-seller confidence half-width: with probability
+	// ≥ 1−delta each |Valuesᵢ − φᵢ| ≤ Bound. Zero when Exact.
+	Bound float64
+}
+
+// Options tune Shapley.
+type Options struct {
+	// Seed drives the permutation sampler; the same seed and value
+	// function reproduce the estimate bit-for-bit.
+	Seed uint64
+	// Samples is the number of permutations the estimator draws when
+	// enumeration is out of reach; 0 means DefaultSamples.
+	Samples int
+	// Delta is the estimator's failure probability for Bound; 0 means
+	// DefaultDelta.
+	Delta float64
+	// ExactLimit overrides the enumeration cutoff; 0 means the package
+	// default, capped at maxExact.
+	ExactLimit int
+}
+
+// DefaultSamples is the permutation budget when Options.Samples is 0.
+const DefaultSamples = 200
+
+// DefaultDelta is the estimator failure probability when Options.Delta
+// is 0.
+const DefaultDelta = 0.05
+
+// Shapley attributes v across n sellers: exact enumeration for
+// n ≤ ExactLimit (or the override), sampled permutations beyond.
+func Shapley(n int, v ValueFunc, o Options) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("attr: need at least one seller, got %d", n)
+	}
+	if n > 63 {
+		return Result{}, fmt.Errorf("attr: %d sellers exceeds the 63-bit coalition mask", n)
+	}
+	limit := o.ExactLimit
+	if limit == 0 {
+		limit = ExactLimit
+	}
+	if limit > maxExact {
+		limit = maxExact
+	}
+	if n <= limit {
+		return Exact(n, v)
+	}
+	return Sampled(n, v, o)
+}
+
+// Exact computes the Shapley values by full enumeration of all 2^n
+// coalitions. The value function is called at most 2^n times (wrap with
+// Memoize if it is expensive and may be shared with other callers).
+func Exact(n int, v ValueFunc) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("attr: need at least one seller, got %d", n)
+	}
+	if n > maxExact {
+		return Result{}, fmt.Errorf("attr: exact enumeration over %d sellers (2^%d coalitions) refused; use Sampled", n, n)
+	}
+	v = Memoize(v)
+	// w[s] = s!·(n−1−s)!/n! — the probability that, in a uniformly
+	// random permutation, a fixed seller arrives exactly after a given
+	// s-element coalition. Computed by the recurrence
+	// w[0] = 1/n, w[s] = w[s−1]·s/(n−s) to avoid factorial overflow.
+	w := make([]float64, n)
+	w[0] = 1 / float64(n)
+	for s := 1; s < n; s++ {
+		w[s] = w[s-1] * float64(s) / float64(n-s)
+	}
+	phi := make([]float64, n)
+	full := uint64(1)<<uint(n) - 1
+	for mask := uint64(0); mask < full; mask++ {
+		size := popcount(mask)
+		base := v(mask)
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if mask&bit != 0 {
+				continue
+			}
+			phi[i] += w[size] * (v(mask|bit) - base)
+		}
+	}
+	return Result{Values: phi, Weights: simplex(phi), Exact: true}, nil
+}
+
+// Sampled estimates the Shapley values by averaging marginal
+// contributions over m uniformly random permutations (Castro et al.'s
+// simple sampler), seeded so the estimate is reproducible. The reported
+// Bound is a Hoeffding half-width from the empirically observed range
+// of marginal contributions:
+//
+//	Bound = (max Δ − min Δ) · sqrt(ln(2/δ) / (2m))
+//
+// Using the observed range rather than an a-priori one keeps the bound
+// honest for value functions whose range is unknown; it is exact-vs-
+// sampled agreement, not a formal PAC guarantee, that the market's
+// tests hold it to.
+func Sampled(n int, v ValueFunc, o Options) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("attr: need at least one seller, got %d", n)
+	}
+	if n > 63 {
+		return Result{}, fmt.Errorf("attr: %d sellers exceeds the 63-bit coalition mask", n)
+	}
+	m := o.Samples
+	if m <= 0 {
+		m = DefaultSamples
+	}
+	delta := o.Delta
+	if delta <= 0 || delta >= 1 {
+		delta = DefaultDelta
+	}
+	v = Memoize(v)
+	phi := make([]float64, n)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	rr := rng.Stream(o.Seed, 0xa77)
+	for t := 0; t < m; t++ {
+		perm := rr.Perm(n)
+		mask := uint64(0)
+		prev := v(0)
+		for _, i := range perm {
+			mask |= uint64(1) << uint(i)
+			cur := v(mask)
+			d := cur - prev
+			phi[i] += d
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+			prev = cur
+		}
+	}
+	inv := 1 / float64(m)
+	for i := range phi {
+		phi[i] *= inv
+	}
+	bound := (hi - lo) * math.Sqrt(math.Log(2/delta)/(2*float64(m)))
+	return Result{Values: phi, Weights: simplex(phi), Samples: m, Bound: bound}, nil
+}
+
+// simplex projects raw Shapley values onto attribution weights:
+// negatives (free riders) clamp to zero and the rest normalize to sum
+// to 1; if nothing is positive, attribution is uniform.
+func simplex(phi []float64) []float64 {
+	w := make([]float64, len(phi))
+	total := 0.0
+	for i, p := range phi {
+		if p > 0 {
+			w[i] = p
+			total += p
+		}
+	}
+	if total <= 0 {
+		u := 1 / float64(len(phi))
+		for i := range w {
+			w[i] = u
+		}
+		return w
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

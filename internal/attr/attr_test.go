@@ -1,0 +1,277 @@
+package attr
+
+import (
+	"math"
+	"testing"
+
+	"github.com/datamarket/mbp/internal/dataset"
+	"github.com/datamarket/mbp/internal/linalg"
+	"github.com/datamarket/mbp/internal/ml"
+	"github.com/datamarket/mbp/internal/rng"
+)
+
+// additiveGame returns v(S) = Σ_{i∈S} c[i]; its Shapley values are
+// exactly c.
+func additiveGame(c []float64) ValueFunc {
+	return func(mask uint64) float64 {
+		total := 0.0
+		for i, ci := range c {
+			if mask&(uint64(1)<<uint(i)) != 0 {
+				total += ci
+			}
+		}
+		return total
+	}
+}
+
+func TestExactAdditiveGame(t *testing.T) {
+	c := []float64{3, 0, 1.5, 1.5, -0.5}
+	res, err := Exact(len(c), additiveGame(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Bound != 0 || res.Samples != 0 {
+		t.Fatalf("exact result mislabeled: %+v", res)
+	}
+	for i, want := range c {
+		if math.Abs(res.Values[i]-want) > 1e-12 {
+			t.Errorf("phi[%d] = %v, want %v (additivity)", i, res.Values[i], want)
+		}
+	}
+	// Dummy axiom: seller 1 contributes nothing and must get exactly 0
+	// weight after the simplex projection too.
+	if res.Weights[1] != 0 {
+		t.Errorf("dummy seller weight = %v, want 0", res.Weights[1])
+	}
+	// Symmetry: sellers 2 and 3 are interchangeable.
+	if math.Abs(res.Values[2]-res.Values[3]) > 1e-12 {
+		t.Errorf("symmetric sellers differ: %v vs %v", res.Values[2], res.Values[3])
+	}
+	// Free rider (negative value) clamps to zero weight; weights sum to 1.
+	if res.Weights[4] != 0 {
+		t.Errorf("free-rider weight = %v, want 0", res.Weights[4])
+	}
+	sum := 0.0
+	for _, w := range res.Weights {
+		if w < 0 {
+			t.Errorf("negative weight %v", w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %v, want 1", sum)
+	}
+}
+
+func TestExactEfficiency(t *testing.T) {
+	// A non-additive game with interactions: v(S) = (Σ c_i)^2 over the
+	// coalition. Efficiency must still hold exactly.
+	c := []float64{1, 2, 0.5, 3, 0.25, 1.75}
+	n := len(c)
+	v := func(mask uint64) float64 {
+		s := additiveGame(c)(mask)
+		return s * s
+	}
+	res, err := Exact(n, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, p := range res.Values {
+		total += p
+	}
+	grand := v(uint64(1)<<uint(n) - 1)
+	if math.Abs(total-grand) > 1e-9*(1+math.Abs(grand)) {
+		t.Errorf("efficiency: Σφ = %v, v(N) = %v", total, grand)
+	}
+}
+
+func TestUniformFallback(t *testing.T) {
+	// All sellers hurt: every value negative → uniform weights.
+	res, err := Exact(3, additiveGame([]float64{-1, -2, -3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range res.Weights {
+		if math.Abs(w-1.0/3) > 1e-12 {
+			t.Errorf("weight[%d] = %v, want uniform 1/3", i, w)
+		}
+	}
+}
+
+// TestSampledWithinBound is the acceptance property: on ≤8-seller
+// fixtures the sampled estimator must agree with exact enumeration
+// within its own reported confidence bound.
+func TestSampledWithinBound(t *testing.T) {
+	r := rng.New(42)
+	for _, n := range []int{3, 5, 8} {
+		// Random supermodular-ish game: additive part plus pairwise
+		// interaction terms, values drawn from the seeded rng.
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = r.Float64() * 10
+		}
+		pair := make([][]float64, n)
+		for i := range pair {
+			pair[i] = make([]float64, n)
+			for j := range pair[i] {
+				pair[i][j] = r.Float64()
+			}
+		}
+		v := func(mask uint64) float64 {
+			total := additiveGame(c)(mask)
+			for i := 0; i < n; i++ {
+				if mask&(uint64(1)<<uint(i)) == 0 {
+					continue
+				}
+				for j := i + 1; j < n; j++ {
+					if mask&(uint64(1)<<uint(j)) != 0 {
+						total += pair[i][j]
+					}
+				}
+			}
+			return total
+		}
+		exact, err := Exact(n, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := Sampled(n, v, Options{Seed: 7, Samples: 400, Delta: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Bound <= 0 {
+			t.Fatalf("n=%d: estimator reported non-positive bound %v", n, est.Bound)
+		}
+		for i := range exact.Values {
+			if diff := math.Abs(exact.Values[i] - est.Values[i]); diff > est.Bound {
+				t.Errorf("n=%d seller %d: |exact−sampled| = %v exceeds reported bound %v", n, i, diff, est.Bound)
+			}
+		}
+	}
+}
+
+func TestSampledDeterministic(t *testing.T) {
+	v := additiveGame([]float64{1, 2, 3, 4})
+	a, err := Sampled(4, v, Options{Seed: 99, Samples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sampled(4, v, Options{Seed: 99, Samples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("same seed, different estimates: %v vs %v", a.Values, b.Values)
+		}
+	}
+	if a.Bound != b.Bound {
+		t.Fatalf("same seed, different bounds: %v vs %v", a.Bound, b.Bound)
+	}
+}
+
+func TestShapleyDispatch(t *testing.T) {
+	v := additiveGame(make([]float64, 12))
+	res, err := Shapley(12, v, Options{ExactLimit: 4, Samples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("12 sellers with limit 4 should have sampled")
+	}
+	res, err = Shapley(3, v, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("3 sellers should enumerate exactly")
+	}
+	if _, err := Shapley(0, v, Options{}); err == nil {
+		t.Fatal("0 sellers should error")
+	}
+	if _, err := Exact(maxExact+1, v); err == nil {
+		t.Fatal("oversized exact enumeration should refuse")
+	}
+}
+
+// synthSeller builds a regression dataset of n rows on the line
+// y = 2x₀ − x₁, plus label noise of the given scale.
+func synthSeller(t *testing.T, name string, n int, noise float64, r *rng.RNG) *dataset.Dataset {
+	t.Helper()
+	x := linalg.NewMatrix(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := r.Float64()*2-1, r.Float64()*2-1
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		y[i] = 2*a - b + noise*(r.Float64()*2-1)
+	}
+	ds, err := dataset.New(name, dataset.Regression, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestLossReductionValue(t *testing.T) {
+	r := rng.New(1)
+	holdout := synthSeller(t, "holdout", 200, 0, r)
+	clean := synthSeller(t, "clean", 80, 0.01, r)
+	twin := clean.Subset(seqRows(clean.N())) // identical data, second seller
+	twin.Name = "twin"
+	// The saboteur's labels are anti-correlated with the true signal.
+	bad := synthSeller(t, "bad", 80, 0.01, r)
+	for i := range bad.Y {
+		bad.Y[i] = -bad.Y[i]
+	}
+
+	v, err := LossReduction(ml.LinearRegression, []*dataset.Dataset{clean, twin, bad}, holdout, ml.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v(0); got != 0 {
+		t.Fatalf("v(∅) = %v, want 0", got)
+	}
+	if got := v(1); got <= 0 {
+		t.Fatalf("informative seller alone has value %v, want > 0", got)
+	}
+	res, err := Exact(3, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical datasets ⇒ identical coalition values under swap ⇒
+	// exactly symmetric Shapley values.
+	if res.Values[0] != res.Values[1] {
+		t.Errorf("identical sellers got %v and %v", res.Values[0], res.Values[1])
+	}
+	if res.Values[2] >= res.Values[0] {
+		t.Errorf("saboteur value %v not below informative value %v", res.Values[2], res.Values[0])
+	}
+	sum := 0.0
+	for _, w := range res.Weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %v", sum)
+	}
+}
+
+func TestLossReductionValidation(t *testing.T) {
+	r := rng.New(2)
+	holdout := synthSeller(t, "holdout", 50, 0, r)
+	if _, err := LossReduction(ml.LinearRegression, nil, holdout, ml.Options{}); err == nil {
+		t.Error("empty seller list should error")
+	}
+	if _, err := LossReduction(ml.LogisticRegression, []*dataset.Dataset{holdout}, holdout, ml.Options{}); err == nil {
+		t.Error("task mismatch should error")
+	}
+}
+
+func seqRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}

@@ -1,0 +1,108 @@
+package attr
+
+import (
+	"fmt"
+
+	"github.com/datamarket/mbp/internal/dataset"
+	"github.com/datamarket/mbp/internal/linalg"
+	"github.com/datamarket/mbp/internal/ml"
+)
+
+// LossReduction builds the marketplace's canonical coalition-value
+// function: v(S) is the held-out loss reduction achieved by training
+// the model on the union of the coalition's datasets,
+//
+//	v(S) = L(h₀, holdout) − L(h*(∪_{i∈S} Dᵢ), holdout),   v(∅) = 0,
+//
+// where h₀ is the zero-weight baseline (what a buyer knows with no
+// data at all) and L is the model's surrogate test loss. A coalition
+// whose data helps has positive value; one whose data misleads the
+// model can go negative — that is the free-rider signal the simplex
+// projection in Result.Weights clamps away.
+//
+// Training runs once per distinct coalition and is memoized, so exact
+// enumeration over n sellers costs at most 2^n−1 trainings. Returns an
+// error if the seller list is empty, dimensions disagree, or the
+// holdout task does not match the model.
+func LossReduction(m ml.Model, sellers []*dataset.Dataset, holdout *dataset.Dataset, o ml.Options) (ValueFunc, error) {
+	if len(sellers) == 0 {
+		return nil, fmt.Errorf("attr: no seller datasets")
+	}
+	if len(sellers) > 63 {
+		return nil, fmt.Errorf("attr: %d sellers exceeds the 63-bit coalition mask", len(sellers))
+	}
+	if holdout.Task != m.Task() {
+		return nil, fmt.Errorf("attr: holdout task %v does not match model %v", holdout.Task, m)
+	}
+	d := holdout.D()
+	for i, ds := range sellers {
+		if ds.D() != d {
+			return nil, fmt.Errorf("attr: seller %d has %d features, holdout has %d", i, ds.D(), d)
+		}
+		if ds.Task != m.Task() {
+			return nil, fmt.Errorf("attr: seller %d task %v does not match model %v", i, ds.Task, m)
+		}
+		if ds.N() == 0 {
+			return nil, fmt.Errorf("attr: seller %d contributes an empty dataset", i)
+		}
+	}
+	// The empty-coalition baseline: the zero hyperplane — what a buyer
+	// holds with no data at all — scored once on the holdout with the
+	// model's surrogate test loss (the same loss ml.Evaluate reports).
+	zero := &ml.Instance{Model: m, W: linalg.Zeros(d)}
+	baseErr, err := ml.Evaluate(zero, holdout)
+	if err != nil {
+		return nil, err
+	}
+	base := baseErr.Surrogate
+
+	fn := func(mask uint64) float64 {
+		if mask == 0 {
+			return 0
+		}
+		union, err := unionDataset(m, sellers, mask)
+		if err != nil {
+			// Dimensions were validated above; a failure here means a
+			// coalition trained degenerate (e.g. singular normal
+			// equations). Value it as "no better than nothing" rather
+			// than poisoning the whole attribution.
+			return 0
+		}
+		inst, err := ml.Train(m, union, o)
+		if err != nil {
+			return 0
+		}
+		te, err := ml.Evaluate(inst, holdout)
+		if err != nil {
+			return 0
+		}
+		return base - te.Surrogate
+	}
+	return Memoize(fn), nil
+}
+
+// unionDataset concatenates the rows of every seller dataset named in
+// the coalition mask into one training set.
+func unionDataset(m ml.Model, sellers []*dataset.Dataset, mask uint64) (*dataset.Dataset, error) {
+	rows := 0
+	for i, ds := range sellers {
+		if mask&(uint64(1)<<uint(i)) != 0 {
+			rows += ds.N()
+		}
+	}
+	d := sellers[0].D()
+	x := linalg.NewMatrix(rows, d)
+	y := make([]float64, 0, rows)
+	at := 0
+	for i, ds := range sellers {
+		if mask&(uint64(1)<<uint(i)) == 0 {
+			continue
+		}
+		for r := 0; r < ds.N(); r++ {
+			copy(x.Row(at), ds.X.Row(r))
+			at++
+		}
+		y = append(y, ds.Y...)
+	}
+	return dataset.New(fmt.Sprintf("coalition-%x", mask), m.Task(), x, y)
+}

@@ -181,3 +181,10 @@ func (c *Client) Ledger(ctx context.Context) (LedgerResponse, error) {
 	err := c.get(ctx, "/ledger", nil, &out)
 	return out, err
 }
+
+// Sellers fetches the attribution stake table and per-seller revenue.
+func (c *Client) Sellers(ctx context.Context) (SellersResponse, error) {
+	var out SellersResponse
+	err := c.get(ctx, "/sellers", nil, &out)
+	return out, err
+}

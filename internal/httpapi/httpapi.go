@@ -13,6 +13,7 @@
 //	                                     "errorBudget" | "priceBudget",
 //	                                     optional "epsilon"}
 //	GET  /ledger                       — transactions and revenue split
+//	GET  /sellers                      — attribution stakes and per-seller revenue
 //
 // Every route runs inside a server span (continuing any inbound W3C
 // traceparent), so a purchase shows up at /debug/traces as a span tree
@@ -78,6 +79,7 @@ func (s *Server) Mux() *http.ServeMux {
 	mux.HandleFunc("GET /quote", s.cfg.instrument("/quote", s.quote))
 	mux.HandleFunc("POST /buy", s.cfg.instrument("/buy", s.buy))
 	mux.HandleFunc("GET /ledger", s.cfg.instrument("/ledger", s.ledger))
+	mux.HandleFunc("GET /sellers", s.cfg.instrument("/sellers", s.sellers))
 	s.cfg.mount(mux)
 	return mux
 }
@@ -227,6 +229,11 @@ type BuyResponse struct {
 	Price         float64   `json:"price"`
 	Weights       []float64 `json:"weights"`
 	Seq           int       `json:"seq"`
+	// Shares is the sale's attribution table — each staked seller's
+	// weight and exact slice of the price — and BrokerShare the broker's
+	// commission cut; together they reconstruct Price exactly.
+	Shares      []market.SellerShare `json:"shares,omitempty"`
+	BrokerShare float64              `json:"brokerShare,omitempty"`
 }
 
 // maxBuyBody bounds a /buy request body. The largest legitimate
@@ -309,14 +316,20 @@ func (s *Server) buy(w http.ResponseWriter, r *http.Request) {
 		Price:         p.Price,
 		Weights:       p.Instance.W,
 		Seq:           p.Seq,
+		Shares:        p.Shares,
+		BrokerShare:   p.BrokerShare,
 	})
 }
 
 // LedgerResponse reports completed transactions and the revenue split.
+// Sellers breaks the aggregate sellerShare down per seller id (see
+// market.Broker.RevenueSplits); the two views agree — Σ sellers ==
+// sellerShare up to float formatting of independently-summed totals.
 type LedgerResponse struct {
 	Transactions []market.Transaction `json:"transactions"`
 	SellerShare  float64              `json:"sellerShare"`
 	BrokerShare  float64              `json:"brokerShare"`
+	Sellers      map[string]float64   `json:"sellers,omitempty"`
 }
 
 func (s *Server) ledger(w http.ResponseWriter, r *http.Request) {
@@ -325,6 +338,38 @@ func (s *Server) ledger(w http.ResponseWriter, r *http.Request) {
 		Transactions: s.broker.Ledger(),
 		SellerShare:  seller,
 		BrokerShare:  broker,
+		Sellers:      s.broker.RevenueSplits(),
+	})
+}
+
+// SellersResponse reports the live attribution stake table and each
+// seller's cumulative attributed revenue. The recovery smoke tests
+// compare this document byte-for-byte across a crash (Go's JSON encoder
+// sorts map keys, so equal totals encode identically).
+type SellersResponse struct {
+	// Stakes is the stake table future sales will split by.
+	Stakes []market.SellerStake `json:"stakes"`
+	// Revenue is cumulative attributed revenue per seller.
+	Revenue map[string]float64 `json:"revenue"`
+	// BrokerShare is the broker's cumulative commission.
+	BrokerShare float64 `json:"brokerShare"`
+	// ExactViolations counts ledger rows whose attribution table fails
+	// to reconstruct the price exactly; ResumMismatches counts stripe
+	// totals disagreeing with an independent re-sum. Both must be zero
+	// (see market.AttributionReport).
+	ExactViolations int `json:"exactViolations"`
+	ResumMismatches int `json:"resumMismatches"`
+}
+
+func (s *Server) sellers(w http.ResponseWriter, r *http.Request) {
+	_, broker := s.broker.RevenueSplit()
+	rep := s.broker.AttributionTotals()
+	s.writeJSON(r, w, http.StatusOK, SellersResponse{
+		Stakes:          s.broker.SellerStakes(),
+		Revenue:         s.broker.RevenueSplits(),
+		BrokerShare:     broker,
+		ExactViolations: rep.ExactViolations,
+		ResumMismatches: rep.ResumMismatches,
 	})
 }
 

@@ -409,6 +409,38 @@ func (a *Auditor) sweepConservation(now time.Time, record func(check, detail str
 	}
 	record(CheckConservation, fmt.Sprintf(
 		"split %.9g+%.9g = gross %.9g over %d rows", seller, broker, gross2, rows2), true)
+
+	// Per-seller attribution: every row's table must reconstruct its
+	// price exactly (zero tolerance — the quantized split guarantees it),
+	// each stripe's running totals must match an append-order re-sum
+	// bitwise, and the per-seller totals plus the broker's commission and
+	// legacy gross must re-assemble the ledger gross.
+	rep := b.AttributionTotals()
+	if rep.ExactViolations > 0 {
+		record(CheckConservation, fmt.Sprintf(
+			"%d of %d rows break exact attribution conservation (Σ shares + broker ≠ price)",
+			rep.ExactViolations, rep.Rows), false)
+		return
+	}
+	if rep.ResumMismatches > 0 {
+		record(CheckConservation, fmt.Sprintf(
+			"%d stripe attribution totals disagree with their append-order re-sum",
+			rep.ResumMismatches), false)
+		return
+	}
+	var attributed float64
+	for _, amt := range rep.Sellers {
+		attributed += amt
+	}
+	if d := math.Abs(attributed + rep.Broker + rep.Legacy - rep.Gross); d > tol(rep.Gross) {
+		record(CheckConservation, fmt.Sprintf(
+			"per-seller attribution %.9g+broker %.9g+legacy %.9g misses gross %.9g by %.3g",
+			attributed, rep.Broker, rep.Legacy, rep.Gross, d), false)
+		return
+	}
+	record(CheckConservation, fmt.Sprintf(
+		"attribution exact over %d rows (%d attributed, %d sellers)",
+		rep.Rows, rep.AttributedRows, len(rep.Sellers)), true)
 }
 
 // sweepWAL watches the durability engine through its metrics: persist

@@ -26,21 +26,32 @@ import (
 
 // WAL record kinds.
 const (
-	walKindTx    = "tx"
-	walKindSkip  = "skip"
-	walKindCurve = "curve"
+	walKindTx     = "tx"
+	walKindSkip   = "skip"
+	walKindCurve  = "curve"
+	walKindStakes = "stakes"
 )
 
 // walRecord is one journal entry. Kind "tx" carries a transaction
 // (with its optional idempotency entry in the same frame — see
 // pendingReplay); kind "skip" records a sequence number that was
 // allocated, canceled under concurrent traffic, and could not be
-// handed back, so recovery can account for the gap.
+// handed back, so recovery can account for the gap; kind "stakes"
+// records a published attribution stake table so recovery and
+// replicating followers resume splitting revenue over the same sellers.
+//
+// Record encoding is versioned at the store layer (store.DecodeRecord):
+// a tx that carries an attribution table is written as a v2 envelope —
+// this JSON document as the payload (with the tx's Shares/BrokerShare
+// stripped) plus the binary share table as the attachment, in ONE WAL
+// frame, so the sale and its attribution commit atomically. All other
+// kinds, and pre-upgrade tx records, are bare (v1) JSON.
 type walRecord struct {
-	Kind  string    `json:"kind"`
-	Tx    *walTx    `json:"tx,omitempty"`
-	Seq   uint64    `json:"seq,omitempty"`
-	Curve *walCurve `json:"curve,omitempty"`
+	Kind   string        `json:"kind"`
+	Tx     *walTx        `json:"tx,omitempty"`
+	Seq    uint64        `json:"seq,omitempty"`
+	Curve  *walCurve     `json:"curve,omitempty"`
+	Stakes []SellerStake `json:"stakes,omitempty"`
 }
 
 // walCurve journals a repriced menu: the certified curve RepublishCurve
@@ -81,6 +92,11 @@ type ledgerState struct {
 	Skips   []uint64      `json:"skips,omitempty"`
 	Replays []walReplay   `json:"replays,omitempty"`
 	Curves  []walCurve    `json:"curves,omitempty"`
+	// Stakes is the attribution stake table in force at the snapshot
+	// boundary. Snapshot rows carry their attribution tables inline
+	// (Transaction.Shares marshals to JSON), so only the live stakes
+	// need snapshotting separately.
+	Stakes []SellerStake `json:"stakes,omitempty"`
 }
 
 // RecoveredState summarizes what OpenDurableLedger rebuilt; Broker.
@@ -105,6 +121,11 @@ type RecoveredState struct {
 	// AttachDurableLedger republishes them so the recovered broker
 	// serves the repriced menu.
 	Curves map[ml.Model][]pricing.Point
+	// Stakes is the newest journaled attribution stake table (nil when
+	// the journal predates multi-seller attribution);
+	// AttachDurableLedger republishes it so the recovered broker keeps
+	// splitting revenue over the same sellers.
+	Stakes []SellerStake
 	// Lost lists sequence numbers below MaxSeq with neither a
 	// transaction nor a skip record: sales in flight at the crash,
 	// allocated but never journaled — and therefore never acknowledged
@@ -128,6 +149,34 @@ type DurableLedger struct {
 	skips   []uint64
 	replays map[string]walReplay
 	curves  map[ml.Model][]pricing.Point
+	// stakes is the newest journaled attribution stake table.
+	stakes []SellerStake
+	// sawV2 latches once an attributed (v2-envelope) transaction has
+	// been journaled, recovered, or applied. A bare v1 tx arriving
+	// after that is an epoch downgrade — some writer running the old
+	// encoding — and is rejected rather than silently filed as legacy
+	// gross, which would quietly leak sellers' revenue to the
+	// pre-attribution bucket.
+	sawV2 bool
+}
+
+// errMixedEpoch reports a v1 (pre-attribution) transaction encountered
+// after v2 records: mixed-epoch downgrades are refused.
+var errMixedEpoch = fmt.Errorf("market: v1 transaction after v2 attribution records (mixed-epoch downgrade)")
+
+// noteTxEpoch enforces the downgrade fence for one tx record and
+// records its epoch. v2 latches sawV2; a v1 tx after that errors.
+func (d *DurableLedger) noteTxEpoch(isV2 bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if isV2 {
+		d.sawV2 = true
+		return nil
+	}
+	if d.sawV2 {
+		return errMixedEpoch
+	}
+	return nil
 }
 
 // OpenDurableLedger opens (creating if needed) the journal in dir and
@@ -174,6 +223,15 @@ func OpenDurableLedger(dir string, o store.Options) (*DurableLedger, *RecoveredS
 				d.mem.file(tx)
 				rs.Transactions++
 				track(uint64(tx.Seq), tx.Stamp.Logical)
+				if tx.Shares != nil || tx.BrokerShare != 0 {
+					// Attributed rows in the snapshot put the journal in
+					// the v2 epoch: later bare v1 tx records are a
+					// downgrade.
+					d.sawV2 = true
+				}
+			}
+			if snap.Stakes != nil {
+				d.stakes = snap.Stakes
 			}
 			for _, seq := range snap.Skips {
 				d.skips = append(d.skips, seq)
@@ -190,14 +248,14 @@ func OpenDurableLedger(dir string, o store.Options) (*DurableLedger, *RecoveredS
 			return nil
 		},
 		func(rec []byte) error {
-			var wr walRecord
-			if err := json.Unmarshal(rec, &wr); err != nil {
-				return fmt.Errorf("market: decoding wal record: %w", err)
+			wr, isV2, err := decodeWALRecord(rec)
+			if err != nil {
+				return err
 			}
 			switch wr.Kind {
 			case walKindTx:
-				if wr.Tx == nil {
-					return fmt.Errorf("market: wal tx record without body")
+				if err := d.noteTxEpoch(isV2); err != nil {
+					return err
 				}
 				d.mem.file(wr.Tx.Transaction)
 				rs.Transactions++
@@ -210,12 +268,9 @@ func OpenDurableLedger(dir string, o store.Options) (*DurableLedger, *RecoveredS
 				rs.Skips++
 				track(wr.Seq, 0)
 			case walKindCurve:
-				if wr.Curve == nil {
-					return fmt.Errorf("market: wal curve record without body")
-				}
 				d.curves[wr.Curve.Model] = wr.Curve.Points
-			default:
-				return fmt.Errorf("market: unknown wal record kind %q", wr.Kind)
+			case walKindStakes:
+				d.stakes = wr.Stakes
 			}
 			return nil
 		})
@@ -226,6 +281,7 @@ func OpenDurableLedger(dir string, o store.Options) (*DurableLedger, *RecoveredS
 	d.mem.seq.Store(rs.MaxSeq)
 	rs.Stats = stats
 	rs.Replays = len(d.replays)
+	rs.Stakes = append([]SellerStake(nil), d.stakes...)
 	rs.Curves = make(map[ml.Model][]pricing.Point, len(d.curves))
 	for m, pts := range d.curves {
 		rs.Curves[m] = pts
@@ -260,6 +316,50 @@ func OpenDurableLedger(dir string, o store.Options) (*DurableLedger, *RecoveredS
 		metStoreRecoverySnapshot.Set(0)
 	}
 	return d, rs, nil
+}
+
+// decodeWALRecord decodes one journaled record: the store-level
+// envelope first (v1 bare JSON vs v2 payload+attribution table), then
+// the JSON body, then — for v2 transactions — the binary share table,
+// which is attached back onto the transaction. Both recovery and the
+// follower applier read records through this single path, so the two
+// can never disagree about what a record means. isV2Tx reports a
+// transaction carried in a v2 envelope (the epoch fence's input).
+func decodeWALRecord(rec []byte) (wr walRecord, isV2Tx bool, err error) {
+	ver, payload, table, err := store.DecodeRecord(rec)
+	if err != nil {
+		return walRecord{}, false, fmt.Errorf("market: decoding wal record envelope: %w", err)
+	}
+	if err := json.Unmarshal(payload, &wr); err != nil {
+		return walRecord{}, false, fmt.Errorf("market: decoding wal record: %w", err)
+	}
+	switch wr.Kind {
+	case walKindTx:
+		if wr.Tx == nil {
+			return walRecord{}, false, fmt.Errorf("market: wal tx record without body")
+		}
+		if ver == 2 {
+			brokerShare, shares, err := decodeShareTable(table)
+			if err != nil {
+				return walRecord{}, false, err
+			}
+			wr.Tx.Transaction.Shares = shares
+			wr.Tx.Transaction.BrokerShare = brokerShare
+			isV2Tx = true
+		}
+	case walKindSkip:
+	case walKindCurve:
+		if wr.Curve == nil {
+			return walRecord{}, false, fmt.Errorf("market: wal curve record without body")
+		}
+	case walKindStakes:
+		if wr.Stakes == nil {
+			return walRecord{}, false, fmt.Errorf("market: wal stakes record without body")
+		}
+	default:
+		return walRecord{}, false, fmt.Errorf("market: unknown wal record kind %q", wr.Kind)
+	}
+	return wr, isV2Tx, nil
 }
 
 func (d *DurableLedger) nextSeq() uint64 { return d.mem.nextSeq() }
@@ -299,9 +399,12 @@ func (d *DurableLedger) record(ctx context.Context, tx Transaction, rep *pending
 			At:        tx.Stamp.Wall,
 		}
 	}
-	rec, err := json.Marshal(walRecord{Kind: walKindTx, Tx: &wtx})
+	rec, err := encodeWALTx(&wtx)
 	if err != nil {
 		return fmt.Errorf("%w: encoding: %v", ErrSaleNotRecorded, err)
+	}
+	if err := d.noteTxEpoch(tx.Shares != nil || tx.BrokerShare != 0); err != nil {
+		return fmt.Errorf("%w: %w", ErrSaleNotRecorded, err)
 	}
 	_, span := trace.Start(ctx, "store.append", "seq", strconv.Itoa(tx.Seq))
 	err = d.st.Append(rec)
@@ -315,6 +418,44 @@ func (d *DurableLedger) record(ctx context.Context, tx Transaction, rep *pending
 		d.mu.Unlock()
 	}
 	d.mem.file(tx)
+	return nil
+}
+
+// encodeWALTx marshals a tx record for the journal. A transaction
+// carrying an attribution table goes out as a v2 envelope: the JSON
+// payload with Shares/BrokerShare stripped plus the binary share table
+// as the attachment, one WAL frame, so the sale and its attribution
+// commit (and replicate) atomically. A pre-attribution transaction
+// stays bare v1 JSON — byte-identical to what old readers expect.
+func encodeWALTx(wtx *walTx) ([]byte, error) {
+	if wtx.Shares == nil && wtx.BrokerShare == 0 {
+		return json.Marshal(walRecord{Kind: walKindTx, Tx: wtx})
+	}
+	table := encodeShareTable(wtx.BrokerShare, wtx.Shares)
+	stripped := *wtx
+	stripped.Shares = nil
+	stripped.BrokerShare = 0
+	payload, err := json.Marshal(walRecord{Kind: walKindTx, Tx: &stripped})
+	if err != nil {
+		return nil, err
+	}
+	return store.EncodeRecordV2(payload, table), nil
+}
+
+// journalStakes appends a stakes record so recovery and replicating
+// followers resume splitting revenue over the same sellers. The newest
+// table is also retained for compaction snapshots.
+func (d *DurableLedger) journalStakes(stakes []SellerStake) error {
+	rec, err := json.Marshal(walRecord{Kind: walKindStakes, Stakes: stakes})
+	if err != nil {
+		return fmt.Errorf("market: encoding stakes record: %w", err)
+	}
+	if err := d.st.Append(rec); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.stakes = append([]SellerStake(nil), stakes...)
+	d.mu.Unlock()
 	return nil
 }
 
@@ -340,6 +481,12 @@ func (d *DurableLedger) view() *ledgerView { return d.mem.view() }
 func (d *DurableLedger) totals() (int, float64, float64) { return d.mem.totals() }
 
 func (d *DurableLedger) grossRevenue() float64 { return d.mem.grossRevenue() }
+
+func (d *DurableLedger) splitTotals() (map[string]float64, float64, float64) {
+	return d.mem.splitTotals()
+}
+
+func (d *DurableLedger) attributionTotals() AttributionReport { return d.mem.attributionTotals() }
 
 // replayRows returns the journaled idempotency entries (a copy).
 func (d *DurableLedger) replayRows() map[string]walReplay {
@@ -376,6 +523,7 @@ func (d *DurableLedger) Compact() error {
 	for m, pts := range d.curves {
 		state.Curves = append(state.Curves, walCurve{Model: m, Points: pts})
 	}
+	state.Stakes = append([]SellerStake(nil), d.stakes...)
 	d.mu.Unlock()
 	sort.Slice(state.Curves, func(i, j int) bool { return state.Curves[i].Model < state.Curves[j].Model })
 	sort.Slice(state.Replays, func(i, j int) bool { return state.Replays[i].At.Before(state.Replays[j].At) })
@@ -445,6 +593,13 @@ func (b *Broker) AttachDurableLedger(d *DurableLedger, rs *RecoveredState) {
 		if c, err := pricing.NewCurve(pts); err == nil {
 			b.republishCurve(m, c, false)
 		}
+	}
+	// Resume the recovered attribution stake table, without
+	// re-journaling it (the journal already holds it). A journal that
+	// predates multi-seller attribution has no stakes record; the
+	// founder-only table NewBroker seeded keeps serving.
+	if len(rs.Stakes) > 0 {
+		_ = b.applyStakes(rs.Stakes, false)
 	}
 }
 

@@ -110,3 +110,25 @@ func (e *Exchange) TotalRevenue() (sellerShare, brokerShare float64) {
 	}
 	return sellerShare, brokerShare
 }
+
+// RevenueBySeller aggregates per-seller attributed revenue across all
+// listings (see Broker.RevenueSplits), plus the brokers' total
+// commission. Sellers staked on several listings accumulate across
+// them under one id.
+func (e *Exchange) RevenueBySeller() (bySeller map[string]float64, brokerShare float64) {
+	e.mu.RLock()
+	brokers := make([]*Broker, 0, len(e.listings))
+	for _, b := range e.listings {
+		brokers = append(brokers, b)
+	}
+	e.mu.RUnlock()
+	bySeller = make(map[string]float64)
+	for _, b := range brokers {
+		for id, amt := range b.RevenueSplits() {
+			bySeller[id] += amt
+		}
+		_, br := b.RevenueSplit()
+		brokerShare += br
+	}
+	return bySeller, brokerShare
+}

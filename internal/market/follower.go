@@ -118,24 +118,22 @@ func (fa *FollowerApplier) Frames() uint64 { return fa.d.st.Frames() }
 // Callers (the replica layer) serialize ApplyRecord calls and deliver
 // records in stream order.
 func (fa *FollowerApplier) ApplyRecord(rec []byte) error {
-	var wr walRecord
-	if err := json.Unmarshal(rec, &wr); err != nil {
-		return fmt.Errorf("market: decoding replicated record: %w", err)
+	// Decode (and validate) before journaling so a malformed record
+	// never advances the frame cursor; the RAW bytes are what get
+	// appended, v2 envelope intact, so the follower's chained stream
+	// digest matches the leader's byte for byte.
+	wr, isV2, err := decodeWALRecord(rec)
+	if err != nil {
+		return fmt.Errorf("market: replicated record: %w", err)
 	}
-	// Validate before journaling so a malformed record never advances
-	// the frame cursor.
-	switch wr.Kind {
-	case walKindTx:
-		if wr.Tx == nil {
-			return fmt.Errorf("market: replicated tx record without body")
+	if wr.Kind == walKindTx {
+		// Epoch fence: once this follower has applied an attributed
+		// (v2) sale, a bare v1 sale in the stream means the leader
+		// downgraded to the pre-attribution encoding — refuse it rather
+		// than silently filing sellers' revenue as legacy gross.
+		if err := fa.d.noteTxEpoch(isV2); err != nil {
+			return err
 		}
-	case walKindSkip:
-	case walKindCurve:
-		if wr.Curve == nil {
-			return fmt.Errorf("market: replicated curve record without body")
-		}
-	default:
-		return fmt.Errorf("market: unknown replicated record kind %q", wr.Kind)
 	}
 	if err := fa.d.st.Append(rec); err != nil {
 		return err
@@ -167,6 +165,13 @@ func (fa *FollowerApplier) ApplyRecord(rec []byte) error {
 		if c, err := pricing.NewCurve(wr.Curve.Points); err == nil {
 			fa.b.republishCurve(wr.Curve.Model, c, false)
 		}
+	case walKindStakes:
+		fa.d.mu.Lock()
+		fa.d.stakes = append([]SellerStake(nil), wr.Stakes...)
+		fa.d.mu.Unlock()
+		// Publish without re-journaling (the raw record was just
+		// appended above), same shape as recovery.
+		_ = fa.b.applyStakes(wr.Stakes, false)
 	}
 	return nil
 }
@@ -190,14 +195,26 @@ func (fa *FollowerApplier) ApplySnapshot(framesBefore uint64, digest uint32, pay
 	for _, tx := range fa.d.mem.view().txs {
 		have[tx.Seq] = true
 	}
+	sawV2 := false
 	for _, tx := range snap.Txs {
 		if !have[tx.Seq] {
 			fa.d.mem.file(tx)
 		}
 		advanceMax(&fa.d.mem.seq, uint64(tx.Seq))
 		advanceMax(&fa.b.logical, tx.Stamp.Logical)
+		if tx.Shares != nil || tx.BrokerShare != 0 {
+			sawV2 = true
+		}
 	}
 	fa.d.mu.Lock()
+	if sawV2 {
+		// Attributed snapshot rows put this follower in the v2 epoch:
+		// bare v1 sales arriving later are a downgrade and are refused.
+		fa.d.sawV2 = true
+	}
+	if snap.Stakes != nil {
+		fa.d.stakes = append([]SellerStake(nil), snap.Stakes...)
+	}
 	haveSkip := make(map[uint64]bool, len(fa.d.skips))
 	for _, sk := range fa.d.skips {
 		haveSkip[sk] = true
@@ -230,6 +247,9 @@ func (fa *FollowerApplier) ApplySnapshot(framesBefore uint64, digest uint32, pay
 		if c, err := pricing.NewCurve(cv.Points); err == nil {
 			fa.b.republishCurve(cv.Model, c, false)
 		}
+	}
+	if len(snap.Stakes) > 0 {
+		_ = fa.b.applyStakes(snap.Stakes, false)
 	}
 	return nil
 }

@@ -56,10 +56,22 @@ type Ledger interface {
 	// cadence against the live broker.
 	totals() (rows int, gross, stripeGross float64)
 	// grossRevenue returns the running stripe-accumulated gross — O(1)
-	// per stripe, no row walk. This is the figure RevenueSplit and the
-	// /metrics snapshot read on every poll; totals() re-derives it from
-	// the rows so the auditor can cross-check the accumulation.
+	// per stripe, no row walk. This is the figure the revenue-split
+	// readers and the /metrics snapshot poll; totals() re-derives it
+	// from the rows so the auditor can cross-check the accumulation.
 	grossRevenue() float64
+	// splitTotals returns the running attribution totals accumulated at
+	// append time: cumulative attributed revenue per seller, the
+	// broker's cumulative commission, and the gross of legacy rows that
+	// carry no attribution table (recorded before the v2 upgrade).
+	// Like grossRevenue it is O(sellers) per stripe, no row walk.
+	splitTotals() (bySeller map[string]float64, broker, legacy float64)
+	// attributionTotals re-derives the per-seller totals from the rows
+	// themselves and cross-checks them against the running figures —
+	// the attribution half of the conservation audit (see
+	// AttributionReport). Each stripe is scanned in place under its
+	// lock, no snapshot build.
+	attributionTotals() AttributionReport
 }
 
 // pendingReplay carries the idempotency entry recorded atomically with
@@ -109,7 +121,15 @@ type ledgerShard struct {
 	mu    sync.Mutex
 	txs   []Transaction
 	total float64
-	_     [24]byte
+	// Attribution running totals, accumulated at append time in row
+	// order (the same order attributionTotals re-sums in, so the audit
+	// comparison is bitwise, not tolerance-based): attributed revenue
+	// per seller, the broker's commission, and the gross of legacy rows
+	// with no attribution table.
+	bySeller map[string]float64
+	broker   float64
+	legacy   float64
+	_        [24]byte
 }
 
 // nextSeq allocates the next 1-based sequence number. The number is
@@ -142,8 +162,25 @@ func (l *shardedLedger) file(tx Transaction) {
 	sh.mu.Lock()
 	sh.txs = append(sh.txs, tx)
 	sh.total += tx.Price
+	sh.fileSplitLocked(&tx)
 	sh.mu.Unlock()
 	l.recorded.Add(1)
+}
+
+// fileSplitLocked folds one row's attribution table into the stripe's
+// running totals. Callers hold the stripe lock.
+func (sh *ledgerShard) fileSplitLocked(tx *Transaction) {
+	if tx.Shares == nil && tx.BrokerShare == 0 {
+		sh.legacy += tx.Price
+		return
+	}
+	if sh.bySeller == nil {
+		sh.bySeller = make(map[string]float64)
+	}
+	for i := range tx.Shares {
+		sh.bySeller[tx.Shares[i].SellerID] += tx.Shares[i].Amount
+	}
+	sh.broker += tx.BrokerShare
 }
 
 // view returns the Seq-ordered snapshot, rebuilding it only when rows
@@ -217,4 +254,79 @@ func (l *shardedLedger) grossRevenue() float64 {
 		sh.mu.Unlock()
 	}
 	return total
+}
+
+// splitTotals implements Ledger: the running attribution totals, read
+// per stripe under its lock — no row walk.
+func (l *shardedLedger) splitTotals() (map[string]float64, float64, float64) {
+	bySeller := make(map[string]float64)
+	var broker, legacy float64
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for id, amt := range sh.bySeller {
+			bySeller[id] += amt
+		}
+		broker += sh.broker
+		legacy += sh.legacy
+		sh.mu.Unlock()
+	}
+	return bySeller, broker, legacy
+}
+
+// attributionTotals implements Ledger. Like totals() it bypasses the
+// view cache and scans each stripe in place under its lock: the rows
+// are re-summed in append order — the exact order the running totals
+// accumulated in — so a healthy ledger's running and re-summed figures
+// agree bitwise, and any difference at all is an accounting bug, not
+// float noise. Per-row conservation (Σ shares + broker == price) is
+// checked with zero tolerance; the quantized split guarantees it
+// exactly.
+func (l *shardedLedger) attributionTotals() AttributionReport {
+	rep := AttributionReport{Sellers: make(map[string]float64)}
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		resum := make(map[string]float64, len(sh.bySeller))
+		var resumBroker, resumLegacy float64
+		for j := range sh.txs {
+			tx := &sh.txs[j]
+			rep.Rows++
+			rep.Gross += tx.Price
+			if !conservesExactly(tx) {
+				rep.ExactViolations++
+			}
+			if tx.Shares == nil && tx.BrokerShare == 0 {
+				resumLegacy += tx.Price
+				continue
+			}
+			rep.AttributedRows++
+			for k := range tx.Shares {
+				resum[tx.Shares[k].SellerID] += tx.Shares[k].Amount
+			}
+			resumBroker += tx.BrokerShare
+		}
+		if resumBroker != sh.broker {
+			rep.ResumMismatches++
+		}
+		if resumLegacy != sh.legacy {
+			rep.ResumMismatches++
+		}
+		if len(resum) != len(sh.bySeller) {
+			rep.ResumMismatches++
+		} else {
+			for id, amt := range resum {
+				if running, ok := sh.bySeller[id]; !ok || running != amt {
+					rep.ResumMismatches++
+				}
+			}
+		}
+		for id, amt := range sh.bySeller {
+			rep.Sellers[id] += amt
+		}
+		rep.Broker += sh.broker
+		rep.Legacy += sh.legacy
+		sh.mu.Unlock()
+	}
+	return rep
 }

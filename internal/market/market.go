@@ -63,6 +63,11 @@ type Purchase struct {
 	// is deterministic in (broker seed, Seq, δ), regardless of which
 	// goroutine executed it.
 	Seq int
+	// Shares is the sale's per-seller attribution table and BrokerShare
+	// the broker's commission cut; together they reconstruct Price
+	// exactly (see SellerShare). They mirror the ledger row's table.
+	Shares      []SellerShare
+	BrokerShare float64
 }
 
 // Transaction is a ledger row.
@@ -78,6 +83,17 @@ type Transaction struct {
 	// the access log. Wall time is excluded from determinism
 	// comparisons.
 	Stamp Stamp
+	// Shares is the per-seller attribution table in force when the sale
+	// executed: each contributing seller's weight and exact slice of
+	// the price. BrokerShare is the broker's commission cut. The split
+	// is quantized so Σ Shares[i].Amount + BrokerShare == Price holds
+	// exactly under float64 addition (see splitPrice). Rows journaled
+	// before the v2 upgrade carry neither (nil / 0) and are accounted
+	// as legacy gross. In the WAL the table rides inside the same v2
+	// record envelope as the transaction; in JSON snapshots and the
+	// /ledger response it appears inline here.
+	Shares      []SellerShare `json:"shares,omitempty"`
+	BrokerShare float64       `json:"brokerShare,omitempty"`
 }
 
 // offer is the broker's per-model state: the one-time-trained optimum
@@ -127,6 +143,12 @@ type Broker struct {
 	saleSeed   uint64
 	commission float64
 	offers     atomic.Pointer[offerTable]
+	// stakes is the published attribution stake table: the sellers (and
+	// weights) every sale splits its price across. NewBroker seeds it
+	// with the single founding seller at weight 1; SetSellerStakes and
+	// WithdrawSeller replace it copy-on-write under b.mu, and the sell
+	// path reads it lock-free (see attribution.go).
+	stakes atomic.Pointer[stakeTable]
 	// ledger is the transaction log. NewBroker installs the in-memory
 	// sharded implementation; AttachDurableLedger swaps in the
 	// WAL-backed one at startup.
@@ -218,6 +240,9 @@ func NewBroker(seller *Seller, mech noise.Mechanism, seed uint64, commission flo
 		replay:     resilience.NewReplayCache[*Purchase](ReplayCapacity, ReplayTTL),
 	}
 	b.offers.Store(&offerTable{offers: make(map[ml.Model]*offer)})
+	// Every market starts with its founding seller holding the whole
+	// stake; multi-seller attribution arrives via SetSellerStakes.
+	b.stakes.Store(&stakeTable{stakes: []SellerStake{{ID: b.founderID(), Weight: 1}}})
 	return b, nil
 }
 
@@ -748,6 +773,12 @@ func (b *Broker) sell(ctx context.Context, m ml.Model, off *offer, delta float64
 		metCanceled.Inc()
 		return nil, err
 	}
+	// Attribute the price across the stake table in force right now:
+	// the broker's commission plus one exact quantized slice per seller
+	// (Σ shares + brokerShare == price bit-for-bit; see splitPrice).
+	// The table is part of the transaction, so it journals in the same
+	// WAL frame as the sale.
+	brokerShare, shares := splitPrice(price, b.commission, b.loadStakes())
 	p := &Purchase{
 		Instance:      instance,
 		Model:         m,
@@ -755,6 +786,8 @@ func (b *Broker) sell(ctx context.Context, m ml.Model, off *offer, delta float64
 		ExpectedError: expErr,
 		Price:         price,
 		Seq:           int(seq),
+		Shares:        shares,
+		BrokerShare:   brokerShare,
 	}
 	tx := Transaction{
 		Seq:           int(seq),
@@ -763,6 +796,8 @@ func (b *Broker) sell(ctx context.Context, m ml.Model, off *offer, delta float64
 		Price:         price,
 		ExpectedError: p.ExpectedError,
 		Stamp:         Stamp{Logical: b.logical.Add(1), Wall: b.clock()},
+		Shares:        shares,
+		BrokerShare:   brokerShare,
 	}
 	// The idempotency entry rides in the same journal frame as its
 	// transaction: a crash persists both or neither.
@@ -784,6 +819,9 @@ func (b *Broker) sell(ctx context.Context, m ml.Model, off *offer, delta float64
 	}
 	metPurchases.Inc()
 	metRevenue.Add(price)
+	for i := range shares {
+		metSellerRevenue(shares[i].SellerID).Add(shares[i].Amount)
+	}
 	return p, nil
 }
 
@@ -821,15 +859,29 @@ func (b *Broker) Ledger() []Transaction {
 	return append([]Transaction(nil), v.txs...)
 }
 
-// RevenueSplit returns the seller's and broker's cumulative shares.
-// The total is the running stripe-accumulated gross — O(1) per stripe,
-// no snapshot build — so /metrics and listing polls stay cheap under
-// live traffic; it agrees with the sum over Ledger()'s rows up to
-// float addition order, and the background auditor cross-checks the
-// two continuously.
+// RevenueSplit is the single-seller compatibility view of the per-sale
+// attribution table: sellerShare is the cumulative revenue attributed
+// to all sellers combined and brokerShare the cumulative commission,
+// both read from the running stripe totals the sale path accumulates —
+// O(sellers) per stripe, no snapshot build — so /metrics and listing
+// polls stay cheap under live traffic. Legacy rows journaled before
+// attribution (no table) are folded in at the commission rate. For the
+// per-seller breakdown use RevenueSplits; the background auditor
+// cross-checks both against the rows continuously.
 func (b *Broker) RevenueSplit() (sellerShare, brokerShare float64) {
-	total := b.ledger.grossRevenue()
-	return total * (1 - b.commission), total * b.commission
+	bySeller, broker, legacy := b.ledger.splitTotals()
+	// Sum in sorted seller order: map iteration order must not leak
+	// into the reported figure (the workload rig compares economic
+	// totals bit-for-bit across runs).
+	ids := make([]string, 0, len(bySeller))
+	for id := range bySeller {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sellerShare += bySeller[id]
+	}
+	return sellerShare + legacy*(1-b.commission), broker + legacy*b.commission
 }
 
 // LedgerTotals reports the ledger's row count, the gross re-summed

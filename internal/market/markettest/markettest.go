@@ -14,10 +14,13 @@ package markettest
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 
+	"github.com/datamarket/mbp/internal/attr"
 	"github.com/datamarket/mbp/internal/core"
+	"github.com/datamarket/mbp/internal/dataset"
 	"github.com/datamarket/mbp/internal/market"
 	"github.com/datamarket/mbp/internal/ml"
 	"github.com/datamarket/mbp/internal/noise"
@@ -112,6 +115,94 @@ func BrokerWith(tb testing.TB, seed uint64, mech noise.Mechanism) *market.Broker
 func Broker(tb testing.TB, seed uint64) *market.Broker {
 	tb.Helper()
 	b, err := New(seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+// multiStakes caches the Shapley-derived stake tables per seller
+// count: computing one means 2^n−1 trainings over the CASP subsets, so
+// every test asking for the same n shares the result.
+var multiStakes struct {
+	mu  sync.Mutex
+	byN map[int][]market.SellerStake
+}
+
+// MultiSellerStakes returns an n-seller attribution stake table derived
+// from the canonical CASP fixture: the train split is dealt row-by-row
+// into n per-seller subsets, each seller's coalition value is the
+// held-out loss reduction its data buys (attr.LossReduction), and the
+// stakes are the exact Shapley weights of that game. The table is
+// deterministic and cached per n.
+func MultiSellerStakes(n int) ([]market.SellerStake, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("markettest: need at least one seller, got %d", n)
+	}
+	fixture.once.Do(build)
+	if fixture.err != nil {
+		return nil, fixture.err
+	}
+	multiStakes.mu.Lock()
+	defer multiStakes.mu.Unlock()
+	if st, ok := multiStakes.byN[n]; ok {
+		return append([]market.SellerStake(nil), st...), nil
+	}
+	train := fixture.seller.Data.Train
+	if train.N() < n {
+		return nil, fmt.Errorf("markettest: %d sellers over %d training rows", n, train.N())
+	}
+	// Deal rows round-robin so every seller sees the same distribution:
+	// near-symmetric sellers make the attribution's symmetry property
+	// visible in tests without being exactly degenerate.
+	rows := make([][]int, n)
+	for r := 0; r < train.N(); r++ {
+		rows[r%n] = append(rows[r%n], r)
+	}
+	subsets := make([]*dataset.Dataset, n)
+	for i := range subsets {
+		subsets[i] = train.Subset(rows[i])
+	}
+	vf, err := attr.LossReduction(Model, subsets, fixture.seller.Data.Test, ml.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := attr.Shapley(n, vf, attr.Options{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	stakes := make([]market.SellerStake, n)
+	for i := range stakes {
+		stakes[i] = market.SellerStake{ID: fmt.Sprintf("seller-%d", i), Weight: res.Weights[i]}
+	}
+	if multiStakes.byN == nil {
+		multiStakes.byN = make(map[int][]market.SellerStake)
+	}
+	multiStakes.byN[n] = stakes
+	return append([]market.SellerStake(nil), stakes...), nil
+}
+
+// NewMultiSeller returns a fixture broker whose revenue splits across n
+// sellers by cached Shapley-derived stakes (see MultiSellerStakes).
+func NewMultiSeller(seed uint64, n int) (*market.Broker, error) {
+	b, err := New(seed)
+	if err != nil {
+		return nil, err
+	}
+	stakes, err := MultiSellerStakes(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.SetSellerStakes(stakes); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// MultiSellerBroker is NewMultiSeller for tests: it fails tb on error.
+func MultiSellerBroker(tb testing.TB, seed uint64, n int) *market.Broker {
+	tb.Helper()
+	b, err := NewMultiSeller(seed, n)
 	if err != nil {
 		tb.Fatal(err)
 	}

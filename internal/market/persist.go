@@ -109,32 +109,78 @@ func (b *Broker) RestoreOffer(s *OfferSnapshot) error {
 	return nil
 }
 
-// SaveOffers writes every published offer as a JSON array.
+// offersFile is the versioned offers document SaveOffers writes: the
+// offer snapshots plus the attribution stake table, so a warm restart
+// resumes splitting revenue over the same sellers. LoadOffers also
+// accepts the legacy format — a bare JSON array of snapshots — telling
+// the two apart by the first byte ('[' vs '{').
+type offersFile struct {
+	Offers []*OfferSnapshot `json:"offers"`
+	// Sellers is the attribution stake table at save time.
+	Sellers []SellerStake `json:"sellers,omitempty"`
+}
+
+// SaveOffers writes every published offer, plus the attribution stake
+// table, as one JSON document.
 func (b *Broker) SaveOffers(w io.Writer) error {
-	var snaps []*OfferSnapshot
+	var f offersFile
 	for _, m := range b.Models() {
 		s, err := b.SnapshotOffer(m)
 		if err != nil {
 			return err
 		}
-		snaps = append(snaps, s)
+		f.Offers = append(f.Offers, s)
 	}
+	f.Sellers = b.SellerStakes()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(snaps)
+	return enc.Encode(&f)
 }
 
-// LoadOffers restores every offer from a JSON array written by
-// SaveOffers.
+// LoadOffers restores every offer (and, for the versioned format, the
+// attribution stake table) written by SaveOffers. Legacy files — a bare
+// JSON array of snapshots, written before multi-seller attribution —
+// restore their offers and leave the founder-only stake table in place.
 func (b *Broker) LoadOffers(r io.Reader) error {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("market: reading offers: %w", err)
+	}
 	var snaps []*OfferSnapshot
-	if err := json.NewDecoder(r).Decode(&snaps); err != nil {
-		return fmt.Errorf("market: decoding offers: %w", err)
+	var stakes []SellerStake
+	if i := firstNonSpace(raw); i >= 0 && raw[i] == '[' {
+		if err := json.Unmarshal(raw, &snaps); err != nil {
+			return fmt.Errorf("market: decoding offers: %w", err)
+		}
+	} else {
+		var f offersFile
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return fmt.Errorf("market: decoding offers: %w", err)
+		}
+		snaps, stakes = f.Offers, f.Sellers
 	}
 	for _, s := range snaps {
 		if err := b.RestoreOffer(s); err != nil {
 			return err
 		}
 	}
+	if len(stakes) > 0 {
+		if err := b.SetSellerStakes(stakes); err != nil {
+			return fmt.Errorf("market: restoring seller stakes: %w", err)
+		}
+	}
 	return nil
+}
+
+// firstNonSpace returns the index of the first non-whitespace byte, or
+// -1.
+func firstNonSpace(b []byte) int {
+	for i := range b {
+		switch b[i] {
+		case ' ', '\t', '\n', '\r':
+		default:
+			return i
+		}
+	}
+	return -1
 }

@@ -215,10 +215,11 @@ func TestLoadOffersCorruptDump(t *testing.T) {
 	}
 
 	// Unknown extras key.
-	var snaps []*OfferSnapshot
-	if err := json.Unmarshal([]byte(dump), &snaps); err != nil {
+	var f offersFile
+	if err := json.Unmarshal([]byte(dump), &f); err != nil {
 		t.Fatal(err)
 	}
+	snaps := f.Offers
 	snaps[0].Extras = map[string]*pricing.Transform{"no-such-loss": snaps[0].Transform}
 	raw, err := json.Marshal(snaps)
 	if err != nil {

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record envelope versioning. The frame layer (frame.go) guarantees a
+// record arrived intact; this layer says what is *inside* a record.
+//
+// Version 1 records are bare payloads — whatever bytes the caller
+// appended, typically a JSON document. Version 2 records carry two
+// parts inside one frame: the primary payload plus an opaque attachment
+// (the market uses it for the per-seller attribution table), so the two
+// commit or are lost atomically — there is no window where a sale is
+// durable but its attribution is not.
+//
+// v2 layout, inside the frame payload:
+//
+//	[4-byte magic "MBR2"][4-byte LE payload length][4-byte LE table length]
+//	[4-byte LE CRC32C of table][payload][table]
+//
+// The table gets its own CRC32C even though the frame already checksums
+// the whole record: it lets a decoder distinguish "this record predates
+// v2" (no magic — decode as v1) from "this record claims v2 but the
+// table is damaged" (magic present, table check fails — corruption, not
+// a version skew). A v1 payload that happens to start with the magic
+// bytes would be misread, so writers of v1 records must not begin them
+// with "MBR2"; the market's v1 records are JSON objects starting with
+// '{', which can never collide.
+const (
+	recordMagic      = "MBR2"
+	recordHeaderSize = 16
+)
+
+// EncodeRecordV2 wraps payload and table into a single v2 record,
+// suitable for Store.Append. The table may be empty but the envelope is
+// still written, so decoders can tell "attributed with zero rows" from
+// "pre-attribution record".
+func EncodeRecordV2(payload, table []byte) []byte {
+	rec := make([]byte, recordHeaderSize, recordHeaderSize+len(payload)+len(table))
+	copy(rec[0:4], recordMagic)
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(table)))
+	binary.LittleEndian.PutUint32(rec[12:16], crc32.Checksum(table, castagnoli))
+	rec = append(rec, payload...)
+	return append(rec, table...)
+}
+
+// DecodeRecord splits a record into its version, primary payload, and
+// attachment table. Records without the v2 magic decode as version 1
+// with the whole record as payload and a nil table. A record that
+// carries the magic but fails validation returns a *CorruptError — it
+// must not be silently treated as v1, because that would drop a
+// committed attribution table on the floor. Returned slices alias rec.
+func DecodeRecord(rec []byte) (version int, payload, table []byte, err error) {
+	if len(rec) < recordHeaderSize || string(rec[0:4]) != recordMagic {
+		return 1, rec, nil, nil
+	}
+	pLen := int64(binary.LittleEndian.Uint32(rec[4:8]))
+	tLen := int64(binary.LittleEndian.Uint32(rec[8:12]))
+	sum := binary.LittleEndian.Uint32(rec[12:16])
+	if recordHeaderSize+pLen+tLen != int64(len(rec)) {
+		return 0, nil, nil, &CorruptError{Reason: fmt.Sprintf(
+			"v2 record length mismatch: header claims %d+%d bytes, record has %d",
+			pLen, tLen, len(rec)-recordHeaderSize)}
+	}
+	payload = rec[recordHeaderSize : recordHeaderSize+pLen]
+	table = rec[recordHeaderSize+pLen:]
+	if crc32.Checksum(table, castagnoli) != sum {
+		return 0, nil, nil, &CorruptError{Reason: "v2 attribution table checksum mismatch"}
+	}
+	return 2, payload, table, nil
+}

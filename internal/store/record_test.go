@@ -1,0 +1,167 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestRecordV2RoundTrip(t *testing.T) {
+	cases := []struct{ payload, table []byte }{
+		{[]byte(`{"kind":"tx"}`), []byte{1, 2, 3, 4}},
+		{[]byte(`{}`), nil}, // attributed with zero rows: envelope still present
+		{nil, []byte("table-only")},
+		{bytes.Repeat([]byte{0xAB}, 1<<12), bytes.Repeat([]byte{0xCD}, 1<<10)},
+	}
+	for i, c := range cases {
+		rec := EncodeRecordV2(c.payload, c.table)
+		ver, payload, table, err := DecodeRecord(rec)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if ver != 2 {
+			t.Fatalf("case %d: version %d, want 2", i, ver)
+		}
+		if !bytes.Equal(payload, c.payload) {
+			t.Fatalf("case %d: payload %q, want %q", i, payload, c.payload)
+		}
+		if !bytes.Equal(table, c.table) {
+			t.Fatalf("case %d: table %q, want %q", i, table, c.table)
+		}
+	}
+}
+
+func TestRecordV1Passthrough(t *testing.T) {
+	for _, rec := range [][]byte{
+		[]byte(`{"kind":"tx","tx":{}}`),
+		{},
+		[]byte("MBR"),              // shorter than the magic
+		[]byte("MBR2abc"),          // magic but shorter than a v2 header
+		bytes.Repeat([]byte{1}, 3), // arbitrary short bytes
+	} {
+		ver, payload, table, err := DecodeRecord(rec)
+		if err != nil {
+			t.Fatalf("decode %q: %v", rec, err)
+		}
+		if ver != 1 || table != nil {
+			t.Fatalf("decode %q: version %d table %v, want v1 nil table", rec, ver, table)
+		}
+		if !bytes.Equal(payload, rec) {
+			t.Fatalf("decode %q: payload %q, want whole record", rec, payload)
+		}
+	}
+}
+
+func TestRecordV2LengthMismatch(t *testing.T) {
+	rec := EncodeRecordV2([]byte("payload"), []byte("table"))
+	for _, mut := range [][]byte{
+		rec[:len(rec)-1],                     // lost table tail
+		append(rec[:0:0], append(rec, 0)...), // trailing garbage
+	} {
+		ver, _, _, err := DecodeRecord(mut)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("mutated record decoded as version %d err %v, want *CorruptError", ver, err)
+		}
+	}
+}
+
+func TestRecordV2TableChecksum(t *testing.T) {
+	rec := EncodeRecordV2([]byte("payload"), []byte("table"))
+	// Flip a table byte AND refresh the length fields so only the CRC
+	// disagrees — the decoder must call it corruption, never fall back
+	// to v1.
+	mut := append([]byte(nil), rec...)
+	mut[len(mut)-1] ^= 0x01
+	ver, _, _, err := DecodeRecord(mut)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("damaged table decoded as version %d err %v, want *CorruptError", ver, err)
+	}
+}
+
+// FuzzAttributionFrameDecode exercises the v2 record envelope through
+// the WAL frame layer — the exact path an attributed sale takes to disk
+// and back. Invariants:
+//
+//  1. DecodeRecord never panics; arbitrary bytes without the magic
+//     decode as v1 with the whole record as payload.
+//  2. A v2 envelope round-trips bit-for-bit through appendFrame +
+//     scanFrames + DecodeRecord.
+//  3. A torn tail (crash mid-append) truncates to the valid prefix;
+//     the surviving records still decode to their original versions.
+//  4. A v2 record whose table CRC is damaged — but whose frame is
+//     intact — is a *CorruptError, never a silent v1 fallback: that
+//     would drop a committed attribution table on the floor.
+func FuzzAttributionFrameDecode(f *testing.F) {
+	f.Add([]byte(`{"kind":"tx","tx":{"seq":1}}`), []byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint16(4), uint8(1))
+	f.Add([]byte{}, []byte{}, uint16(0), uint8(0))
+	f.Add([]byte("MBR2"), []byte("MBR2"), uint16(9), uint8(7))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64), bytes.Repeat([]byte{0x00}, 32), uint16(33), uint8(3))
+
+	f.Fuzz(func(t *testing.T, payload, table []byte, cut uint16, flip uint8) {
+		// Invariant 1: arbitrary bytes never panic. Prefix '{' so the
+		// input can never collide with the v2 magic (the writer-side
+		// contract for v1 records).
+		v1rec := append([]byte("{"), payload...)
+		ver, got, tab, err := DecodeRecord(v1rec)
+		if err != nil || ver != 1 || tab != nil || !bytes.Equal(got, v1rec) {
+			t.Fatalf("v1 decode: ver=%d err=%v", ver, err)
+		}
+		DecodeRecord(payload) // raw fuzz bytes: must not panic, any result
+
+		// Invariant 2: v2 round-trip through the frame layer.
+		v2rec := EncodeRecordV2(payload, table)
+		log := appendFrame(nil, v1rec)
+		log = appendFrame(log, v2rec)
+		recs, good, err := scanFrames(log, "fuzz.log", true)
+		if err != nil || good != int64(len(log)) || len(recs) != 2 {
+			t.Fatalf("frame scan: %d records, good=%d/%d, err=%v", len(recs), good, len(log), err)
+		}
+		ver, got, tab, err = DecodeRecord(recs[1])
+		if err != nil || ver != 2 {
+			t.Fatalf("framed v2 decode: ver=%d err=%v", ver, err)
+		}
+		if !bytes.Equal(got, payload) || !bytes.Equal(tab, table) {
+			t.Fatal("framed v2 decode is not bit-identical")
+		}
+
+		// Invariant 3: torn tail inside the final (v2) frame loses that
+		// record but keeps the v1 prefix decodable.
+		v1End := int64(len(log)) - int64(frameHeaderSize+len(v2rec))
+		cutAt := v1End + int64(cut)%int64(frameHeaderSize+len(v2rec))
+		recs, good, err = scanFrames(log[:cutAt], "fuzz.log", true)
+		if err != nil || good != v1End || len(recs) != 1 {
+			t.Fatalf("torn tail: %d records, good=%d want %d, err=%v", len(recs), good, v1End, err)
+		}
+		if ver, got, _, err := DecodeRecord(recs[0]); err != nil || ver != 1 || !bytes.Equal(got, v1rec) {
+			t.Fatalf("surviving record decode: ver=%d err=%v", ver, err)
+		}
+
+		// Invariant 4: corrupt table CRC ≠ torn tail. Damage one bit of
+		// the stored table checksum, re-frame, and the frame layer
+		// accepts it — only the record layer can (and must) catch it.
+		mut := append([]byte(nil), v2rec...)
+		mut[12+int(flip)%4] ^= 1 << (flip % 8)
+		recs, good, err = scanFrames(appendFrame(nil, mut), "fuzz.log", true)
+		if err != nil || len(recs) != 1 {
+			t.Fatalf("mutated frame scan: %d records, good=%d, err=%v", len(recs), good, err)
+		}
+		ver, _, _, err = DecodeRecord(recs[0])
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("damaged table CRC decoded as version %d err %v, want *CorruptError", ver, err)
+		}
+
+		// And a length-field lie with a matching record length is the
+		// same class of corruption.
+		if len(v2rec) > recordHeaderSize {
+			mut = append([]byte(nil), v2rec...)
+			binary.LittleEndian.PutUint32(mut[4:8], uint32(len(payload))+1)
+			if ver, _, _, err := DecodeRecord(mut); !errors.As(err, &ce) {
+				t.Fatalf("length lie decoded as version %d err %v, want *CorruptError", ver, err)
+			}
+		}
+	})
+}

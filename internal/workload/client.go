@@ -37,6 +37,17 @@ type LedgerSummary struct {
 	Gross float64
 	// SellerShare and BrokerShare are the published split.
 	SellerShare, BrokerShare float64
+	// Sellers is cumulative attributed revenue per seller id.
+	Sellers map[string]float64
+	// AttributionChecked reports whether the exactness figures below
+	// were measured (both client implementations measure them; custom
+	// clients may not).
+	AttributionChecked bool
+	// ExactViolations counts rows whose attribution table fails to
+	// reconstruct the price exactly; ResumMismatches counts stripe
+	// totals disagreeing with an independent re-sum. A healthy broker
+	// reports zero for both.
+	ExactViolations, ResumMismatches int
 }
 
 // Client is the broker surface the harness drives.
@@ -152,6 +163,11 @@ func (c *BrokerClient) Ledger(ctx context.Context) (LedgerSummary, error) {
 		sum.Gross += tx.Price
 	}
 	sum.SellerShare, sum.BrokerShare = c.B.RevenueSplit()
+	sum.Sellers = c.B.RevenueSplits()
+	rep := c.B.AttributionTotals()
+	sum.AttributionChecked = true
+	sum.ExactViolations = rep.ExactViolations
+	sum.ResumMismatches = rep.ResumMismatches
 	return sum, nil
 }
 
@@ -213,10 +229,18 @@ func (c *HTTPClient) Ledger(ctx context.Context) (LedgerSummary, error) {
 		Seqs:        make([]int, len(resp.Transactions)),
 		SellerShare: resp.SellerShare,
 		BrokerShare: resp.BrokerShare,
+		Sellers:     resp.Sellers,
 	}
 	for i, tx := range resp.Transactions {
 		sum.Seqs[i] = tx.Seq
 		sum.Gross += tx.Price
 	}
+	sellers, err := c.c.Sellers(ctx)
+	if err != nil {
+		return LedgerSummary{}, err
+	}
+	sum.AttributionChecked = true
+	sum.ExactViolations = sellers.ExactViolations
+	sum.ResumMismatches = sellers.ResumMismatches
 	return sum, nil
 }

@@ -391,6 +391,9 @@ func checkInvariants(rep *Report, agg *buyerResult, led LedgerSummary, maxErrRat
 
 	relTol := func(scale float64) float64 { return 1e-6 * (1 + math.Abs(scale)) }
 	inv.RevenueConserved = math.Abs(led.SellerShare+led.BrokerShare-led.Gross) <= relTol(led.Gross)
+	inv.AttributionExact = led.AttributionChecked &&
+		led.ExactViolations == 0 && led.ResumMismatches == 0
+	inv.SellerRevenue = led.Sellers
 
 	totalOps := 0
 	for _, n := range agg.ops {
@@ -409,6 +412,24 @@ func checkInvariants(rep *Report, agg *buyerResult, led LedgerSummary, maxErrRat
 	if !inv.RevenueConserved {
 		fail("revenue split %v + %v does not sum to ledger gross %v",
 			led.SellerShare, led.BrokerShare, led.Gross)
+	}
+	if led.AttributionChecked {
+		if led.ExactViolations > 0 {
+			fail("%d ledger rows break exact attribution conservation", led.ExactViolations)
+		}
+		if led.ResumMismatches > 0 {
+			fail("%d stripe attribution totals disagree with their re-sum", led.ResumMismatches)
+		}
+		// The per-seller totals must reassemble the aggregate seller
+		// share (both fold legacy rows into the founding seller).
+		var attributed float64
+		for _, amt := range led.Sellers {
+			attributed += amt
+		}
+		if math.Abs(attributed-led.SellerShare) > relTol(led.SellerShare) {
+			fail("per-seller revenue sums to %v but the aggregate seller share is %v",
+				attributed, led.SellerShare)
+		}
 	}
 	if !skipLedger && math.Abs(agg.paid-led.Gross) > relTol(led.Gross) {
 		fail("harness paid %v but ledger gross is %v", agg.paid, led.Gross)

@@ -141,6 +141,22 @@ type Scenario struct {
 	// priced for the pre-shift population suddenly faces buyers who
 	// value the versions differently.
 	Shift *PopulationShift
+	// Churn, when set, withdraws a seller from the attribution stake
+	// table mid-run: the driver (mbpload) executes the withdrawal at the
+	// barrier nearest Churn.At, attribution renormalizes over the
+	// remaining sellers, and the post-run invariants require exact
+	// conservation across the regime change.
+	Churn *SellerChurn
+}
+
+// SellerChurn describes a mid-run seller withdrawal in a multi-seller
+// attribution scenario.
+type SellerChurn struct {
+	// At is the normalized arrival time of the withdrawal, in (0, 1).
+	At float64
+	// Sellers is how many sellers the run starts with (the driver builds
+	// the stake table); the withdrawal removes the last one.
+	Sellers int
 }
 
 // PopulationShift describes the post-shift population of a demand-shift
@@ -177,6 +193,14 @@ func (s Scenario) Validate() error {
 		}
 		if sh.ValueScale <= 0 {
 			return fmt.Errorf("workload: scenario %q: non-positive post-shift value scale %v", s.Name, sh.ValueScale)
+		}
+	}
+	if ch := s.Churn; ch != nil {
+		if ch.At <= 0 || ch.At >= 1 {
+			return fmt.Errorf("workload: scenario %q: churn time %v outside (0, 1)", s.Name, ch.At)
+		}
+		if ch.Sellers < 2 {
+			return fmt.Errorf("workload: scenario %q: churn needs at least 2 sellers, got %d", s.Name, ch.Sellers)
 		}
 	}
 	return nil
@@ -243,6 +267,19 @@ func Scenarios() []Scenario {
 				ValueShape:  curves.Concave,
 				DemandShape: curves.Uniform,
 				ValueScale:  0.8,
+			},
+		},
+		{
+			Name:        "seller-churn",
+			Description: "multi-seller attribution with a seller withdrawn mid-run — conservation must stay exact",
+			Arrival:     Steady,
+			Blend:       Blend{Browser: 0.20, Point: 0.35, Budget: 0.25, Retrier: 0.15, Prober: 0.05},
+			ValueShape:  curves.Concave,
+			DemandShape: curves.UnimodalMid,
+			ValueScale:  1.3,
+			Churn: &SellerChurn{
+				At:      0.5,
+				Sellers: 3,
 			},
 		},
 		{

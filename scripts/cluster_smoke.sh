@@ -143,6 +143,26 @@ done
 [ "$(frames_of "$OTHER")" = "$(frames_of "$NEW")" ] || {
   echo "follower never converged: $(frames_of "$OTHER") != $(frames_of "$NEW")"; exit 1; }
 
+echo "== per-seller attribution agrees across the cluster =="
+# Both nodes applied the same record stream, and attribution amounts
+# travel as raw float bits in the v2 WAL envelope — so the /sellers
+# document (per-seller revenue, broker share, exactness counters) must
+# be byte-for-byte identical on the new leader and the surviving
+# follower, with zero conservation violations on both.
+SELLERS_NEW=$(curl -fsS "$NEW/sellers")
+SELLERS_OTHER=$(curl -fsS "$OTHER/sellers")
+[ "$SELLERS_NEW" = "$SELLERS_OTHER" ] || {
+  echo "attribution diverged across failover:"
+  echo "leader:   $SELLERS_NEW"
+  echo "follower: $SELLERS_OTHER"
+  exit 1
+}
+echo "$SELLERS_NEW" | grep -q '"exactViolations":0' || {
+  echo "conservation violations after failover: $SELLERS_NEW"; exit 1; }
+echo "$SELLERS_NEW" | grep -q '"resumMismatches":0' || {
+  echo "re-sum mismatches after failover: $SELLERS_NEW"; exit 1; }
+echo "   attribution identical on both survivors"
+
 echo "== replay every acked key on the new leader; reconcile the ledger =="
 python3 - "$NEW" "$ACKED" "$BGACKED" <<'PYEOF'
 import json, sys, urllib.request

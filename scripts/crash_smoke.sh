@@ -6,7 +6,11 @@
 #      sequence numbers, contiguous from 1),
 #   2. retrying the captured idempotency key replays the original sale
 #      (Idempotency-Replayed: true, same seq, same price) instead of
-#      charging again.
+#      charging again,
+#   3. per-seller attribution survives recovery exactly: the /sellers
+#      document (revenue per seller, broker share, zero conservation
+#      violations) is byte-for-byte identical across a quiescent
+#      kill -9 / restart cycle.
 # Stdlib tools only — JSON is picked apart with grep -o, no jq.
 set -euo pipefail
 
@@ -90,6 +94,30 @@ FINAL=$(ledger_seqs | wc -l)
 AFTER_N=$(echo "$AFTER" | wc -l)
 [ "$FINAL" -eq "$AFTER_N" ] || { echo "replay appended a ledger row ($AFTER_N -> $FINAL)"; exit 1; }
 
+echo "== attribution survives a quiescent crash byte-for-byte =="
+SELLERS_A=$(curl -fsS "$BASE/sellers")
+echo "$SELLERS_A" | grep -q '"exactViolations":0' || {
+  echo "conservation violations before crash: $SELLERS_A"; exit 1; }
+echo "$SELLERS_A" | grep -q '"resumMismatches":0' || {
+  echo "re-sum mismatches before crash: $SELLERS_A"; exit 1; }
+echo "$SELLERS_A" | grep -q '"revenue":{' || {
+  echo "no per-seller revenue in /sellers: $SELLERS_A"; exit 1; }
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+start
+# No traffic ran between the capture and the kill, so recovery must
+# reproduce the attribution state EXACTLY — amounts are journaled as
+# raw float bits and Go's JSON sorts map keys, so the whole document
+# compares byte for byte.
+SELLERS_B=$(curl -fsS "$BASE/sellers")
+[ "$SELLERS_A" = "$SELLERS_B" ] || {
+  echo "recovered attribution differs from pre-crash:"
+  echo "before: $SELLERS_A"
+  echo "after:  $SELLERS_B"
+  exit 1
+}
+
 kill "$PID"
 wait "$PID" 2>/dev/null || true
-echo "crash-recovery smoke OK: $AFTER_N sales survived, key replayed as seq $REPLAY_SEQ"
+echo "crash-recovery smoke OK: $AFTER_N sales survived, key replayed as seq $REPLAY_SEQ, attribution exact across recovery"
